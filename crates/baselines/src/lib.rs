@@ -1,0 +1,85 @@
+//! # cfpq-baselines
+//!
+//! Every comparison algorithm the paper evaluates against or builds on,
+//! implemented from scratch:
+//!
+//! * [`hellings`] — the classic cubic worklist algorithm for relational
+//!   CFPQ (Hellings [11]; also the algorithmic core of Zhang et al. [30]).
+//! * [`gll`] — GLL-based CFPQ (Grigorev & Ragozina [9]): descriptor-driven
+//!   generalized top-down parsing with a graph-structured stack,
+//!   generalized from strings to graphs. This is the `GLL` column of
+//!   Tables 1 and 2.
+//! * [`valiant`] — Valiant's sub-cubic string recognizer [25]: the
+//!   divide-and-conquer computation of the transitive closure `a⁺` of an
+//!   upper-triangular matrix with matrix multiplication as the primitive.
+//!   The paper's Algorithm 1 generalizes this closure to arbitrary
+//!   (cyclic) graphs; on word chains the two must and do agree.
+//!
+//! All baselines share the [`TripleStore`] result shape so tests can
+//! compare them against each other and against `cfpq-core`.
+
+pub mod gll;
+pub mod rsm;
+pub mod hellings;
+pub mod valiant;
+
+use cfpq_grammar::Nt;
+use std::collections::BTreeSet;
+
+/// A set of result triples `(A, i, j)` grouped per nonterminal.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TripleStore {
+    sets: Vec<BTreeSet<(u32, u32)>>,
+}
+
+impl TripleStore {
+    /// Creates a store for `n_nts` nonterminals.
+    pub fn new(n_nts: usize) -> Self {
+        Self {
+            sets: vec![BTreeSet::new(); n_nts],
+        }
+    }
+
+    /// Inserts `(nt, i, j)`; returns `true` if it was new.
+    pub fn insert(&mut self, nt: Nt, i: u32, j: u32) -> bool {
+        self.sets[nt.index()].insert((i, j))
+    }
+
+    /// True if `(i, j) ∈ R_nt`.
+    pub fn contains(&self, nt: Nt, i: u32, j: u32) -> bool {
+        self.sets[nt.index()].contains(&(i, j))
+    }
+
+    /// `R_nt` as sorted pairs.
+    pub fn pairs(&self, nt: Nt) -> Vec<(u32, u32)> {
+        self.sets[nt.index()].iter().copied().collect()
+    }
+
+    /// `|R_nt|`.
+    pub fn count(&self, nt: Nt) -> usize {
+        self.sets[nt.index()].len()
+    }
+
+    /// Total number of triples.
+    pub fn total(&self) -> usize {
+        self.sets.iter().map(BTreeSet::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triple_store_basics() {
+        let mut s = TripleStore::new(2);
+        assert!(s.insert(Nt(0), 1, 2));
+        assert!(!s.insert(Nt(0), 1, 2));
+        assert!(s.insert(Nt(1), 1, 2));
+        assert!(s.contains(Nt(0), 1, 2));
+        assert!(!s.contains(Nt(0), 2, 1));
+        assert_eq!(s.pairs(Nt(0)), vec![(1, 2)]);
+        assert_eq!(s.total(), 2);
+        assert_eq!(s.count(Nt(1)), 1);
+    }
+}

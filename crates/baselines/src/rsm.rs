@@ -1,0 +1,294 @@
+//! Recursive state machines (RSM) for CFPQ.
+//!
+//! Follow-on work to the paper (and most modern CFPQ engines) evaluates
+//! queries given as *recursive state machines*: one finite automaton
+//! ("box") per nonterminal whose transitions are labeled with terminals
+//! or nonterminal calls. Compared to dotted-rule approaches (GLL), RSM
+//! boxes merge the common prefixes of a nonterminal's alternatives, so
+//! `S → subClassOf_r S subClassOf | subClassOf_r subClassOf` shares the
+//! initial `subClassOf_r` transition.
+//!
+//! [`Rsm::from_cfg`] builds prefix-shared (trie) boxes from any [`Cfg`];
+//! [`solve_rsm`] evaluates reachability with a worklist over
+//! configurations `(box, entry node, state, current node)` with
+//! call-site memoization — terminating on arbitrary cyclic graphs and
+//! left-recursive grammars. Results are relational triples, directly
+//! comparable with Algorithm 1's output.
+
+use crate::TripleStore;
+use cfpq_grammar::cfg::{Cfg, Symbol};
+use cfpq_grammar::{Nt, Term};
+use cfpq_graph::{Graph, NodeId};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// A state inside a box (dense per-box index).
+pub type StateId = u32;
+
+/// One box: the automaton for a single nonterminal.
+#[derive(Clone, Debug, Default)]
+pub struct Box_ {
+    /// Number of states; state 0 is the entry.
+    pub n_states: u32,
+    /// Accepting states (ends of production paths).
+    pub finals: Vec<StateId>,
+    /// Transitions `state --symbol--> state`.
+    pub transitions: Vec<(StateId, Symbol, StateId)>,
+}
+
+impl Box_ {
+    fn new() -> Self {
+        Self {
+            n_states: 1, // entry
+            ..Self::default()
+        }
+    }
+
+    /// Adds one production's RHS as a path, sharing existing prefixes
+    /// (trie construction). An empty RHS marks the entry final.
+    fn add_production(&mut self, rhs: &[Symbol]) {
+        let mut state: StateId = 0;
+        for &sym in rhs {
+            let existing = self
+                .transitions
+                .iter()
+                .find(|(s, sy, _)| *s == state && *sy == sym)
+                .map(|(_, _, t)| *t);
+            state = match existing {
+                Some(t) => t,
+                None => {
+                    let t = self.n_states;
+                    self.n_states += 1;
+                    self.transitions.push((state, sym, t));
+                    t
+                }
+            };
+        }
+        if !self.finals.contains(&state) {
+            self.finals.push(state);
+        }
+    }
+
+    /// Outgoing transitions of `state`.
+    pub fn from_state(&self, state: StateId) -> impl Iterator<Item = (Symbol, StateId)> + '_ {
+        self.transitions
+            .iter()
+            .filter(move |(s, _, _)| *s == state)
+            .map(|(_, sym, t)| (*sym, *t))
+    }
+
+    /// True if `state` accepts.
+    pub fn is_final(&self, state: StateId) -> bool {
+        self.finals.contains(&state)
+    }
+}
+
+/// A recursive state machine: one box per nonterminal.
+#[derive(Clone, Debug)]
+pub struct Rsm {
+    /// `boxes[A.index()]` is A's automaton.
+    pub boxes: Vec<Box_>,
+    /// Total state count (diagnostic; tries shrink this vs. one path per
+    /// production).
+    pub total_states: usize,
+}
+
+impl Rsm {
+    /// Builds prefix-shared boxes from a grammar.
+    pub fn from_cfg(cfg: &Cfg) -> Self {
+        let n_nts = cfg.symbols.n_nts();
+        let mut boxes = vec![Box_::new(); n_nts];
+        for p in &cfg.productions {
+            boxes[p.lhs.index()].add_production(&p.rhs);
+        }
+        let total_states = boxes.iter().map(|b| b.n_states as usize).sum();
+        Self {
+            boxes,
+            total_states,
+        }
+    }
+}
+
+/// Evaluates RSM reachability for `start` from every graph node.
+///
+/// Configurations `(A, u, q, v)`: box `A` entered at graph node `u`,
+/// currently in state `q` at node `v`. Nonterminal transitions suspend
+/// into call contexts keyed by `(B, v)` and are resumed for every result
+/// `(B, v, w)` — the RSM analogue of the GSS pop replay.
+pub fn solve_rsm(graph: &Graph, cfg: &Cfg, rsm: &Rsm, start: Nt) -> TripleStore {
+    let mut store = TripleStore::new(cfg.symbols.n_nts());
+    // term_of[label] = grammar terminal with the same name, if any.
+    let term_of: Vec<Option<Term>> = graph
+        .labels()
+        .map(|(_, name)| cfg.symbols.get_term(name))
+        .collect();
+
+    type Config = (u32, NodeId, StateId, NodeId); // (box/nt, entry, state, node)
+    let mut seen: HashSet<Config> = HashSet::new();
+    let mut work: VecDeque<Config> = VecDeque::new();
+    // Contexts waiting on (B, v): resume (A, u, q', ·) at every result w.
+    let mut waiting: HashMap<(u32, NodeId), Vec<(u32, NodeId, StateId)>> = HashMap::new();
+    // Started boxes, to avoid re-entry.
+    let mut started: HashSet<(u32, NodeId)> = HashSet::new();
+    // Known results per (B, v) for replay.
+    let mut results_at: HashMap<(u32, NodeId), Vec<NodeId>> = HashMap::new();
+
+    let enqueue = |seen: &mut HashSet<Config>, work: &mut VecDeque<Config>, c: Config| {
+        if seen.insert(c) {
+            work.push_back(c);
+        }
+    };
+
+    for v in 0..graph.n_nodes() as NodeId {
+        started.insert((start.0, v));
+        enqueue(&mut seen, &mut work, (start.0, v, 0, v));
+    }
+
+    while let Some((a, u, q, v)) = work.pop_front() {
+        let b = &rsm.boxes[a as usize];
+        if b.is_final(q) {
+            // Completed A from u to v.
+            if store.insert(Nt(a), u, v) {
+                results_at.entry((a, u)).or_default().push(v);
+                if let Some(contexts) = waiting.get(&(a, u)) {
+                    for &(ca, cu, cq) in &contexts.clone() {
+                        enqueue(&mut seen, &mut work, (ca, cu, cq, v));
+                    }
+                }
+            }
+        }
+        for (sym, q2) in b.from_state(q) {
+            match sym {
+                Symbol::T(t) => {
+                    for &(label, w) in graph.out_edges(v) {
+                        if term_of[label.index()] == Some(t) {
+                            enqueue(&mut seen, &mut work, (a, u, q2, w));
+                        }
+                    }
+                }
+                Symbol::N(callee) => {
+                    // Suspend into a call of `callee` at v.
+                    waiting
+                        .entry((callee.0, v))
+                        .or_default()
+                        .push((a, u, q2));
+                    if started.insert((callee.0, v)) {
+                        enqueue(&mut seen, &mut work, (callee.0, v, 0, v));
+                    }
+                    if let Some(ws) = results_at.get(&(callee.0, v)) {
+                        for &w in &ws.clone() {
+                            enqueue(&mut seen, &mut work, (a, u, q2, w));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    store
+}
+
+/// Convenience: build the RSM and solve using the grammar's start symbol.
+pub fn solve_rsm_cfg(graph: &Graph, cfg: &Cfg) -> TripleStore {
+    let rsm = Rsm::from_cfg(cfg);
+    let start = cfg.start.expect("grammar must have a start nonterminal");
+    solve_rsm(graph, cfg, &rsm, start)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfpq_graph::generators;
+
+    #[test]
+    fn trie_shares_prefixes() {
+        // Q1: both subClassOf_r alternatives share their first
+        // transition, both type_r alternatives share theirs.
+        let cfg = cfpq_grammar::queries::query1();
+        let rsm = Rsm::from_cfg(&cfg);
+        let b = &rsm.boxes[0];
+        // Naive path-per-production: 4 productions × 2-3 symbols = 10
+        // interior states + entry; the trie merges the two 2-symbol
+        // prefixes into the longer alternatives' paths.
+        assert!(
+            b.n_states < 11,
+            "expected prefix sharing, got {} states",
+            b.n_states
+        );
+        // Entry has exactly two outgoing transitions (subClassOf_r,
+        // type_r), not four.
+        assert_eq!(b.from_state(0).count(), 2);
+    }
+
+    #[test]
+    fn anbn_on_chain() {
+        let cfg = Cfg::parse("S -> a S b | a b").unwrap();
+        let s = cfg.symbols.get_nt("S").unwrap();
+        let graph = generators::word_chain(&["a", "a", "b", "b"]);
+        let store = solve_rsm_cfg(&graph, &cfg);
+        assert_eq!(store.pairs(s), vec![(0, 4), (1, 3)]);
+    }
+
+    #[test]
+    fn left_recursion_terminates() {
+        let cfg = Cfg::parse("S -> S a | a").unwrap();
+        let s = cfg.symbols.get_nt("S").unwrap();
+        let graph = generators::chain(4, "a");
+        let store = solve_rsm_cfg(&graph, &cfg);
+        let mut expect = Vec::new();
+        for i in 0..5u32 {
+            for j in (i + 1)..5u32 {
+                expect.push((i, j));
+            }
+        }
+        assert_eq!(store.pairs(s), expect);
+    }
+
+    #[test]
+    fn epsilon_production_gives_diagonal() {
+        let cfg = Cfg::parse("S -> a S | eps").unwrap();
+        let s = cfg.symbols.get_nt("S").unwrap();
+        let graph = generators::chain(2, "a");
+        let store = solve_rsm_cfg(&graph, &cfg);
+        assert_eq!(
+            store.pairs(s),
+            vec![(0, 0), (0, 1), (0, 2), (1, 1), (1, 2), (2, 2)]
+        );
+    }
+
+    #[test]
+    fn paper_example_start_relation() {
+        let cfg = cfpq_grammar::queries::query1();
+        let s = cfg.symbols.get_nt("S").unwrap();
+        let graph = generators::paper_example();
+        let store = solve_rsm_cfg(&graph, &cfg);
+        assert_eq!(store.pairs(s), vec![(0, 0), (0, 2), (1, 2)]);
+    }
+
+    #[test]
+    fn matches_gll_and_matrix_on_random_graphs() {
+        use crate::gll::solve_gll;
+        use cfpq_core::relational::solve_on_engine;
+        use cfpq_grammar::cnf::CnfOptions;
+        use cfpq_matrix::SparseEngine;
+        for seed in 0..8u64 {
+            let cfg = Cfg::parse("S -> a S b | a b | S S").unwrap();
+            let graph = generators::random_graph(8, 20, &["a", "b"], seed);
+            let rsm_store = solve_rsm_cfg(&graph, &cfg);
+            let gll_store = solve_gll(&graph, &cfg);
+            let s = cfg.symbols.get_nt("S").unwrap();
+            assert_eq!(rsm_store.pairs(s), gll_store.pairs(s), "rsm vs gll, seed {seed}");
+            let wcnf = cfg.to_wcnf(CnfOptions::default()).unwrap();
+            let idx = solve_on_engine(&SparseEngine, &graph, &wcnf);
+            let s_w = wcnf.symbols.get_nt("S").unwrap();
+            assert_eq!(rsm_store.pairs(s), idx.pairs(s_w), "rsm vs matrix, seed {seed}");
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        let cfg = Cfg::parse("S -> a").unwrap();
+        let graph = Graph::new(2);
+        let store = solve_rsm_cfg(&graph, &cfg);
+        assert_eq!(store.total(), 0);
+    }
+}

@@ -1,0 +1,128 @@
+//! Ablation benches for the design choices DESIGN.md calls out — not
+//! experiments from the paper, but measurements of the knobs the paper's
+//! four implementations differ in:
+//!
+//! * `backends`: paper-literal set matrix vs Boolean decomposition
+//!   (dense, sparse) vs the worklist baselines (Hellings, GLL) on the
+//!   classic two-cycle worst case;
+//! * `threads`: device scaling of the parallel backends (1/2/4/8
+//!   workers) — the "acceleration from the GPU increases with graph
+//!   size" axis;
+//! * `delta`: the paper's full `T ∪ T×T` squaring loop vs the semi-naive
+//!   variant that multiplies only newly-discovered entries;
+//! * `scaling`: Dyck-1 reachability as graph size grows (chain vs cycle
+//!   topology).
+
+use cfpq_baselines::{gll::solve_gll, hellings::solve_hellings};
+use cfpq_core::relational::{solve_on_engine, solve_on_engine_batched, solve_on_engine_delta, solve_set_matrix};
+use cfpq_grammar::cnf::CnfOptions;
+use cfpq_grammar::Cfg;
+use cfpq_graph::generators;
+use cfpq_graph::ontology::evaluation_suite;
+use cfpq_matrix::{Device, DenseEngine, ParDenseEngine, ParSparseEngine, SparseEngine};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn configure(group: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>) {
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+}
+
+fn bench_backends(c: &mut Criterion) {
+    let cfg = Cfg::parse("S -> a S b | a b").unwrap();
+    let wcnf = cfg.to_wcnf(CnfOptions::default()).unwrap();
+    let graph = generators::two_cycles(40, 27);
+
+    let mut group = c.benchmark_group("ablation-backends");
+    configure(&mut group);
+    group.bench_function("set-matrix", |b| {
+        b.iter(|| solve_set_matrix(&graph, &wcnf, false))
+    });
+    group.bench_function("dense", |b| {
+        b.iter(|| solve_on_engine(&DenseEngine, &graph, &wcnf))
+    });
+    group.bench_function("sparse", |b| {
+        b.iter(|| solve_on_engine(&SparseEngine, &graph, &wcnf))
+    });
+    group.bench_function("hellings", |b| b.iter(|| solve_hellings(&graph, &wcnf)));
+    group.bench_function("gll", |b| b.iter(|| solve_gll(&graph, &cfg)));
+    group.finish();
+}
+
+fn bench_threads(c: &mut Criterion) {
+    // Use g1 (the 8x funding graph): its S-products exceed the kernels'
+    // offload thresholds, so worker count actually matters. On funding-
+    // sized graphs the thresholds keep every kernel inline and the curve
+    // is flat by design.
+    let cfg = cfpq_grammar::queries::query1();
+    let wcnf = cfg.to_wcnf(CnfOptions::default()).unwrap();
+    let suite = evaluation_suite();
+    let g1 = &suite.iter().find(|d| d.name == "g1").unwrap().graph;
+
+    let mut group = c.benchmark_group("ablation-threads");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(4));
+    for workers in [1usize, 2, 4] {
+        group.bench_function(format!("sparse-par/{workers}"), |b| {
+            let e = ParSparseEngine::new(Device::new(workers));
+            b.iter(|| solve_on_engine(&e, g1, &wcnf))
+        });
+        group.bench_function(format!("sparse-par-batched/{workers}"), |b| {
+            // The §7 multi-device decomposition: one kernel per rule.
+            let e = ParSparseEngine::new(Device::new(workers));
+            b.iter(|| solve_on_engine_batched(&e, g1, &wcnf))
+        });
+    }
+    group.finish();
+}
+
+fn bench_delta(c: &mut Criterion) {
+    let cfg = cfpq_grammar::queries::query1();
+    let wcnf = cfg.to_wcnf(CnfOptions::default()).unwrap();
+    let suite = evaluation_suite();
+
+    let mut group = c.benchmark_group("ablation-delta");
+    configure(&mut group);
+    for name in ["funding", "wine"] {
+        let g = &suite.iter().find(|d| d.name == name).unwrap().graph;
+        group.bench_function(format!("{name}/naive"), |b| {
+            b.iter(|| solve_on_engine(&SparseEngine, g, &wcnf))
+        });
+        group.bench_function(format!("{name}/delta"), |b| {
+            b.iter(|| solve_on_engine_delta(&SparseEngine, g, &wcnf))
+        });
+    }
+    group.finish();
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    let cfg = Cfg::parse("S -> S S | ( S ) | ( )").unwrap();
+    let wcnf = cfg.to_wcnf(CnfOptions::default()).unwrap();
+
+    let mut group = c.benchmark_group("scaling-dyck");
+    configure(&mut group);
+    for n in [64usize, 128, 256, 512] {
+        let graph = generators::random_graph(n, 3 * n, &["(", ")", "e"], 0xD1CE + n as u64);
+        group.bench_function(format!("sparse/{n}"), |b| {
+            b.iter(|| solve_on_engine(&SparseEngine, &graph, &wcnf))
+        });
+        group.bench_function(format!("sparse-par/{n}"), |b| {
+            let e = ParSparseEngine::new(Device::host_parallel());
+            b.iter(|| solve_on_engine(&e, &graph, &wcnf))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_backends,
+    bench_threads,
+    bench_delta,
+    bench_scaling
+);
+criterion_main!(benches);

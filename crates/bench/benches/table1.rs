@@ -1,0 +1,73 @@
+//! Criterion bench regenerating Table 1 (Query 1, same-generation) per
+//! dataset × implementation.
+//!
+//! The dense backend (paper: dGPU) is benched only on the smaller
+//! ontologies; the paper itself omits dense numbers on g1–g3. The large
+//! repeated graphs g1–g3 are benched with the sparse backends and GLL,
+//! with a reduced sample count.
+
+use cfpq_baselines::gll::GllSolver;
+use cfpq_bench::Query;
+use cfpq_core::relational::solve_on_engine;
+use cfpq_grammar::cnf::CnfOptions;
+use cfpq_graph::ontology::evaluation_suite;
+use cfpq_matrix::{Device, ParDenseEngine, ParSparseEngine, SparseEngine};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench_table1(c: &mut Criterion) {
+    let cfg = Query::Q1.grammar();
+    let wcnf = cfg.to_wcnf(CnfOptions::default()).unwrap();
+    let start = cfg.start.unwrap();
+    let suite = evaluation_suite();
+
+    let mut group = c.benchmark_group("table1");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    // Small/medium ontologies: all four implementations.
+    for name in ["skos", "univ-bench", "foaf", "people-pets", "funding"] {
+        let ds = suite.iter().find(|d| d.name == name).unwrap();
+        let g = &ds.graph;
+        group.bench_function(format!("{name}/gll"), |b| {
+            b.iter(|| GllSolver::new(&cfg, g).solve(g, start))
+        });
+        group.bench_function(format!("{name}/dense-par"), |b| {
+            let e = ParDenseEngine::new(Device::host_parallel());
+            b.iter(|| solve_on_engine(&e, g, &wcnf))
+        });
+        group.bench_function(format!("{name}/sparse"), |b| {
+            b.iter(|| solve_on_engine(&SparseEngine, g, &wcnf))
+        });
+        group.bench_function(format!("{name}/sparse-par"), |b| {
+            let e = ParSparseEngine::new(Device::host_parallel());
+            b.iter(|| solve_on_engine(&e, g, &wcnf))
+        });
+    }
+    group.finish();
+
+    // Large graphs: sparse implementations only (dGPU omitted, as in the
+    // paper), fewer samples.
+    let mut group = c.benchmark_group("table1-large");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3));
+    for name in ["wine", "pizza", "g1"] {
+        let ds = suite.iter().find(|d| d.name == name).unwrap();
+        let g = &ds.graph;
+        group.bench_function(format!("{name}/sparse"), |b| {
+            b.iter(|| solve_on_engine(&SparseEngine, g, &wcnf))
+        });
+        group.bench_function(format!("{name}/sparse-par"), |b| {
+            let e = ParSparseEngine::new(Device::host_parallel());
+            b.iter(|| solve_on_engine(&e, g, &wcnf))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Criterion bench regenerating Table 2 (Query 2, adjacent layers) per
+//! dataset × implementation. Same structure as `table1.rs`; Q2 touches
+//! only `subClassOf`/`subClassOf_r`, so the answer relations are much
+//! sparser and absolute times drop accordingly — the shape the paper's
+//! Table 2 shows relative to Table 1.
+
+use cfpq_baselines::gll::GllSolver;
+use cfpq_bench::Query;
+use cfpq_core::relational::solve_on_engine;
+use cfpq_grammar::cnf::CnfOptions;
+use cfpq_graph::ontology::evaluation_suite;
+use cfpq_matrix::{Device, ParDenseEngine, ParSparseEngine, SparseEngine};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench_table2(c: &mut Criterion) {
+    let cfg = Query::Q2.grammar();
+    let wcnf = cfg.to_wcnf(CnfOptions::default()).unwrap();
+    let start = cfg.start.unwrap();
+    let suite = evaluation_suite();
+
+    let mut group = c.benchmark_group("table2");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    for name in ["skos", "univ-bench", "foaf", "people-pets", "funding"] {
+        let ds = suite.iter().find(|d| d.name == name).unwrap();
+        let g = &ds.graph;
+        group.bench_function(format!("{name}/gll"), |b| {
+            b.iter(|| GllSolver::new(&cfg, g).solve(g, start))
+        });
+        group.bench_function(format!("{name}/dense-par"), |b| {
+            let e = ParDenseEngine::new(Device::host_parallel());
+            b.iter(|| solve_on_engine(&e, g, &wcnf))
+        });
+        group.bench_function(format!("{name}/sparse"), |b| {
+            b.iter(|| solve_on_engine(&SparseEngine, g, &wcnf))
+        });
+        group.bench_function(format!("{name}/sparse-par"), |b| {
+            let e = ParSparseEngine::new(Device::host_parallel());
+            b.iter(|| solve_on_engine(&e, g, &wcnf))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("table2-large");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3));
+    for name in ["wine", "pizza", "g1"] {
+        let ds = suite.iter().find(|d| d.name == name).unwrap();
+        let g = &ds.graph;
+        group.bench_function(format!("{name}/sparse"), |b| {
+            b.iter(|| solve_on_engine(&SparseEngine, g, &wcnf))
+        });
+        group.bench_function(format!("{name}/sparse-par"), |b| {
+            let e = ParSparseEngine::new(Device::host_parallel());
+            b.iter(|| solve_on_engine(&e, g, &wcnf))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

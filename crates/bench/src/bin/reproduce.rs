@@ -1,0 +1,70 @@
+//! Regenerates the paper's evaluation tables end to end.
+//!
+//! ```text
+//! cargo run --release -p cfpq-bench --bin reproduce -- [table1|table2|all] \
+//!     [--workers N] [--json PATH]
+//! ```
+//!
+//! Prints each table in the paper's layout and optionally writes the raw
+//! rows as JSON (consumed when updating EXPERIMENTS.md). `#results` is
+//! asserted identical across GLL / dGPU / sCPU / sGPU, mirroring the
+//! paper's "All implementations … have the same #results".
+
+use cfpq_bench::{render_table, run_table, Query};
+use std::io::Write;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut which = "all".to_owned();
+    let mut workers = 0usize;
+    let mut json_path: Option<String> = None;
+
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "table1" | "table2" | "all" => which = arg,
+            "--workers" => {
+                workers = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--workers needs a number");
+            }
+            "--json" => {
+                json_path = Some(it.next().expect("--json needs a path"));
+            }
+            other => {
+                eprintln!("unknown argument `{other}`");
+                eprintln!("usage: reproduce [table1|table2|all] [--workers N] [--json PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let queries: Vec<Query> = match which.as_str() {
+        "table1" => vec![Query::Q1],
+        "table2" => vec![Query::Q2],
+        _ => vec![Query::Q1, Query::Q2],
+    };
+
+    let mut all_rows = Vec::new();
+    for q in queries {
+        eprintln!("running {} over the 14-dataset suite...", q.table_name());
+        let rows = run_table(q, workers);
+        print!("{}", render_table(q, &rows));
+        println!();
+        all_rows.push((format!("{q:?}"), rows));
+    }
+
+    if let Some(path) = json_path {
+        let json = serde_json::to_string_pretty(
+            &all_rows
+                .iter()
+                .map(|(q, rows)| serde_json::json!({ "query": q, "rows": rows }))
+                .collect::<Vec<_>>(),
+        )
+        .expect("rows serialize");
+        let mut f = std::fs::File::create(&path).expect("open json output");
+        f.write_all(json.as_bytes()).expect("write json output");
+        eprintln!("wrote {path}");
+    }
+}

@@ -1,0 +1,34 @@
+//! # cfpq-core
+//!
+//! The primary contribution of Azimov & Grigorev (EDBT 2018): context-free
+//! path query evaluation by matrix multiplication.
+//!
+//! * [`relational`] — **Algorithm 1**: relational-semantics CFPQ reduced
+//!   to the transitive closure `a_cf`, decomposed into per-nonterminal
+//!   Boolean matrices and executed on any [`cfpq_matrix::BoolEngine`]
+//!   backend (dense/sparse × serial/device-parallel), plus the
+//!   paper-literal set-matrix solver with per-iteration snapshots
+//!   (Fig. 6–8) and a semi-naive *delta* variant for the ablation benches.
+//! * [`single_path`] — §5: the length-annotated closure and witness-path
+//!   extraction (Theorem 5 machinery).
+//! * [`all_paths`] — bounded all-path enumeration, the §7 future-work
+//!   semantics, built on top of the relational index.
+//! * [`conjunctive`] — the §7 conjecture: Algorithm 1 "trivially
+//!   generalized" to conjunctive grammars, computing an upper
+//!   approximation of conjunctive reachability.
+//! * [`regular`] — regular path queries on the same matrix kernels
+//!   (the §3 baseline formalism), used as a differential oracle for
+//!   regular grammars.
+//! * [`query`] — the high-level API tying grammars, graphs and backends
+//!   together ([`query::solve`], [`query::Backend`]).
+
+pub mod all_paths;
+pub mod conjunctive;
+pub mod query;
+pub mod regular;
+pub mod relational;
+pub mod single_path;
+
+pub use query::{solve, Backend, QueryAnswer};
+pub use relational::{solve_on_engine, solve_set_matrix, RelationalIndex};
+pub use single_path::{solve_single_path, SinglePathIndex};

@@ -1,0 +1,184 @@
+//! Static grammar analysis: the classic decidable properties a query
+//! planner wants before evaluating a CFPQ — is the query language empty,
+//! which nonterminals can ever match, which symbols are dead weight.
+//!
+//! All analyses run on the general [`Cfg`] (ε/unit/long rules included)
+//! with standard monotone fixpoints.
+
+use crate::cfg::{Cfg, Symbol};
+use crate::symbol::Nt;
+use std::collections::HashSet;
+
+/// The result of [`analyze`].
+#[derive(Clone, Debug)]
+pub struct GrammarAnalysis {
+    /// Nonterminals that derive at least one terminal string (possibly ε).
+    pub productive: HashSet<Nt>,
+    /// Nonterminals reachable from the start symbol (empty if none set).
+    pub reachable: HashSet<Nt>,
+    /// Nonterminals deriving ε.
+    pub nullable: HashSet<Nt>,
+    /// True iff `L(G_start)` is empty (no start symbol counts as empty).
+    pub language_is_empty: bool,
+}
+
+/// Runs all analyses.
+pub fn analyze(cfg: &Cfg) -> GrammarAnalysis {
+    let productive = productive_set(cfg);
+    let reachable = match cfg.start {
+        Some(s) => reachable_set(cfg, s),
+        None => HashSet::new(),
+    };
+    let nullable = nullable_set(cfg);
+    let language_is_empty = match cfg.start {
+        Some(s) => !productive.contains(&s),
+        None => true,
+    };
+    GrammarAnalysis {
+        productive,
+        reachable,
+        nullable,
+        language_is_empty,
+    }
+}
+
+/// Nonterminals that derive some terminal string (the "generating" set).
+pub fn productive_set(cfg: &Cfg) -> HashSet<Nt> {
+    let mut productive: HashSet<Nt> = HashSet::new();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for p in &cfg.productions {
+            if productive.contains(&p.lhs) {
+                continue;
+            }
+            let all_ok = p.rhs.iter().all(|s| match s {
+                Symbol::T(_) => true,
+                Symbol::N(n) => productive.contains(n),
+            });
+            if all_ok {
+                productive.insert(p.lhs);
+                changed = true;
+            }
+        }
+    }
+    productive
+}
+
+/// Nonterminals reachable from `start` through production right-hand
+/// sides.
+pub fn reachable_set(cfg: &Cfg, start: Nt) -> HashSet<Nt> {
+    let mut reachable = HashSet::new();
+    let mut stack = vec![start];
+    while let Some(nt) = stack.pop() {
+        if !reachable.insert(nt) {
+            continue;
+        }
+        for p in &cfg.productions {
+            if p.lhs != nt {
+                continue;
+            }
+            for s in &p.rhs {
+                if let Symbol::N(n) = s {
+                    if !reachable.contains(n) {
+                        stack.push(*n);
+                    }
+                }
+            }
+        }
+    }
+    reachable
+}
+
+/// Nonterminals deriving ε (on the general grammar).
+pub fn nullable_set(cfg: &Cfg) -> HashSet<Nt> {
+    let mut nullable: HashSet<Nt> = HashSet::new();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for p in &cfg.productions {
+            if nullable.contains(&p.lhs) {
+                continue;
+            }
+            let all_nullable = p.rhs.iter().all(|s| match s {
+                Symbol::T(_) => false,
+                Symbol::N(n) => nullable.contains(n),
+            });
+            if all_nullable {
+                nullable.insert(p.lhs);
+                changed = true;
+            }
+        }
+    }
+    nullable
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::Cfg;
+
+    #[test]
+    fn empty_language_detected() {
+        // S only reaches U which never terminates.
+        let g = Cfg::parse("S -> U a\nU -> U b").unwrap();
+        let a = analyze(&g);
+        assert!(a.language_is_empty);
+        assert!(a.productive.is_empty());
+    }
+
+    #[test]
+    fn productive_and_reachable() {
+        let g = Cfg::parse("S -> A b\nA -> a\nDead -> Dead Dead\nIsland -> x").unwrap();
+        let a = analyze(&g);
+        let nt = |n: &str| g.symbols.get_nt(n).unwrap();
+        assert!(!a.language_is_empty);
+        assert!(a.productive.contains(&nt("S")));
+        assert!(a.productive.contains(&nt("A")));
+        assert!(a.productive.contains(&nt("Island")));
+        assert!(!a.productive.contains(&nt("Dead")));
+        assert!(a.reachable.contains(&nt("S")));
+        assert!(a.reachable.contains(&nt("A")));
+        assert!(!a.reachable.contains(&nt("Island")));
+    }
+
+    #[test]
+    fn nullable_on_general_grammar() {
+        let g = Cfg::parse("S -> A B\nA -> eps | a\nB -> A A").unwrap();
+        let a = analyze(&g);
+        let nt = |n: &str| g.symbols.get_nt(n).unwrap();
+        assert!(a.nullable.contains(&nt("S")));
+        assert!(a.nullable.contains(&nt("A")));
+        assert!(a.nullable.contains(&nt("B")));
+        let g2 = Cfg::parse("S -> a S | a").unwrap();
+        assert!(analyze(&g2).nullable.is_empty());
+    }
+
+    #[test]
+    fn nullable_agrees_with_cnf_pipeline() {
+        use crate::cnf::CnfOptions;
+        for src in [
+            "S -> A B\nA -> eps | a\nB -> b",
+            "S -> a S b | eps",
+            "S -> A\nA -> B\nB -> eps",
+        ] {
+            let g = Cfg::parse(src).unwrap();
+            let direct = nullable_set(&g);
+            let wcnf = g.to_wcnf(CnfOptions::default()).unwrap();
+            let via_pipeline: HashSet<Nt> = wcnf.nullable.iter().copied().collect();
+            // The pipeline may add synthetic nonterminals; restrict to the
+            // original namespace.
+            let original: HashSet<Nt> = via_pipeline
+                .into_iter()
+                .filter(|n| n.index() < g.symbols.n_nts())
+                .collect();
+            assert_eq!(direct, original, "grammar:\n{src}");
+        }
+    }
+
+    #[test]
+    fn no_start_is_empty() {
+        let cfg = Cfg::new();
+        assert!(analyze(&cfg).language_is_empty);
+    }
+}

@@ -1,0 +1,187 @@
+//! CYK string recognition over weak-CNF grammars.
+//!
+//! The Cocke–Younger–Kasami algorithm [13, 28] is the dynamic-programming
+//! ancestor of both Valiant's algorithm and the paper's Algorithm 1. It is
+//! used throughout this repository as the *oracle*: every path witness and
+//! every string-level cross-check is validated against CYK.
+
+use crate::symbol::{Nt, Term};
+use crate::wcnf::Wcnf;
+
+/// The full CYK table: `table[span][start]` is the set of nonterminals
+/// deriving `word[start .. start + span + 1]`, as a bitset over `Nt`
+/// indices (`u64` words).
+pub struct CykTable {
+    n_nts: usize,
+    words_per_set: usize,
+    len: usize,
+    /// Row-major: `(span, start)` → bitset.
+    bits: Vec<u64>,
+}
+
+impl CykTable {
+    /// Builds the CYK table for `word` under grammar `g`.
+    pub fn build(g: &Wcnf, word: &[Term]) -> Self {
+        let n = word.len();
+        let n_nts = g.n_nts();
+        let wps = n_nts.div_ceil(64).max(1);
+        let mut t = CykTable {
+            n_nts,
+            words_per_set: wps,
+            len: n,
+            bits: vec![0u64; n * n * wps],
+        };
+        if n == 0 {
+            return t;
+        }
+        let by_term = g.nts_by_terminal();
+        for (i, &w) in word.iter().enumerate() {
+            if let Some(nts) = by_term.get(w.index()) {
+                for &nt in nts {
+                    t.set(0, i, nt);
+                }
+            }
+        }
+        for span in 1..n {
+            for start in 0..n - span {
+                // Split word[start..start+span+1] at every midpoint.
+                for mid in 0..span {
+                    // left = (mid, start), right = (span-mid-1, start+mid+1)
+                    for r in &g.binary_rules {
+                        if t.get(mid, start, r.left)
+                            && t.get(span - mid - 1, start + mid + 1, r.right)
+                        {
+                            t.set(span, start, r.lhs);
+                        }
+                    }
+                }
+            }
+        }
+        t
+    }
+
+    #[inline]
+    fn offset(&self, span: usize, start: usize) -> usize {
+        (span * self.len + start) * self.words_per_set
+    }
+
+    /// True if `nt` derives `word[start .. start + span + 1]`.
+    #[inline]
+    pub fn get(&self, span: usize, start: usize, nt: Nt) -> bool {
+        let o = self.offset(span, start);
+        let i = nt.index();
+        debug_assert!(i < self.n_nts);
+        self.bits[o + i / 64] >> (i % 64) & 1 == 1
+    }
+
+    #[inline]
+    fn set(&mut self, span: usize, start: usize, nt: Nt) {
+        let o = self.offset(span, start);
+        let i = nt.index();
+        self.bits[o + i / 64] |= 1 << (i % 64);
+    }
+
+    /// All nonterminals deriving the whole word.
+    pub fn roots(&self) -> Vec<Nt> {
+        if self.len == 0 {
+            return Vec::new();
+        }
+        (0..self.n_nts)
+            .map(|i| Nt(i as u32))
+            .filter(|&nt| self.get(self.len - 1, 0, nt))
+            .collect()
+    }
+}
+
+/// True if `start ⇒* word` under `g`. The empty word is accepted iff
+/// `start` is recorded nullable (ε was eliminated during normalization).
+pub fn cyk_recognize(g: &Wcnf, start: Nt, word: &[Term]) -> bool {
+    if word.is_empty() {
+        return g.nullable.contains(&start);
+    }
+    let t = CykTable::build(g, word);
+    t.get(word.len() - 1, 0, start)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::Cfg;
+    use crate::cnf::CnfOptions;
+
+    fn g(src: &str) -> Wcnf {
+        Cfg::parse(src).unwrap().to_wcnf(CnfOptions::default()).unwrap()
+    }
+
+    fn w(g: &Wcnf, names: &[&str]) -> Vec<Term> {
+        names.iter().map(|n| g.symbols.get_term(n).unwrap()).collect()
+    }
+
+    #[test]
+    fn anbn() {
+        let g = g("S -> a S b | a b");
+        let s = g.symbols.get_nt("S").unwrap();
+        assert!(cyk_recognize(&g, s, &w(&g, &["a", "b"])));
+        assert!(cyk_recognize(&g, s, &w(&g, &["a", "a", "b", "b"])));
+        assert!(!cyk_recognize(&g, s, &w(&g, &["a", "b", "b"])));
+        assert!(!cyk_recognize(&g, s, &w(&g, &["b", "a"])));
+        assert!(!cyk_recognize(&g, s, &[]));
+    }
+
+    #[test]
+    fn empty_word_and_nullable() {
+        let g = g("S -> a S | eps");
+        let s = g.symbols.get_nt("S").unwrap();
+        assert!(cyk_recognize(&g, s, &[]));
+        assert!(cyk_recognize(&g, s, &w(&g, &["a", "a", "a"])));
+    }
+
+    #[test]
+    fn single_terminal() {
+        let g = g("S -> a");
+        let s = g.symbols.get_nt("S").unwrap();
+        assert!(cyk_recognize(&g, s, &w(&g, &["a"])));
+        assert!(!cyk_recognize(&g, s, &w(&g, &["a", "a"])));
+    }
+
+    #[test]
+    fn roots_reports_all_deriving_nts() {
+        let g = g("S -> A B\nA -> a\nB -> b\nC -> A B");
+        let word = w(&g, &["a", "b"]);
+        let t = CykTable::build(&g, &word);
+        let mut roots = t.roots();
+        roots.sort_unstable();
+        let mut expect = vec![
+            g.symbols.get_nt("S").unwrap(),
+            g.symbols.get_nt("C").unwrap(),
+        ];
+        expect.sort_unstable();
+        assert_eq!(roots, expect);
+    }
+
+    #[test]
+    fn ambiguous_grammar() {
+        // Dyck-1; "(()())" has several derivations but recognition is set-based.
+        let g = g("S -> ( S ) S | eps");
+        let s = g.symbols.get_nt("S").unwrap();
+        assert!(cyk_recognize(
+            &g,
+            s,
+            &w(&g, &["(", "(", ")", "(", ")", ")"])
+        ));
+        assert!(!cyk_recognize(&g, s, &w(&g, &["(", "(", ")", ")", ")"])));
+    }
+
+    #[test]
+    fn many_nonterminals_crosses_word_boundary() {
+        // Force > 64 nonterminals so the bitset spans two u64 words.
+        let mut src = String::from("S -> A0 B\nB -> b\n");
+        for i in 0..70 {
+            src.push_str(&format!("A{i} -> a\n"));
+        }
+        let g = g(&src);
+        assert!(g.n_nts() > 64);
+        let s = g.symbols.get_nt("S").unwrap();
+        assert!(cyk_recognize(&g, s, &w(&g, &["a", "b"])));
+    }
+}

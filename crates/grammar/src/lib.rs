@@ -1,0 +1,38 @@
+//! # cfpq-grammar
+//!
+//! Context-free grammar infrastructure for context-free path querying
+//! (CFPQ), as required by Azimov & Grigorev, *"Context-Free Path Querying by
+//! Matrix Multiplication"* (EDBT 2018).
+//!
+//! The crate provides:
+//!
+//! * interned grammar symbols ([`Term`], [`Nt`], [`SymbolTable`]),
+//! * a general CFG representation ([`Cfg`]) with a small text DSL
+//!   ([`Cfg::parse`]),
+//! * the full Chomsky-normal-form pipeline ([`cnf`]) producing the *weak*
+//!   CNF used by the paper (`A → BC` / `A → x`, ε-rules dropped but
+//!   recorded) as [`Wcnf`],
+//! * a CYK recognizer over strings ([`cyk`]) used as a testing oracle,
+//! * deterministic random grammar/word generators ([`random`]) for
+//!   property-based testing, and
+//! * the grammars of the paper's evaluation section ([`queries`]): the
+//!   same-generation queries Q1 (Fig. 10) and Q2 (Fig. 11), the worked
+//!   example grammar of §4.3 (Fig. 3/4) and a library of classic
+//!   context-free languages (Dyck, `aⁿbⁿ`, …).
+//!
+//! All types are deliberately free of graph/matrix concerns; the solver
+//! crates consume [`Wcnf`] only.
+
+pub mod analysis;
+pub mod cfg;
+pub mod cnf;
+pub mod cyk;
+pub mod queries;
+pub mod random;
+pub mod symbol;
+pub mod wcnf;
+
+pub use cfg::{Cfg, GrammarError, Production, Symbol};
+pub use cnf::CnfOptions;
+pub use symbol::{Nt, SymbolTable, Term};
+pub use wcnf::{BinaryRule, TermRule, Wcnf};

@@ -1,0 +1,183 @@
+//! Built-in grammars: the paper's evaluation queries and a library of
+//! classic context-free languages used by tests, examples and benches.
+//!
+//! Naming convention for inverse edge labels: the paper writes `p⁻¹`; this
+//! repository writes `p_r` (e.g. `subClassOf_r`), matching how the graph
+//! loader materializes reverse edges.
+
+use crate::cfg::Cfg;
+
+/// Query 1 of §6 (Fig. 10) — and the worked example of §4.3 (Fig. 3):
+/// the classical *same-generation* query over `subClassOf`/`type` edges.
+///
+/// ```text
+/// S → subClassOf_r S subClassOf
+/// S → type_r S type
+/// S → subClassOf_r subClassOf
+/// S → type_r type
+/// ```
+pub fn query1() -> Cfg {
+    Cfg::parse(
+        "S -> subClassOf_r S subClassOf\n\
+         S -> type_r S type\n\
+         S -> subClassOf_r subClassOf\n\
+         S -> type_r type\n",
+    )
+    .expect("query1 grammar is well-formed")
+}
+
+/// Query 2 of §6 (Fig. 11) — concepts on *adjacent* layers.
+///
+/// ```text
+/// S → B subClassOf
+/// S → subClassOf
+/// B → subClassOf_r B subClassOf
+/// B → subClassOf_r subClassOf
+/// ```
+pub fn query2() -> Cfg {
+    Cfg::parse(
+        "S -> B subClassOf\n\
+         S -> subClassOf\n\
+         B -> subClassOf_r B subClassOf\n\
+         B -> subClassOf_r subClassOf\n",
+    )
+    .expect("query2 grammar is well-formed")
+}
+
+/// The hand-normalized grammar of Fig. 4 (§4.3), written directly in weak
+/// CNF with the paper's nonterminal names `S, S1..S6`. Used by the
+/// paper-exactness tests, which replay the worked example with the exact
+/// figure-level nonterminal identities.
+pub fn fig4_normal_form() -> Cfg {
+    Cfg::parse_with_start(
+        "S -> S1 S5\n\
+         S -> S3 S6\n\
+         S -> S1 S2\n\
+         S -> S3 S4\n\
+         S5 -> S S2\n\
+         S6 -> S S4\n\
+         S1 -> subClassOf_r\n\
+         S2 -> subClassOf\n\
+         S3 -> type_r\n\
+         S4 -> type\n",
+        "S",
+    )
+    .expect("fig4 grammar is well-formed")
+}
+
+/// Dyck language with one bracket pair, *without* the empty word:
+/// `S → S S | ( S ) | ( )`. CFL-reachability workloads (static analysis
+/// motivation in §3) use this shape.
+pub fn dyck1() -> Cfg {
+    Cfg::parse("S -> S S | ( S ) | ( )").expect("dyck1 grammar is well-formed")
+}
+
+/// Dyck language with two bracket pairs `()` and `[]`, without ε.
+pub fn dyck2() -> Cfg {
+    Cfg::parse("S -> S S | ( S ) | ( ) | [ S ] | [ ]").expect("dyck2 grammar is well-formed")
+}
+
+/// `{ aⁿ bⁿ | n ≥ 1 }` — the canonical non-regular language.
+pub fn an_bn() -> Cfg {
+    Cfg::parse("S -> a S b | a b").expect("an_bn grammar is well-formed")
+}
+
+/// Generic same-generation query over a single hierarchy label `p`:
+/// `S → p_r S p | p_r p`. The "layered" navigation pattern of the
+/// bioinformatics motivation.
+pub fn same_generation(label: &str) -> Cfg {
+    Cfg::parse(&format!(
+        "S -> {label}_r S {label}\nS -> {label}_r {label}"
+    ))
+    .expect("same_generation grammar is well-formed")
+}
+
+/// A small ambiguous expression grammar, exercising heavy CNF rewriting
+/// (unit rules, long rules and terminal lifting all at once).
+pub fn arithmetic() -> Cfg {
+    Cfg::parse(
+        "E -> E + T | T\n\
+         T -> T * F | F\n\
+         F -> ( E ) | id\n",
+    )
+    .expect("arithmetic grammar is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cnf::CnfOptions;
+
+    #[test]
+    fn query_grammars_parse_and_normalize() {
+        for g in [query1(), query2(), dyck1(), dyck2(), an_bn(), arithmetic()] {
+            let w = g.to_wcnf(CnfOptions::default()).unwrap();
+            assert!(!w.binary_rules.is_empty());
+            assert!(!w.term_rules.is_empty());
+        }
+    }
+
+    #[test]
+    fn query1_has_four_terminals() {
+        let g = query1();
+        assert_eq!(g.symbols.n_terms(), 4);
+        assert_eq!(g.symbols.n_nts(), 1);
+        assert_eq!(g.productions.len(), 4);
+    }
+
+    #[test]
+    fn query2_has_two_nonterminals() {
+        let g = query2();
+        assert_eq!(g.symbols.n_nts(), 2);
+        assert_eq!(g.symbols.n_terms(), 2);
+    }
+
+    #[test]
+    fn fig4_is_already_weak_cnf() {
+        let g = fig4_normal_form();
+        let w = g.to_wcnf(CnfOptions::default()).unwrap();
+        // Normalization must be a no-op: 6 binary + 4 terminal rules, 7 nts.
+        assert_eq!(w.binary_rules.len(), 6);
+        assert_eq!(w.term_rules.len(), 4);
+        assert_eq!(w.n_nts(), 7);
+    }
+
+    #[test]
+    fn fig4_language_equals_query1_language() {
+        // G'_S is equivalent to G_S (§4.3). Spot-check on short words.
+        let w1 = query1().to_wcnf(CnfOptions::default()).unwrap();
+        let w2 = fig4_normal_form().to_wcnf(CnfOptions::default()).unwrap();
+        let s1 = w1.symbols.get_nt("S").unwrap();
+        let s2 = w2.symbols.get_nt("S").unwrap();
+        let words: &[&[&str]] = &[
+            &["subClassOf_r", "subClassOf"],
+            &["type_r", "type"],
+            &["subClassOf_r", "type_r", "type", "subClassOf"],
+            &["subClassOf_r", "subClassOf", "subClassOf"],
+            &["type_r", "subClassOf"],
+            &[],
+        ];
+        for word in words {
+            let w1_word: Vec<_> = word
+                .iter()
+                .map(|n| w1.symbols.get_term(n).unwrap())
+                .collect();
+            let w2_word: Vec<_> = word
+                .iter()
+                .map(|n| w2.symbols.get_term(n).unwrap())
+                .collect();
+            assert_eq!(
+                w1.derives(s1, &w1_word),
+                w2.derives(s2, &w2_word),
+                "disagree on {word:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn same_generation_parametrized() {
+        let g = same_generation("broaderTransitive");
+        assert!(g.symbols.get_term("broaderTransitive").is_some());
+        assert!(g.symbols.get_term("broaderTransitive_r").is_some());
+    }
+}

@@ -1,0 +1,209 @@
+//! RDF-like triple sets and their conversion to CFPQ graphs.
+//!
+//! §6 of the paper: *"each RDF file from a dataset was converted to an
+//! edge-labeled directed graph as follows. For each triple (o, p, s) from
+//! an RDF file, we added edges (o, p, s) and (s, p⁻¹, o) to the graph."*
+//!
+//! [`TripleSet`] models the RDF file (named subjects/objects, named
+//! predicates); [`TripleSet::to_graph`] performs exactly that conversion,
+//! spelling the inverse predicate `p⁻¹` as `p_r`.
+
+use crate::graph::Graph;
+use cfpq_grammar::symbol::Interner;
+use std::fmt;
+
+/// Suffix used for inverse predicates (`p⁻¹` in the paper).
+pub const INVERSE_SUFFIX: &str = "_r";
+
+/// A set of `(subject, predicate, object)` triples with interned names.
+#[derive(Clone, Debug, Default)]
+pub struct TripleSet {
+    nodes: Interner,
+    predicates: Interner,
+    triples: Vec<(u32, u32, u32)>,
+}
+
+/// Errors from the triple text parser.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TripleParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for TripleParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "triple parse error on line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for TripleParseError {}
+
+impl TripleSet {
+    /// Creates an empty triple set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of triples (the `#triples` column of Tables 1 and 2).
+    pub fn len(&self) -> usize {
+        self.triples.len()
+    }
+
+    /// True if there are no triples.
+    pub fn is_empty(&self) -> bool {
+        self.triples.is_empty()
+    }
+
+    /// Number of distinct subject/object names.
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Adds the triple `(subject, predicate, object)` by name.
+    pub fn add(&mut self, subject: &str, predicate: &str, object: &str) {
+        let s = self.nodes.intern(subject);
+        let p = self.predicates.intern(predicate);
+        let o = self.nodes.intern(object);
+        self.triples.push((s, p, o));
+    }
+
+    /// Parses the whitespace-separated `subject predicate object` line
+    /// format (one triple per line, `#` comments).
+    pub fn parse(text: &str) -> Result<Self, TripleParseError> {
+        let mut set = TripleSet::new();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = match raw.find('#') {
+                Some(i) => &raw[..i],
+                None => raw,
+            }
+            .trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let (Some(s), Some(p), Some(o), None) =
+                (parts.next(), parts.next(), parts.next(), parts.next())
+            else {
+                return Err(TripleParseError {
+                    line: lineno + 1,
+                    message: format!("expected `subject predicate object`, got `{line}`"),
+                });
+            };
+            set.add(s, p, o);
+        }
+        Ok(set)
+    }
+
+    /// Serializes to the line format parsed by [`TripleSet::parse`].
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for &(s, p, o) in &self.triples {
+            out.push_str(self.nodes.name(s).unwrap_or("?"));
+            out.push(' ');
+            out.push_str(self.predicates.name(p).unwrap_or("?"));
+            out.push(' ');
+            out.push_str(self.nodes.name(o).unwrap_or("?"));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Converts to a CFPQ graph per §6: each triple `(o, p, s)` yields the
+    /// edges `(o, p, s)` and `(s, p_r, o)`. Node ids follow the interning
+    /// order of names.
+    ///
+    /// ```
+    /// use cfpq_graph::TripleSet;
+    /// let t = TripleSet::parse("cat subClassOf animal").unwrap();
+    /// let g = t.to_graph();
+    /// assert_eq!(g.n_edges(), 2); // forward + inverse
+    /// assert!(g.get_label("subClassOf_r").is_some());
+    /// ```
+    pub fn to_graph(&self) -> Graph {
+        let mut g = Graph::new(self.nodes.len());
+        // Intern forward labels first so forward/inverse label ids are
+        // stable regardless of triple order.
+        let labels: Vec<_> = self
+            .predicates
+            .iter()
+            .map(|(_, name)| {
+                let fwd = g.label(name);
+                let inv = g.label(&format!("{name}{INVERSE_SUFFIX}"));
+                (fwd, inv)
+            })
+            .collect();
+        for &(s, p, o) in &self.triples {
+            let (fwd, inv) = labels[p as usize];
+            g.add_edge(s, fwd, o);
+            g.add_edge(o, inv, s);
+        }
+        g
+    }
+
+    /// Iterates over triples as name triples.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str, &str)> {
+        self.triples.iter().map(move |&(s, p, o)| {
+            (
+                self.nodes.name(s).unwrap_or("?"),
+                self.predicates.name(p).unwrap_or("?"),
+                self.nodes.name(o).unwrap_or("?"),
+            )
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_roundtrip() {
+        let t = TripleSet::parse("c1 subClassOf c0\ni0 type c1 # instance\n").unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.n_nodes(), 3);
+        let t2 = TripleSet::parse(&t.to_text()).unwrap();
+        assert_eq!(t2.len(), 2);
+        assert_eq!(t.to_text(), t2.to_text());
+    }
+
+    #[test]
+    fn malformed_line_is_error() {
+        let err = TripleSet::parse("a b\n").unwrap_err();
+        assert_eq!(err.line, 1);
+        let err = TripleSet::parse("a b c d\n").unwrap_err();
+        assert_eq!(err.line, 1);
+    }
+
+    #[test]
+    fn to_graph_adds_both_directions() {
+        let t = TripleSet::parse("x subClassOf y\n").unwrap();
+        let g = t.to_graph();
+        assert_eq!(g.n_nodes(), 2);
+        assert_eq!(g.n_edges(), 2, "each triple produces two edges (§6)");
+        let fwd = g.get_label("subClassOf").unwrap();
+        let inv = g.get_label("subClassOf_r").unwrap();
+        assert_eq!(g.edges_with_label(fwd).collect::<Vec<_>>(), vec![(0, 1)]);
+        assert_eq!(g.edges_with_label(inv).collect::<Vec<_>>(), vec![(1, 0)]);
+    }
+
+    #[test]
+    fn node_ids_follow_interning_order() {
+        let t = TripleSet::parse("a p b\nb p c\n").unwrap();
+        let g = t.to_graph();
+        let p = g.get_label("p").unwrap();
+        assert_eq!(
+            g.edges_with_label(p).collect::<Vec<_>>(),
+            vec![(0, 1), (1, 2)]
+        );
+    }
+
+    #[test]
+    fn self_loop_triple() {
+        let t = TripleSet::parse("n p n\n").unwrap();
+        let g = t.to_graph();
+        assert_eq!(g.n_nodes(), 1);
+        assert_eq!(g.n_edges(), 2); // forward + inverse self-loops
+    }
+}

@@ -1,0 +1,228 @@
+//! Transitive closures over set-valued matrices: `a_cf` vs `a⁺`.
+//!
+//! §2 of the paper defines two closures of a square matrix `a` over the
+//! grammar algebra:
+//!
+//! * Valiant's `a⁺ = a⁺⁽¹⁾ ∪ a⁺⁽²⁾ ∪ …` with
+//!   `a⁺⁽ⁱ⁾ = ⋃ⱼ a⁺⁽ʲ⁾ × a⁺⁽ⁱ⁻ʲ⁾`, and
+//! * the squaring closure `a_cf = a⁽¹⁾ ∪ a⁽²⁾ ∪ …` with
+//!   `a⁽ⁱ⁾ = a⁽ⁱ⁻¹⁾ ∪ (a⁽ⁱ⁻¹⁾ × a⁽ⁱ⁻¹⁾)`,
+//!
+//! and Theorem 1 proves them equal. This module computes both (the former
+//! term-by-term, the latter as the fixpoint loop of Algorithm 1) so the
+//! theorem can be checked mechanically; `squaring_closure` is also the
+//! reference implementation the `cfpq-core` solvers are validated against.
+
+use crate::setmatrix::SetMatrix;
+use cfpq_grammar::wcnf::BinaryRule;
+
+/// Result of a closure computation with iteration diagnostics.
+#[derive(Clone, Debug)]
+pub struct ClosureResult {
+    /// The closed matrix.
+    pub matrix: SetMatrix,
+    /// Number of fixpoint iterations executed (the `k` with `T_k = T_{k-1}`
+    /// in §4.3; the worked example reaches it at k = 6).
+    pub iterations: usize,
+    /// Matrix snapshots `T_0, T_1, …` per iteration if requested
+    /// (used to replay Fig. 6–8 cell by cell).
+    pub snapshots: Vec<SetMatrix>,
+}
+
+/// Computes `a_cf` by the squaring loop `T ← T ∪ (T × T)` until fixpoint —
+/// Algorithm 1 lines 8–9 in its literal, set-matrix form.
+///
+/// With `keep_snapshots`, every intermediate `T_i` (including `T_0 = a`)
+/// is recorded.
+pub fn squaring_closure(
+    a: &SetMatrix,
+    rules: &[BinaryRule],
+    keep_snapshots: bool,
+) -> ClosureResult {
+    let mut t = a.clone();
+    let mut snapshots = Vec::new();
+    if keep_snapshots {
+        snapshots.push(t.clone());
+    }
+    let mut iterations = 0;
+    loop {
+        iterations += 1;
+        let product = t.multiply(&t, rules);
+        let changed = t.union_in_place(&product);
+        if keep_snapshots {
+            snapshots.push(t.clone());
+        }
+        if !changed {
+            break;
+        }
+    }
+    ClosureResult {
+        matrix: t,
+        iterations,
+        snapshots,
+    }
+}
+
+/// Computes the partial union `⋃_{i=1..k} a⁺⁽ⁱ⁾` of Valiant's transitive
+/// closure, materializing each term `a⁺⁽ⁱ⁾` by its definition. Exponential
+/// in memory over `k` terms is avoided by storing all previous terms
+/// (`O(k)` matrices) — fine for the small matrices Theorem-1 tests use.
+pub fn valiant_closure_terms(a: &SetMatrix, rules: &[BinaryRule], k: usize) -> SetMatrix {
+    assert!(k >= 1);
+    let mut terms: Vec<SetMatrix> = vec![a.clone()];
+    let mut union = a.clone();
+    for i in 2..=k {
+        // a_+^(i) = ⋃_{j=1}^{i-1} a_+^(j) × a_+^(i-j)
+        let mut term = SetMatrix::empty(a.n(), a.n_nts());
+        for j in 1..i {
+            let product = terms[j - 1].multiply(&terms[i - j - 1], rules);
+            term.union_in_place(&product);
+        }
+        union.union_in_place(&term);
+        terms.push(term);
+    }
+    union
+}
+
+/// Checks Theorem 1 on a concrete instance: iterates Valiant's union until
+/// it reaches `a_cf` (or `max_k` terms), returning the number of terms
+/// needed. `None` means the bound was hit — a test failure upstream.
+pub fn theorem1_terms_needed(
+    a: &SetMatrix,
+    rules: &[BinaryRule],
+    max_k: usize,
+) -> Option<usize> {
+    let target = squaring_closure(a, rules, false).matrix;
+    for k in 1..=max_k {
+        let u = valiant_closure_terms(a, rules, k);
+        // Lemma 2.1 direction: the partial union never exceeds a_cf.
+        assert!(
+            target.dominates(&u),
+            "a+ partial union exceeded a_cf — contradiction with Lemma 2.1"
+        );
+        if u == target {
+            return Some(k);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfpq_grammar::cnf::CnfOptions;
+    use cfpq_grammar::random::{random_wcnf, RandomGrammarConfig};
+    use cfpq_grammar::{Cfg, Wcnf};
+
+    fn an_bn() -> Wcnf {
+        Cfg::parse("S -> a S b | a b")
+            .unwrap()
+            .to_wcnf(CnfOptions::default())
+            .unwrap()
+    }
+
+    /// Initializes a set matrix from labeled edges using terminal rules,
+    /// mirroring Algorithm 1 lines 6–7 for a tiny inline "graph".
+    fn init(g: &Wcnf, n: usize, edges: &[(u32, &str, u32)]) -> SetMatrix {
+        let mut m = SetMatrix::empty(n, g.n_nts());
+        for &(i, label, j) in edges {
+            let t = g.symbols.get_term(label).unwrap();
+            for r in &g.term_rules {
+                if r.term == t {
+                    m.insert(i, j, r.lhs);
+                }
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn squaring_closure_on_chain() {
+        // Chain a a b b: S spans (0,4) and (1,3).
+        let g = an_bn();
+        let s = g.symbols.get_nt("S").unwrap();
+        let m = init(
+            &g,
+            5,
+            &[(0, "a", 1), (1, "a", 2), (2, "b", 3), (3, "b", 4)],
+        );
+        let r = squaring_closure(&m, &g.binary_rules, false);
+        assert!(r.matrix.contains(0, 4, s));
+        assert!(r.matrix.contains(1, 3, s));
+        assert!(!r.matrix.contains(0, 3, s));
+        assert!(!r.matrix.contains(1, 4, s));
+    }
+
+    #[test]
+    fn closure_is_idempotent() {
+        let g = an_bn();
+        let m = init(&g, 3, &[(0, "a", 1), (1, "b", 2), (2, "a", 0)]);
+        let once = squaring_closure(&m, &g.binary_rules, false).matrix;
+        let twice = squaring_closure(&once, &g.binary_rules, false).matrix;
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn snapshots_are_monotone() {
+        let g = an_bn();
+        let m = init(
+            &g,
+            4,
+            &[(0, "a", 1), (1, "a", 2), (2, "b", 3), (3, "b", 0)],
+        );
+        let r = squaring_closure(&m, &g.binary_rules, true);
+        assert_eq!(r.snapshots.len(), r.iterations + 1);
+        for w in r.snapshots.windows(2) {
+            assert!(w[1].dominates(&w[0]), "T_{{i+1}} ⪰ T_i");
+        }
+        assert_eq!(r.snapshots.last().unwrap(), &r.matrix);
+    }
+
+    #[test]
+    fn theorem1_on_cycle_instance() {
+        // A cyclic instance — the case Yannakakis conjectured Valiant's
+        // technique would not generalize to (§3).
+        let g = an_bn();
+        let m = init(
+            &g,
+            4,
+            &[(0, "a", 1), (1, "a", 2), (2, "b", 3), (3, "b", 0), (0, "b", 0)],
+        );
+        let k = theorem1_terms_needed(&m, &g.binary_rules, 64);
+        assert!(k.is_some(), "a+ must converge to a_cf (Theorem 1)");
+    }
+
+    #[test]
+    fn theorem1_on_random_instances() {
+        for seed in 0..10u64 {
+            let g = random_wcnf(seed, RandomGrammarConfig::default());
+            let n = 4usize;
+            let mut m = SetMatrix::empty(n, g.n_nts());
+            // Random initialization from terminal rules.
+            let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+            let mut next = || {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                state >> 33
+            };
+            for _ in 0..6 {
+                let i = (next() % n as u64) as u32;
+                let j = (next() % n as u64) as u32;
+                let r = &g.term_rules[(next() as usize) % g.term_rules.len()];
+                m.insert(i, j, r.lhs);
+            }
+            let k = theorem1_terms_needed(&m, &g.binary_rules, 128);
+            assert!(k.is_some(), "Theorem 1 failed for seed {seed}");
+        }
+    }
+
+    #[test]
+    fn empty_matrix_closure_is_empty() {
+        let g = an_bn();
+        let m = SetMatrix::empty(3, g.n_nts());
+        let r = squaring_closure(&m, &g.binary_rules, false);
+        assert_eq!(r.matrix.total_entries(), 0);
+        assert_eq!(r.iterations, 1);
+    }
+}

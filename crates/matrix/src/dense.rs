@@ -1,0 +1,353 @@
+//! Dense Boolean matrices: row-major bitsets over `u64` words.
+//!
+//! This is the representation the paper's dGPU implementation uses
+//! ("row-major order for general matrix representation"). Multiplication
+//! is the classic bitset kernel: for every set bit `(i, k)` of `A`, OR row
+//! `k` of `B` into row `i` of `C` — `O(n²·n/64)` word operations.
+
+use crate::device::Device;
+
+/// A dense `n × n` Boolean matrix stored as row-major bitset.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct DenseBitMatrix {
+    n: usize,
+    /// Words per row (`ceil(n / 64)`).
+    wpr: usize,
+    bits: Vec<u64>,
+}
+
+impl DenseBitMatrix {
+    /// Creates the zero matrix of size `n × n`.
+    pub fn zeros(n: usize) -> Self {
+        let wpr = n.div_ceil(64).max(1);
+        Self {
+            n,
+            wpr,
+            bits: vec![0; n * wpr],
+        }
+    }
+
+    /// Creates the identity matrix of size `n × n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n);
+        for i in 0..n as u32 {
+            m.set(i, i);
+        }
+        m
+    }
+
+    /// Builds a matrix from `(row, col)` pairs.
+    pub fn from_pairs(n: usize, pairs: &[(u32, u32)]) -> Self {
+        let mut m = Self::zeros(n);
+        for &(i, j) in pairs {
+            m.set(i, j);
+        }
+        m
+    }
+
+    /// Matrix dimension `n`.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Words per row.
+    #[inline]
+    pub fn words_per_row(&self) -> usize {
+        self.wpr
+    }
+
+    /// Sets bit `(i, j)`.
+    #[inline]
+    pub fn set(&mut self, i: u32, j: u32) {
+        debug_assert!((i as usize) < self.n && (j as usize) < self.n);
+        self.bits[i as usize * self.wpr + j as usize / 64] |= 1u64 << (j % 64);
+    }
+
+    /// Reads bit `(i, j)`.
+    #[inline]
+    pub fn get(&self, i: u32, j: u32) -> bool {
+        self.bits[i as usize * self.wpr + j as usize / 64] >> (j % 64) & 1 == 1
+    }
+
+    /// The words of row `i`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[u64] {
+        &self.bits[i * self.wpr..(i + 1) * self.wpr]
+    }
+
+    /// Number of set bits.
+    pub fn nnz(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// All set `(row, col)` pairs in row-major order.
+    pub fn pairs(&self) -> Vec<(u32, u32)> {
+        let mut out = Vec::with_capacity(self.nnz());
+        for i in 0..self.n {
+            for (wi, &word) in self.row(i).iter().enumerate() {
+                let mut word = word;
+                while word != 0 {
+                    let j = wi * 64 + word.trailing_zeros() as usize;
+                    word &= word - 1;
+                    out.push((i as u32, j as u32));
+                }
+            }
+        }
+        out
+    }
+
+    /// Set columns of row `i`, ascending.
+    pub fn row_indices(&self, i: usize) -> Vec<u32> {
+        let mut out = Vec::new();
+        for (wi, &word) in self.row(i).iter().enumerate() {
+            let mut word = word;
+            while word != 0 {
+                out.push((wi * 64) as u32 + word.trailing_zeros());
+                word &= word - 1;
+            }
+        }
+        out
+    }
+
+    /// `self |= other`; returns `true` if any bit changed. This is the
+    /// matrix union of Algorithm 1 line 9.
+    pub fn union_in_place(&mut self, other: &DenseBitMatrix) -> bool {
+        assert_eq!(self.n, other.n, "dimension mismatch");
+        let mut changed = 0u64;
+        for (a, &b) in self.bits.iter_mut().zip(other.bits.iter()) {
+            changed |= b & !*a;
+            *a |= b;
+        }
+        changed != 0
+    }
+
+    /// Boolean matrix product `self × other` (serial kernel).
+    ///
+    /// ```
+    /// use cfpq_matrix::DenseBitMatrix;
+    /// let a = DenseBitMatrix::from_pairs(3, &[(0, 1)]);
+    /// let b = DenseBitMatrix::from_pairs(3, &[(1, 2)]);
+    /// assert_eq!(a.multiply(&b).pairs(), vec![(0, 2)]); // path composition
+    /// ```
+    pub fn multiply(&self, other: &DenseBitMatrix) -> DenseBitMatrix {
+        assert_eq!(self.n, other.n, "dimension mismatch");
+        let mut c = DenseBitMatrix::zeros(self.n);
+        multiply_rows(self, other, 0, &mut c.bits);
+        c
+    }
+
+    /// Boolean matrix product with row blocks computed in parallel on the
+    /// `device` pool.
+    ///
+    /// Small matrices run serially: kernel dispatch has a fixed latency
+    /// (as GPU offload pays launch/transfer costs), so offloading only
+    /// pays off past a size threshold.
+    pub fn multiply_on(&self, other: &DenseBitMatrix, device: &Device) -> DenseBitMatrix {
+        assert_eq!(self.n, other.n, "dimension mismatch");
+        const OFFLOAD_THRESHOLD_N: usize = 192;
+        if device.n_workers() == 1 || self.n < OFFLOAD_THRESHOLD_N {
+            return self.multiply(other);
+        }
+        let mut c = DenseBitMatrix::zeros(self.n);
+        if self.n == 0 {
+            return c;
+        }
+        let rows_per = self.n.div_ceil(device.n_workers()).max(1);
+        let wpr = self.wpr;
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = c
+            .bits
+            .chunks_mut(rows_per * wpr)
+            .enumerate()
+            .map(|(chunk_idx, chunk)| {
+                let first_row = chunk_idx * rows_per;
+                Box::new(move || multiply_rows(self, other, first_row, chunk))
+                    as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        device.run_scoped(tasks);
+        c
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> DenseBitMatrix {
+        let mut t = DenseBitMatrix::zeros(self.n);
+        for (i, j) in self.pairs() {
+            t.set(j, i);
+        }
+        t
+    }
+
+    /// True if no bit is set.
+    pub fn is_zero(&self) -> bool {
+        self.bits.iter().all(|&w| w == 0)
+    }
+}
+
+/// Computes rows `first_row ..` of `a × b` into `out` (a slice of whole
+/// rows, `out.len() / a.wpr` rows long). Shared by the serial and
+/// device-parallel kernels.
+fn multiply_rows(a: &DenseBitMatrix, b: &DenseBitMatrix, first_row: usize, out: &mut [u64]) {
+    let wpr = a.wpr;
+    for (local_i, crow) in out.chunks_mut(wpr).enumerate() {
+        let i = first_row + local_i;
+        for (wi, &aw) in a.row(i).iter().enumerate() {
+            let mut aw = aw;
+            while aw != 0 {
+                let k = wi * 64 + aw.trailing_zeros() as usize;
+                aw &= aw - 1;
+                let brow = b.row(k);
+                for (cw, &bw) in crow.iter_mut().zip(brow.iter()) {
+                    *cw |= bw;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut m = DenseBitMatrix::zeros(100);
+        m.set(0, 0);
+        m.set(63, 64);
+        m.set(99, 99);
+        assert!(m.get(0, 0) && m.get(63, 64) && m.get(99, 99));
+        assert!(!m.get(0, 1));
+        assert_eq!(m.nnz(), 3);
+        assert_eq!(m.pairs(), vec![(0, 0), (63, 64), (99, 99)]);
+    }
+
+    #[test]
+    fn identity_multiplication() {
+        let m = DenseBitMatrix::from_pairs(10, &[(1, 2), (3, 4), (9, 0)]);
+        let id = DenseBitMatrix::identity(10);
+        assert_eq!(m.multiply(&id), m);
+        assert_eq!(id.multiply(&m), m);
+    }
+
+    #[test]
+    fn small_product() {
+        // Path 0 -> 1 -> 2 composes to 0 -> 2.
+        let a = DenseBitMatrix::from_pairs(3, &[(0, 1)]);
+        let b = DenseBitMatrix::from_pairs(3, &[(1, 2)]);
+        let c = a.multiply(&b);
+        assert_eq!(c.pairs(), vec![(0, 2)]);
+    }
+
+    #[test]
+    fn product_matches_naive_reference() {
+        // Pseudo-random matrices vs an O(n^3) triple loop.
+        let n = 70usize;
+        let mut a = DenseBitMatrix::zeros(n);
+        let mut b = DenseBitMatrix::zeros(n);
+        let mut state = 0x12345678u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        for _ in 0..300 {
+            a.set((next() % n as u64) as u32, (next() % n as u64) as u32);
+            b.set((next() % n as u64) as u32, (next() % n as u64) as u32);
+        }
+        let c = a.multiply(&b);
+        for i in 0..n as u32 {
+            for j in 0..n as u32 {
+                let expect = (0..n as u32).any(|k| a.get(i, k) && b.get(k, j));
+                assert_eq!(c.get(i, j), expect, "cell ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_product_equals_serial() {
+        let n = 130usize;
+        let mut a = DenseBitMatrix::zeros(n);
+        let mut b = DenseBitMatrix::zeros(n);
+        for i in 0..n as u32 {
+            a.set(i, (i * 7 + 3) % n as u32);
+            a.set(i, (i * 13 + 1) % n as u32);
+            b.set(i, (i * 5 + 2) % n as u32);
+        }
+        let serial = a.multiply(&b);
+        for workers in [1, 2, 3, 8] {
+            let device = Device::new(workers);
+            assert_eq!(a.multiply_on(&b, &device), serial, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn union_detects_change() {
+        let mut a = DenseBitMatrix::from_pairs(5, &[(0, 1)]);
+        let b = DenseBitMatrix::from_pairs(5, &[(0, 1), (2, 3)]);
+        assert!(a.union_in_place(&b));
+        assert!(!a.union_in_place(&b), "second union is a no-op");
+        assert_eq!(a.nnz(), 2);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = DenseBitMatrix::from_pairs(8, &[(0, 7), (3, 3), (5, 1)]);
+        assert_eq!(m.transpose().transpose(), m);
+        assert!(m.transpose().get(7, 0));
+    }
+
+    #[test]
+    fn zero_sized_matrix() {
+        let m = DenseBitMatrix::zeros(0);
+        let c = m.multiply(&m);
+        assert_eq!(c.n(), 0);
+        assert!(c.is_zero());
+        let d = Device::new(4);
+        assert_eq!(m.multiply_on(&m, &d).n(), 0);
+    }
+
+    #[test]
+    fn row_indices_sorted() {
+        let m = DenseBitMatrix::from_pairs(130, &[(1, 100), (1, 3), (1, 64)]);
+        assert_eq!(m.row_indices(1), vec![3, 64, 100]);
+        assert!(m.row_indices(0).is_empty());
+    }
+}
+
+impl DenseBitMatrix {
+    /// `self \ other` — bits set in `self` but not `other`. Used by the
+    /// semi-naive (delta) closure variant in `cfpq-core`.
+    pub fn difference(&self, other: &DenseBitMatrix) -> DenseBitMatrix {
+        assert_eq!(self.n, other.n, "dimension mismatch");
+        let mut out = self.clone();
+        for (a, &b) in out.bits.iter_mut().zip(other.bits.iter()) {
+            *a &= !b;
+        }
+        out
+    }
+
+    /// `self ∩ other` — bitwise AND. Used by the conjunctive-grammar
+    /// extension in `cfpq-core`.
+    pub fn intersect(&self, other: &DenseBitMatrix) -> DenseBitMatrix {
+        assert_eq!(self.n, other.n, "dimension mismatch");
+        let mut out = self.clone();
+        for (a, &b) in out.bits.iter_mut().zip(other.bits.iter()) {
+            *a &= b;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod setops_tests {
+    use super::*;
+
+    #[test]
+    fn difference_and_intersect() {
+        let a = DenseBitMatrix::from_pairs(4, &[(0, 1), (2, 3), (3, 3)]);
+        let b = DenseBitMatrix::from_pairs(4, &[(2, 3), (1, 1)]);
+        assert_eq!(a.difference(&b).pairs(), vec![(0, 1), (3, 3)]);
+        assert_eq!(a.intersect(&b).pairs(), vec![(2, 3)]);
+        assert!(a.difference(&a).is_zero());
+        assert_eq!(a.intersect(&a), a);
+    }
+}

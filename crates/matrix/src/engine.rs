@@ -1,0 +1,287 @@
+//! The backend abstraction: which matrix representation runs the Boolean
+//! kernels, and on what device.
+//!
+//! The paper's evaluation compares four implementations that differ *only*
+//! in this layer (§6): dense vs CSR representation × CPU vs GPU execution.
+//! [`BoolEngine`] captures exactly that degree of freedom, so a single
+//! generic solver in `cfpq-core` yields all four columns of Tables 1/2:
+//!
+//! | paper | engine |
+//! |---|---|
+//! | dGPU | [`ParDenseEngine`] (dense, device-parallel) |
+//! | sCPU | [`SparseEngine`] (CSR, serial) |
+//! | sGPU | [`ParSparseEngine`] (CSR, device-parallel) |
+//! | — | [`DenseEngine`] (dense, serial; ablation baseline) |
+
+use crate::dense::DenseBitMatrix;
+use crate::device::Device;
+use crate::sparse::CsrMatrix;
+
+/// Minimal Boolean-matrix interface required by the solvers.
+pub trait BoolMat: Clone + PartialEq + Send + Sync {
+    /// Matrix dimension `n`.
+    fn n(&self) -> usize;
+    /// Reads bit `(i, j)`.
+    fn get(&self, i: u32, j: u32) -> bool;
+    /// Number of set bits (`#results` per nonterminal in Table 1/2 terms).
+    fn nnz(&self) -> usize;
+    /// All set `(row, col)` pairs in row-major order.
+    fn pairs(&self) -> Vec<(u32, u32)>;
+}
+
+impl BoolMat for DenseBitMatrix {
+    fn n(&self) -> usize {
+        DenseBitMatrix::n(self)
+    }
+    fn get(&self, i: u32, j: u32) -> bool {
+        DenseBitMatrix::get(self, i, j)
+    }
+    fn nnz(&self) -> usize {
+        DenseBitMatrix::nnz(self)
+    }
+    fn pairs(&self) -> Vec<(u32, u32)> {
+        DenseBitMatrix::pairs(self)
+    }
+}
+
+impl BoolMat for CsrMatrix {
+    fn n(&self) -> usize {
+        CsrMatrix::n(self)
+    }
+    fn get(&self, i: u32, j: u32) -> bool {
+        CsrMatrix::get(self, i, j)
+    }
+    fn nnz(&self) -> usize {
+        CsrMatrix::nnz(self)
+    }
+    fn pairs(&self) -> Vec<(u32, u32)> {
+        CsrMatrix::pairs(self)
+    }
+}
+
+/// A matrix backend: representation + execution strategy.
+pub trait BoolEngine: Send + Sync {
+    /// The matrix type this engine operates on.
+    type Matrix: BoolMat;
+
+    /// Human-readable backend name (appears in reports/benches).
+    fn name(&self) -> &'static str;
+
+    /// The zero matrix of size `n × n`.
+    fn zeros(&self, n: usize) -> Self::Matrix;
+
+    /// Builds a matrix from `(row, col)` pairs.
+    fn from_pairs(&self, n: usize, pairs: &[(u32, u32)]) -> Self::Matrix;
+
+    /// Boolean matrix product.
+    fn multiply(&self, a: &Self::Matrix, b: &Self::Matrix) -> Self::Matrix;
+
+    /// `a |= b`; returns `true` if `a` changed (fixpoint detection,
+    /// Algorithm 1 line 8).
+    fn union_in_place(&self, a: &mut Self::Matrix, b: &Self::Matrix) -> bool;
+
+    /// `a \ b` — entries of `a` absent from `b` (semi-naive delta loop).
+    fn difference(&self, a: &Self::Matrix, b: &Self::Matrix) -> Self::Matrix;
+
+    /// `a ∩ b` — entrywise conjunction (conjunctive-grammar extension).
+    fn intersect(&self, a: &Self::Matrix, b: &Self::Matrix) -> Self::Matrix;
+
+    /// Computes several independent products. The default runs them
+    /// sequentially; device-backed engines dispatch one (serial) kernel
+    /// per job to the pool, exploiting inter-rule independence within a
+    /// fixpoint sweep (the paper's §7 multi-device remark).
+    fn multiply_batch(&self, jobs: &[(&Self::Matrix, &Self::Matrix)]) -> Vec<Self::Matrix> {
+        jobs.iter().map(|(a, b)| self.multiply(a, b)).collect()
+    }
+}
+
+/// Serial dense backend.
+#[derive(Clone, Debug, Default)]
+pub struct DenseEngine;
+
+impl BoolEngine for DenseEngine {
+    type Matrix = DenseBitMatrix;
+
+    fn name(&self) -> &'static str {
+        "dense"
+    }
+    fn zeros(&self, n: usize) -> DenseBitMatrix {
+        DenseBitMatrix::zeros(n)
+    }
+    fn from_pairs(&self, n: usize, pairs: &[(u32, u32)]) -> DenseBitMatrix {
+        DenseBitMatrix::from_pairs(n, pairs)
+    }
+    fn multiply(&self, a: &DenseBitMatrix, b: &DenseBitMatrix) -> DenseBitMatrix {
+        a.multiply(b)
+    }
+    fn union_in_place(&self, a: &mut DenseBitMatrix, b: &DenseBitMatrix) -> bool {
+        a.union_in_place(b)
+    }
+    fn difference(&self, a: &DenseBitMatrix, b: &DenseBitMatrix) -> DenseBitMatrix {
+        a.difference(b)
+    }
+    fn intersect(&self, a: &DenseBitMatrix, b: &DenseBitMatrix) -> DenseBitMatrix {
+        a.intersect(b)
+    }
+}
+
+/// Device-parallel dense backend — the stand-in for the paper's dGPU.
+#[derive(Clone, Debug)]
+pub struct ParDenseEngine {
+    /// The execution device.
+    pub device: Device,
+}
+
+impl ParDenseEngine {
+    /// Creates the backend with the given device.
+    pub fn new(device: Device) -> Self {
+        Self { device }
+    }
+}
+
+impl BoolEngine for ParDenseEngine {
+    type Matrix = DenseBitMatrix;
+
+    fn name(&self) -> &'static str {
+        "dense-par"
+    }
+    fn zeros(&self, n: usize) -> DenseBitMatrix {
+        DenseBitMatrix::zeros(n)
+    }
+    fn from_pairs(&self, n: usize, pairs: &[(u32, u32)]) -> DenseBitMatrix {
+        DenseBitMatrix::from_pairs(n, pairs)
+    }
+    fn multiply(&self, a: &DenseBitMatrix, b: &DenseBitMatrix) -> DenseBitMatrix {
+        a.multiply_on(b, &self.device)
+    }
+    fn union_in_place(&self, a: &mut DenseBitMatrix, b: &DenseBitMatrix) -> bool {
+        a.union_in_place(b)
+    }
+    fn difference(&self, a: &DenseBitMatrix, b: &DenseBitMatrix) -> DenseBitMatrix {
+        a.difference(b)
+    }
+    fn intersect(&self, a: &DenseBitMatrix, b: &DenseBitMatrix) -> DenseBitMatrix {
+        a.intersect(b)
+    }
+    fn multiply_batch(&self, jobs: &[(&DenseBitMatrix, &DenseBitMatrix)]) -> Vec<DenseBitMatrix> {
+        // One serial kernel per job; no nested offload (see Device docs).
+        self.device
+            .par_map(jobs.to_vec(), |(a, b)| a.multiply(b))
+    }
+}
+
+/// Serial CSR backend — the stand-in for the paper's sCPU.
+#[derive(Clone, Debug, Default)]
+pub struct SparseEngine;
+
+impl BoolEngine for SparseEngine {
+    type Matrix = CsrMatrix;
+
+    fn name(&self) -> &'static str {
+        "sparse"
+    }
+    fn zeros(&self, n: usize) -> CsrMatrix {
+        CsrMatrix::zeros(n)
+    }
+    fn from_pairs(&self, n: usize, pairs: &[(u32, u32)]) -> CsrMatrix {
+        CsrMatrix::from_pairs(n, pairs)
+    }
+    fn multiply(&self, a: &CsrMatrix, b: &CsrMatrix) -> CsrMatrix {
+        a.multiply(b)
+    }
+    fn union_in_place(&self, a: &mut CsrMatrix, b: &CsrMatrix) -> bool {
+        a.union_in_place(b)
+    }
+    fn difference(&self, a: &CsrMatrix, b: &CsrMatrix) -> CsrMatrix {
+        a.difference(b)
+    }
+    fn intersect(&self, a: &CsrMatrix, b: &CsrMatrix) -> CsrMatrix {
+        a.intersect(b)
+    }
+}
+
+/// Device-parallel CSR backend — the stand-in for the paper's sGPU.
+#[derive(Clone, Debug)]
+pub struct ParSparseEngine {
+    /// The execution device.
+    pub device: Device,
+}
+
+impl ParSparseEngine {
+    /// Creates the backend with the given device.
+    pub fn new(device: Device) -> Self {
+        Self { device }
+    }
+}
+
+impl BoolEngine for ParSparseEngine {
+    type Matrix = CsrMatrix;
+
+    fn name(&self) -> &'static str {
+        "sparse-par"
+    }
+    fn zeros(&self, n: usize) -> CsrMatrix {
+        CsrMatrix::zeros(n)
+    }
+    fn from_pairs(&self, n: usize, pairs: &[(u32, u32)]) -> CsrMatrix {
+        CsrMatrix::from_pairs(n, pairs)
+    }
+    fn multiply(&self, a: &CsrMatrix, b: &CsrMatrix) -> CsrMatrix {
+        a.multiply_on(b, &self.device)
+    }
+    fn union_in_place(&self, a: &mut CsrMatrix, b: &CsrMatrix) -> bool {
+        a.union_in_place(b)
+    }
+    fn difference(&self, a: &CsrMatrix, b: &CsrMatrix) -> CsrMatrix {
+        a.difference(b)
+    }
+    fn intersect(&self, a: &CsrMatrix, b: &CsrMatrix) -> CsrMatrix {
+        a.intersect(b)
+    }
+    fn multiply_batch(&self, jobs: &[(&CsrMatrix, &CsrMatrix)]) -> Vec<CsrMatrix> {
+        // One serial kernel per job; no nested offload (see Device docs).
+        self.device
+            .par_map(jobs.to_vec(), |(a, b)| a.multiply(b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_engine<E: BoolEngine>(e: &E) {
+        let a = e.from_pairs(5, &[(0, 1), (4, 4)]);
+        let b = e.from_pairs(5, &[(1, 2), (4, 4)]);
+        let c = e.multiply(&a, &b);
+        assert_eq!(c.pairs(), vec![(0, 2), (4, 4)]);
+        let mut acc = e.zeros(5);
+        assert!(e.union_in_place(&mut acc, &c));
+        assert!(!e.union_in_place(&mut acc, &c));
+        assert_eq!(acc.nnz(), 2);
+        assert!(acc.get(0, 2));
+        let diff = e.difference(&acc, &e.from_pairs(5, &[(0, 2)]));
+        assert_eq!(diff.pairs(), vec![(4, 4)]);
+        let inter = e.intersect(&acc, &e.from_pairs(5, &[(0, 2), (1, 1)]));
+        assert_eq!(inter.pairs(), vec![(0, 2)]);
+        let batch = e.multiply_batch(&[(&a, &b), (&b, &a)]);
+        assert_eq!(batch.len(), 2);
+        assert_eq!(batch[0].pairs(), e.multiply(&a, &b).pairs());
+        assert_eq!(batch[1].pairs(), e.multiply(&b, &a).pairs());
+    }
+
+    #[test]
+    fn all_engines_behave_identically() {
+        check_engine(&DenseEngine);
+        check_engine(&SparseEngine);
+        check_engine(&ParDenseEngine::new(Device::new(3)));
+        check_engine(&ParSparseEngine::new(Device::new(3)));
+    }
+
+    #[test]
+    fn engine_names() {
+        assert_eq!(DenseEngine.name(), "dense");
+        assert_eq!(SparseEngine.name(), "sparse");
+        assert_eq!(ParDenseEngine::new(Device::new(2)).name(), "dense-par");
+        assert_eq!(ParSparseEngine::new(Device::new(2)).name(), "sparse-par");
+    }
+}

@@ -1,0 +1,33 @@
+//! # cfpq-matrix
+//!
+//! Boolean and set-valued matrix kernels — the computational core of the
+//! paper. Algorithm 1 reduces CFPQ to a transitive closure whose inner
+//! loop is matrix multiplication; Valiant's observation (§3) decomposes
+//! the set-valued product into `|N|²` *Boolean* matrix multiplications.
+//! This crate provides both layers:
+//!
+//! * [`DenseBitMatrix`] — row-major bitset matrix (the paper's dGPU
+//!   representation, "row-major order for general matrix representation"),
+//! * [`CsrMatrix`] — Boolean CSR (the paper's sCPU/sGPU representation),
+//! * [`Device`] — a multi-worker execution device standing in for the GPU
+//!   (see DESIGN.md §3 on this substitution),
+//! * [`engine`] — the [`engine::BoolEngine`] abstraction the solvers are
+//!   generic over: serial/parallel × dense/sparse backends,
+//! * [`SetMatrix`] — the paper-literal matrix whose elements are subsets
+//!   of `N`, with the element product `N1 · N2 = {A | A → BC, B ∈ N1,
+//!   C ∈ N2}` of §2,
+//! * [`closure`] — the `a_cf` squaring closure and the `a⁺` Valiant-style
+//!   closure whose equivalence is Theorem 1.
+
+pub mod closure;
+pub mod dense;
+pub mod device;
+pub mod engine;
+pub mod setmatrix;
+pub mod sparse;
+
+pub use dense::DenseBitMatrix;
+pub use device::Device;
+pub use engine::{BoolEngine, BoolMat, DenseEngine, ParDenseEngine, ParSparseEngine, SparseEngine};
+pub use setmatrix::SetMatrix;
+pub use sparse::CsrMatrix;

@@ -1,0 +1,262 @@
+//! The paper-literal matrix: elements are subsets of the nonterminal set.
+//!
+//! §2 defines multiplication of such matrices through the element product
+//! `N1 · N2 = {A | ∃B ∈ N1, ∃C ∈ N2 : (A → BC) ∈ P}` with set union as
+//! addition. [`SetMatrix`] implements exactly that algebra; the Boolean
+//! decomposition in [`crate::engine`] is the optimized equivalent, and the
+//! two are cross-checked in `cfpq-core`'s tests.
+//!
+//! Cells are bitsets over nonterminal indices (`words_per_cell` `u64`
+//! words), so any |N| is supported.
+
+use cfpq_grammar::wcnf::BinaryRule;
+use cfpq_grammar::{Nt, SymbolTable};
+
+/// An `n × n` matrix whose elements are nonterminal sets.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SetMatrix {
+    n: usize,
+    n_nts: usize,
+    /// Words per cell (`ceil(n_nts / 64)`).
+    wpc: usize,
+    bits: Vec<u64>,
+}
+
+impl SetMatrix {
+    /// Creates the matrix of empty sets.
+    pub fn empty(n: usize, n_nts: usize) -> Self {
+        let wpc = n_nts.div_ceil(64).max(1);
+        Self {
+            n,
+            n_nts,
+            wpc,
+            bits: vec![0; n * n * wpc],
+        }
+    }
+
+    /// Matrix dimension.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of nonterminals the cells range over.
+    pub fn n_nts(&self) -> usize {
+        self.n_nts
+    }
+
+    #[inline]
+    fn cell_offset(&self, i: u32, j: u32) -> usize {
+        (i as usize * self.n + j as usize) * self.wpc
+    }
+
+    /// Inserts `nt` into cell `(i, j)`.
+    #[inline]
+    pub fn insert(&mut self, i: u32, j: u32, nt: Nt) {
+        let o = self.cell_offset(i, j);
+        debug_assert!(nt.index() < self.n_nts);
+        self.bits[o + nt.index() / 64] |= 1u64 << (nt.index() % 64);
+    }
+
+    /// True if `nt ∈ cell(i, j)`.
+    #[inline]
+    pub fn contains(&self, i: u32, j: u32, nt: Nt) -> bool {
+        let o = self.cell_offset(i, j);
+        self.bits[o + nt.index() / 64] >> (nt.index() % 64) & 1 == 1
+    }
+
+    /// The cell `(i, j)` as a sorted vector of nonterminals.
+    pub fn cell(&self, i: u32, j: u32) -> Vec<Nt> {
+        let o = self.cell_offset(i, j);
+        let mut out = Vec::new();
+        for (wi, &word) in self.bits[o..o + self.wpc].iter().enumerate() {
+            let mut word = word;
+            while word != 0 {
+                out.push(Nt((wi * 64) as u32 + word.trailing_zeros()));
+                word &= word - 1;
+            }
+        }
+        out
+    }
+
+    /// True if cell `(i, j)` is the empty set.
+    pub fn cell_is_empty(&self, i: u32, j: u32) -> bool {
+        let o = self.cell_offset(i, j);
+        self.bits[o..o + self.wpc].iter().all(|&w| w == 0)
+    }
+
+    /// Total number of `(nonterminal, i, j)` entries — bounded by
+    /// `|V|²·|N|`, the quantity driving the termination argument of
+    /// Theorem 3.
+    pub fn total_entries(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Matrix union `self ∪= other`; returns `true` on change
+    /// (Algorithm 1 line 9 uses exactly this to detect the fixpoint).
+    pub fn union_in_place(&mut self, other: &SetMatrix) -> bool {
+        assert_eq!(self.n, other.n);
+        assert_eq!(self.wpc, other.wpc);
+        let mut changed = 0u64;
+        for (a, &b) in self.bits.iter_mut().zip(other.bits.iter()) {
+            changed |= b & !*a;
+            *a |= b;
+        }
+        changed != 0
+    }
+
+    /// The §2 matrix product: `c[i][j] = ⋃ₖ a[i][k] · b[k][j]` with the
+    /// grammar-driven element product over `rules`.
+    pub fn multiply(&self, other: &SetMatrix, rules: &[BinaryRule]) -> SetMatrix {
+        assert_eq!(self.n, other.n);
+        let mut c = SetMatrix::empty(self.n, self.n_nts);
+        let n = self.n as u32;
+        for i in 0..n {
+            for k in 0..n {
+                if self.cell_is_empty(i, k) {
+                    continue;
+                }
+                let ao = self.cell_offset(i, k);
+                let a_cell = &self.bits[ao..ao + self.wpc];
+                for j in 0..n {
+                    if other.cell_is_empty(k, j) {
+                        continue;
+                    }
+                    let bo = other.cell_offset(k, j);
+                    // Apply every production A -> BC with B ∈ a, C ∈ b.
+                    for r in rules {
+                        let b_in = a_cell[r.left.index() / 64] >> (r.left.index() % 64) & 1 == 1;
+                        if !b_in {
+                            continue;
+                        }
+                        let c_in = other.bits[bo + r.right.index() / 64]
+                            >> (r.right.index() % 64)
+                            & 1
+                            == 1;
+                        if c_in {
+                            c.insert(i, j, r.lhs);
+                        }
+                    }
+                }
+            }
+        }
+        c
+    }
+
+    /// `self ⪰ other` in the partial order of §2 (`aᵢⱼ ⊇ bᵢⱼ` for all
+    /// `i, j`).
+    pub fn dominates(&self, other: &SetMatrix) -> bool {
+        assert_eq!(self.n, other.n);
+        assert_eq!(self.wpc, other.wpc);
+        self.bits
+            .iter()
+            .zip(other.bits.iter())
+            .all(|(&a, &b)| b & !a == 0)
+    }
+
+    /// Renders the matrix in the style of the paper's Fig. 6–8, e.g.
+    /// `{S1} {S3} .` per row (`.` = empty set).
+    pub fn render(&self, symbols: &SymbolTable) -> String {
+        let mut out = String::new();
+        for i in 0..self.n as u32 {
+            let mut row = Vec::with_capacity(self.n);
+            for j in 0..self.n as u32 {
+                let cell = self.cell(i, j);
+                if cell.is_empty() {
+                    row.push(".".to_owned());
+                } else {
+                    let names: Vec<&str> =
+                        cell.iter().map(|&nt| symbols.nt_name(nt)).collect();
+                    row.push(format!("{{{}}}", names.join(",")));
+                }
+            }
+            out.push_str(&row.join(" "));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfpq_grammar::cnf::CnfOptions;
+    use cfpq_grammar::Cfg;
+
+    fn simple() -> cfpq_grammar::Wcnf {
+        Cfg::parse("S -> A B\nA -> a\nB -> b")
+            .unwrap()
+            .to_wcnf(CnfOptions::default())
+            .unwrap()
+    }
+
+    #[test]
+    fn insert_contains_cell() {
+        let g = simple();
+        let (s, a) = (
+            g.symbols.get_nt("S").unwrap(),
+            g.symbols.get_nt("A").unwrap(),
+        );
+        let mut m = SetMatrix::empty(3, g.n_nts());
+        m.insert(0, 1, a);
+        m.insert(0, 1, s);
+        assert!(m.contains(0, 1, a));
+        assert!(!m.contains(1, 0, a));
+        assert_eq!(m.cell(0, 1), vec![s.min(a), s.max(a)]);
+        assert_eq!(m.total_entries(), 2);
+    }
+
+    #[test]
+    fn product_applies_binary_rules() {
+        let g = simple();
+        let (s, a, b) = (
+            g.symbols.get_nt("S").unwrap(),
+            g.symbols.get_nt("A").unwrap(),
+            g.symbols.get_nt("B").unwrap(),
+        );
+        let mut m1 = SetMatrix::empty(3, g.n_nts());
+        let mut m2 = SetMatrix::empty(3, g.n_nts());
+        m1.insert(0, 1, a);
+        m2.insert(1, 2, b);
+        let c = m1.multiply(&m2, &g.binary_rules);
+        assert!(c.contains(0, 2, s));
+        assert_eq!(c.total_entries(), 1);
+        // Order matters: B then A produces nothing.
+        let c_rev = m2.multiply(&m1, &g.binary_rules);
+        assert_eq!(c_rev.total_entries(), 0);
+    }
+
+    #[test]
+    fn union_and_dominates() {
+        let g = simple();
+        let a = g.symbols.get_nt("A").unwrap();
+        let b = g.symbols.get_nt("B").unwrap();
+        let mut m1 = SetMatrix::empty(2, g.n_nts());
+        let mut m2 = SetMatrix::empty(2, g.n_nts());
+        m1.insert(0, 0, a);
+        m2.insert(0, 0, b);
+        assert!(!m1.dominates(&m2));
+        assert!(m1.union_in_place(&m2));
+        assert!(m1.dominates(&m2));
+        assert!(!m1.union_in_place(&m2));
+    }
+
+    #[test]
+    fn render_matches_paper_style() {
+        let g = simple();
+        let a = g.symbols.get_nt("A").unwrap();
+        let mut m = SetMatrix::empty(2, g.n_nts());
+        m.insert(0, 1, a);
+        let text = m.render(&g.symbols);
+        assert_eq!(text, ". {A}\n. .\n");
+    }
+
+    #[test]
+    fn many_nonterminals_cross_word_boundary() {
+        let mut m = SetMatrix::empty(2, 130);
+        m.insert(0, 0, Nt(0));
+        m.insert(0, 0, Nt(64));
+        m.insert(0, 0, Nt(129));
+        assert_eq!(m.cell(0, 0), vec![Nt(0), Nt(64), Nt(129)]);
+        assert_eq!(m.total_entries(), 3);
+    }
+}

@@ -1,0 +1,434 @@
+//! Sparse Boolean matrices in CSR (compressed sparse row) format.
+//!
+//! This is the representation behind the paper's best-performing
+//! implementations (sCPU and sGPU use "CSR format for sparse matrix
+//! representation"). Multiplication is a Boolean SpGEMM with a dense
+//! bitset row accumulator; union is a per-row sorted merge.
+
+use crate::device::Device;
+use std::ops::Range;
+
+/// An `n × n` Boolean matrix in CSR format; column indices per row are
+/// strictly ascending.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CsrMatrix {
+    n: usize,
+    /// `row_ptr[i] .. row_ptr[i+1]` indexes `cols` for row `i`.
+    row_ptr: Vec<usize>,
+    cols: Vec<u32>,
+}
+
+impl CsrMatrix {
+    /// Creates the zero matrix of size `n × n`.
+    pub fn zeros(n: usize) -> Self {
+        Self {
+            n,
+            row_ptr: vec![0; n + 1],
+            cols: Vec::new(),
+        }
+    }
+
+    /// Creates the identity matrix of size `n × n`.
+    pub fn identity(n: usize) -> Self {
+        Self {
+            n,
+            row_ptr: (0..=n).collect(),
+            cols: (0..n as u32).collect(),
+        }
+    }
+
+    /// Builds a matrix from `(row, col)` pairs (duplicates allowed).
+    pub fn from_pairs(n: usize, pairs: &[(u32, u32)]) -> Self {
+        let mut rows: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for &(i, j) in pairs {
+            debug_assert!((i as usize) < n && (j as usize) < n);
+            rows[i as usize].push(j);
+        }
+        for r in &mut rows {
+            r.sort_unstable();
+            r.dedup();
+        }
+        Self::from_rows(rows)
+    }
+
+    /// Assembles from per-row sorted, deduplicated column lists.
+    pub fn from_rows(rows: Vec<Vec<u32>>) -> Self {
+        let n = rows.len();
+        let mut row_ptr = Vec::with_capacity(n + 1);
+        row_ptr.push(0usize);
+        let nnz: usize = rows.iter().map(Vec::len).sum();
+        let mut cols = Vec::with_capacity(nnz);
+        for r in rows {
+            debug_assert!(r.windows(2).all(|w| w[0] < w[1]), "rows must be sorted+deduped");
+            cols.extend_from_slice(&r);
+            row_ptr.push(cols.len());
+        }
+        Self { n, row_ptr, cols }
+    }
+
+    /// Matrix dimension `n`.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of stored entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Column indices of row `i` (ascending).
+    #[inline]
+    pub fn row(&self, i: usize) -> &[u32] {
+        &self.cols[self.row_ptr[i]..self.row_ptr[i + 1]]
+    }
+
+    /// Reads bit `(i, j)` by binary search.
+    pub fn get(&self, i: u32, j: u32) -> bool {
+        self.row(i as usize).binary_search(&j).is_ok()
+    }
+
+    /// Sets bit `(i, j)`; O(row length) — intended for construction and
+    /// tests, not hot loops (use `from_pairs`/`union_in_place`).
+    pub fn set(&mut self, i: u32, j: u32) {
+        let row = self.row(i as usize);
+        let Err(pos) = row.binary_search(&j) else {
+            return;
+        };
+        let insert_at = self.row_ptr[i as usize] + pos;
+        self.cols.insert(insert_at, j);
+        for p in self.row_ptr[(i as usize + 1)..].iter_mut() {
+            *p += 1;
+        }
+    }
+
+    /// All set `(row, col)` pairs in row-major order.
+    pub fn pairs(&self) -> Vec<(u32, u32)> {
+        let mut out = Vec::with_capacity(self.nnz());
+        for i in 0..self.n {
+            for &j in self.row(i) {
+                out.push((i as u32, j));
+            }
+        }
+        out
+    }
+
+    /// True if no entry is stored.
+    pub fn is_zero(&self) -> bool {
+        self.cols.is_empty()
+    }
+
+    /// `self |= other` by per-row sorted merge; returns `true` if any
+    /// entry was added.
+    pub fn union_in_place(&mut self, other: &CsrMatrix) -> bool {
+        assert_eq!(self.n, other.n, "dimension mismatch");
+        if other.is_zero() {
+            return false;
+        }
+        let mut changed = false;
+        let mut new_rows: Vec<Vec<u32>> = Vec::with_capacity(self.n);
+        for i in 0..self.n {
+            let (a, b) = (self.row(i), other.row(i));
+            if b.is_empty() {
+                new_rows.push(a.to_vec());
+                continue;
+            }
+            let merged = merge_sorted(a, b);
+            changed |= merged.len() != a.len();
+            new_rows.push(merged);
+        }
+        if changed {
+            *self = Self::from_rows(new_rows);
+        }
+        changed
+    }
+
+    /// Boolean SpGEMM `self × other` (serial).
+    pub fn multiply(&self, other: &CsrMatrix) -> CsrMatrix {
+        assert_eq!(self.n, other.n, "dimension mismatch");
+        let mut acc = RowAccumulator::new(self.n);
+        let rows: Vec<Vec<u32>> = (0..self.n)
+            .map(|i| multiply_row(self, other, i, &mut acc))
+            .collect();
+        CsrMatrix::from_rows(rows)
+    }
+
+    /// Boolean SpGEMM with row blocks computed in parallel on `device`.
+    ///
+    /// Small operands run serially: kernel dispatch has a fixed latency
+    /// (just as GPU offload pays transfer/launch costs), so offloading
+    /// only pays off past a work threshold.
+    pub fn multiply_on(&self, other: &CsrMatrix, device: &Device) -> CsrMatrix {
+        assert_eq!(self.n, other.n, "dimension mismatch");
+        const OFFLOAD_THRESHOLD_NNZ: usize = 64 * 1024;
+        if device.n_workers() == 1 || self.nnz() + other.nnz() < OFFLOAD_THRESHOLD_NNZ {
+            return self.multiply(other);
+        }
+        let blocks = device.par_map_ranges(self.n, |range: Range<usize>| {
+            let mut acc = RowAccumulator::new(self.n);
+            range
+                .map(|i| multiply_row(self, other, i, &mut acc))
+                .collect::<Vec<_>>()
+        });
+        let mut rows = Vec::with_capacity(self.n);
+        for block in blocks {
+            rows.extend(block);
+        }
+        CsrMatrix::from_rows(rows)
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> CsrMatrix {
+        let mut rows: Vec<Vec<u32>> = vec![Vec::new(); self.n];
+        for i in 0..self.n {
+            for &j in self.row(i) {
+                rows[j as usize].push(i as u32);
+            }
+        }
+        // Rows are filled in ascending i, so already sorted.
+        CsrMatrix::from_rows(rows)
+    }
+}
+
+/// Computes row `i` of `a × b` using the shared accumulator.
+fn multiply_row(a: &CsrMatrix, b: &CsrMatrix, i: usize, acc: &mut RowAccumulator) -> Vec<u32> {
+    for &k in a.row(i) {
+        for &j in b.row(k as usize) {
+            acc.set(j);
+        }
+    }
+    acc.drain_sorted()
+}
+
+/// A reusable dense bitset accumulator for one output row of SpGEMM.
+struct RowAccumulator {
+    words: Vec<u64>,
+    /// Indices of words touched since the last drain (sparse reset).
+    touched: Vec<u32>,
+}
+
+impl RowAccumulator {
+    fn new(n: usize) -> Self {
+        Self {
+            words: vec![0; n.div_ceil(64).max(1)],
+            touched: Vec::new(),
+        }
+    }
+
+    #[inline]
+    fn set(&mut self, j: u32) {
+        let w = (j / 64) as usize;
+        if self.words[w] == 0 {
+            self.touched.push(w as u32);
+        }
+        self.words[w] |= 1u64 << (j % 64);
+    }
+
+    /// Extracts all set bits in ascending order and clears the buffer.
+    fn drain_sorted(&mut self) -> Vec<u32> {
+        self.touched.sort_unstable();
+        let mut out = Vec::new();
+        for &wi in &self.touched {
+            let mut word = self.words[wi as usize];
+            self.words[wi as usize] = 0;
+            while word != 0 {
+                out.push(wi * 64 + word.trailing_zeros());
+                word &= word - 1;
+            }
+        }
+        self.touched.clear();
+        out
+    }
+}
+
+/// Merges two strictly-ascending slices into a strictly-ascending vector.
+fn merge_sorted(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut x, mut y) = (0, 0);
+    while x < a.len() && y < b.len() {
+        match a[x].cmp(&b[y]) {
+            std::cmp::Ordering::Less => {
+                out.push(a[x]);
+                x += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[y]);
+                y += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push(a[x]);
+                x += 1;
+                y += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[x..]);
+    out.extend_from_slice(&b[y..]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::DenseBitMatrix;
+
+    #[test]
+    fn from_pairs_sorts_and_dedups() {
+        let m = CsrMatrix::from_pairs(4, &[(2, 3), (2, 1), (2, 3), (0, 0)]);
+        assert_eq!(m.row(2), &[1, 3]);
+        assert_eq!(m.nnz(), 3);
+        assert!(m.get(2, 3));
+        assert!(!m.get(3, 2));
+    }
+
+    #[test]
+    fn set_inserts_in_order() {
+        let mut m = CsrMatrix::zeros(4);
+        m.set(1, 3);
+        m.set(1, 0);
+        m.set(1, 3); // duplicate ignored
+        m.set(2, 2);
+        assert_eq!(m.row(1), &[0, 3]);
+        assert_eq!(m.row(2), &[2]);
+        assert_eq!(m.nnz(), 3);
+    }
+
+    #[test]
+    fn identity_multiplication() {
+        let m = CsrMatrix::from_pairs(6, &[(0, 5), (3, 1), (5, 5)]);
+        let id = CsrMatrix::identity(6);
+        assert_eq!(m.multiply(&id), m);
+        assert_eq!(id.multiply(&m), m);
+    }
+
+    #[test]
+    fn union_merge_and_change_detection() {
+        let mut a = CsrMatrix::from_pairs(4, &[(0, 1), (2, 2)]);
+        let b = CsrMatrix::from_pairs(4, &[(0, 3), (2, 2)]);
+        assert!(a.union_in_place(&b));
+        assert_eq!(a.row(0), &[1, 3]);
+        assert!(!a.union_in_place(&b));
+    }
+
+    #[test]
+    fn union_with_zero_is_noop() {
+        let mut a = CsrMatrix::from_pairs(3, &[(1, 1)]);
+        let z = CsrMatrix::zeros(3);
+        assert!(!a.union_in_place(&z));
+    }
+
+    #[test]
+    fn product_matches_dense_kernel() {
+        let n = 90usize;
+        let mut pairs_a = Vec::new();
+        let mut pairs_b = Vec::new();
+        let mut state = 0xdeadbeefu64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 33) as u32
+        };
+        for _ in 0..400 {
+            pairs_a.push((next() % n as u32, next() % n as u32));
+            pairs_b.push((next() % n as u32, next() % n as u32));
+        }
+        let sa = CsrMatrix::from_pairs(n, &pairs_a);
+        let sb = CsrMatrix::from_pairs(n, &pairs_b);
+        let da = DenseBitMatrix::from_pairs(n, &pairs_a);
+        let db = DenseBitMatrix::from_pairs(n, &pairs_b);
+        assert_eq!(sa.multiply(&sb).pairs(), da.multiply(&db).pairs());
+    }
+
+    #[test]
+    fn parallel_product_equals_serial() {
+        let n = 120usize;
+        let pairs: Vec<(u32, u32)> = (0..n as u32)
+            .flat_map(|i| [(i, (i * 31 + 7) % n as u32), (i, (i * 17 + 2) % n as u32)])
+            .collect();
+        let m = CsrMatrix::from_pairs(n, &pairs);
+        let serial = m.multiply(&m);
+        for workers in [1, 2, 5, 16] {
+            let d = Device::new(workers);
+            assert_eq!(m.multiply_on(&m, &d), serial, "workers {workers}");
+        }
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = CsrMatrix::from_pairs(7, &[(0, 6), (6, 0), (3, 3), (2, 5)]);
+        assert_eq!(m.transpose().transpose(), m);
+        assert!(m.transpose().get(6, 0));
+        assert!(m.transpose().get(5, 2));
+    }
+
+    #[test]
+    fn zero_sized() {
+        let m = CsrMatrix::zeros(0);
+        assert!(m.multiply(&m).is_zero());
+        assert_eq!(m.multiply_on(&m, &Device::new(3)).n(), 0);
+    }
+
+    #[test]
+    fn accumulator_crosses_word_boundaries() {
+        let mut acc = RowAccumulator::new(200);
+        for j in [199u32, 0, 64, 63, 128] {
+            acc.set(j);
+        }
+        assert_eq!(acc.drain_sorted(), vec![0, 63, 64, 128, 199]);
+        // Reusable after drain.
+        acc.set(5);
+        assert_eq!(acc.drain_sorted(), vec![5]);
+    }
+
+    #[test]
+    fn merge_sorted_cases() {
+        assert_eq!(merge_sorted(&[], &[]), Vec::<u32>::new());
+        assert_eq!(merge_sorted(&[1, 3], &[]), vec![1, 3]);
+        assert_eq!(merge_sorted(&[1, 3], &[2, 3, 9]), vec![1, 2, 3, 9]);
+    }
+}
+
+impl CsrMatrix {
+    /// `self \ other` — entries of `self` absent from `other` (per-row
+    /// sorted difference).
+    pub fn difference(&self, other: &CsrMatrix) -> CsrMatrix {
+        assert_eq!(self.n, other.n, "dimension mismatch");
+        let rows = (0..self.n)
+            .map(|i| {
+                let (a, b) = (self.row(i), other.row(i));
+                if b.is_empty() {
+                    return a.to_vec();
+                }
+                a.iter().copied().filter(|j| b.binary_search(j).is_err()).collect()
+            })
+            .collect();
+        CsrMatrix::from_rows(rows)
+    }
+
+    /// `self ∩ other` — per-row sorted intersection.
+    pub fn intersect(&self, other: &CsrMatrix) -> CsrMatrix {
+        assert_eq!(self.n, other.n, "dimension mismatch");
+        let rows = (0..self.n)
+            .map(|i| {
+                let (a, b) = (self.row(i), other.row(i));
+                a.iter().copied().filter(|j| b.binary_search(j).is_ok()).collect()
+            })
+            .collect();
+        CsrMatrix::from_rows(rows)
+    }
+}
+
+#[cfg(test)]
+mod setops_tests {
+    use super::*;
+
+    #[test]
+    fn difference_and_intersect() {
+        let a = CsrMatrix::from_pairs(4, &[(0, 1), (2, 3), (3, 3)]);
+        let b = CsrMatrix::from_pairs(4, &[(2, 3), (1, 1)]);
+        assert_eq!(a.difference(&b).pairs(), vec![(0, 1), (3, 3)]);
+        assert_eq!(a.intersect(&b).pairs(), vec![(2, 3)]);
+        assert!(a.difference(&a).is_zero());
+        assert_eq!(a.intersect(&a), a);
+    }
+}

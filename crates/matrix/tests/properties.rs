@@ -1,0 +1,137 @@
+//! Property-based tests for the matrix kernels: the dense and sparse
+//! representations must be observationally identical under every
+//! operation the solvers use, and the algebraic laws the closure proofs
+//! lean on must hold.
+
+use cfpq_matrix::{CsrMatrix, DenseBitMatrix, Device};
+use proptest::prelude::*;
+
+/// Strategy: a set of (row, col) pairs within an n×n matrix.
+fn pairs(n: usize, max_len: usize) -> impl Strategy<Value = Vec<(u32, u32)>> {
+    prop::collection::vec((0..n as u32, 0..n as u32), 0..max_len)
+}
+
+const N: usize = 37; // deliberately not a multiple of 64
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn dense_and_sparse_products_agree(a in pairs(N, 80), b in pairs(N, 80)) {
+        let da = DenseBitMatrix::from_pairs(N, &a);
+        let db = DenseBitMatrix::from_pairs(N, &b);
+        let sa = CsrMatrix::from_pairs(N, &a);
+        let sb = CsrMatrix::from_pairs(N, &b);
+        prop_assert_eq!(da.multiply(&db).pairs(), sa.multiply(&sb).pairs());
+    }
+
+    #[test]
+    fn parallel_products_agree_with_serial(a in pairs(N, 80), b in pairs(N, 80), workers in 1usize..6) {
+        let device = Device::new(workers);
+        let da = DenseBitMatrix::from_pairs(N, &a);
+        let db = DenseBitMatrix::from_pairs(N, &b);
+        prop_assert_eq!(da.multiply(&db), da.multiply_on(&db, &device));
+        let sa = CsrMatrix::from_pairs(N, &a);
+        let sb = CsrMatrix::from_pairs(N, &b);
+        prop_assert_eq!(sa.multiply(&sb), sa.multiply_on(&sb, &device));
+    }
+
+    #[test]
+    fn union_is_commutative_idempotent_monotone(a in pairs(N, 60), b in pairs(N, 60)) {
+        let da = DenseBitMatrix::from_pairs(N, &a);
+        let db = DenseBitMatrix::from_pairs(N, &b);
+        let mut ab = da.clone();
+        ab.union_in_place(&db);
+        let mut ba = db.clone();
+        ba.union_in_place(&da);
+        prop_assert_eq!(&ab, &ba, "commutative");
+        let mut again = ab.clone();
+        prop_assert!(!again.union_in_place(&da), "idempotent: no change");
+        prop_assert!(ab.nnz() >= da.nnz().max(db.nnz()), "monotone");
+
+        // Sparse mirrors dense.
+        let mut sab = CsrMatrix::from_pairs(N, &a);
+        sab.union_in_place(&CsrMatrix::from_pairs(N, &b));
+        prop_assert_eq!(sab.pairs(), ab.pairs());
+    }
+
+    #[test]
+    fn multiplication_distributes_over_union(
+        a in pairs(N, 50), b in pairs(N, 50), c in pairs(N, 50)
+    ) {
+        // a × (b ∪ c) = (a × b) ∪ (a × c) — the law that makes the
+        // per-rule decomposition of Algorithm 1 equal to the monolithic
+        // set-matrix product.
+        let a = DenseBitMatrix::from_pairs(N, &a);
+        let b = DenseBitMatrix::from_pairs(N, &b);
+        let c = DenseBitMatrix::from_pairs(N, &c);
+        let mut bc = b.clone();
+        bc.union_in_place(&c);
+        let left = a.multiply(&bc);
+        let mut right = a.multiply(&b);
+        right.union_in_place(&a.multiply(&c));
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn multiplication_is_associative(a in pairs(20, 40), b in pairs(20, 40), c in pairs(20, 40)) {
+        let a = CsrMatrix::from_pairs(20, &a);
+        let b = CsrMatrix::from_pairs(20, &b);
+        let c = CsrMatrix::from_pairs(20, &c);
+        prop_assert_eq!(
+            a.multiply(&b).multiply(&c).pairs(),
+            a.multiply(&b.multiply(&c)).pairs()
+        );
+    }
+
+    #[test]
+    fn transpose_reverses_products(a in pairs(N, 60), b in pairs(N, 60)) {
+        // (a × b)^T = b^T × a^T
+        let a = DenseBitMatrix::from_pairs(N, &a);
+        let b = DenseBitMatrix::from_pairs(N, &b);
+        prop_assert_eq!(
+            a.multiply(&b).transpose(),
+            b.transpose().multiply(&a.transpose())
+        );
+    }
+
+    #[test]
+    fn difference_and_intersect_laws(a in pairs(N, 60), b in pairs(N, 60)) {
+        let a = CsrMatrix::from_pairs(N, &a);
+        let b = CsrMatrix::from_pairs(N, &b);
+        let diff = a.difference(&b);
+        let inter = a.intersect(&b);
+        // diff ∪ inter = a, diff ∩ b = 0
+        let mut rebuilt = diff.clone();
+        rebuilt.union_in_place(&inter);
+        prop_assert_eq!(rebuilt.pairs(), a.pairs());
+        prop_assert!(diff.intersect(&b).is_zero());
+        // Dense agrees.
+        let da = DenseBitMatrix::from_pairs(N, &a.pairs());
+        let db = DenseBitMatrix::from_pairs(N, &b.pairs());
+        prop_assert_eq!(da.difference(&db).pairs(), diff.pairs());
+        prop_assert_eq!(da.intersect(&db).pairs(), inter.pairs());
+    }
+
+    #[test]
+    fn pairs_roundtrip(a in pairs(N, 100)) {
+        let d = DenseBitMatrix::from_pairs(N, &a);
+        let s = CsrMatrix::from_pairs(N, &a);
+        prop_assert_eq!(DenseBitMatrix::from_pairs(N, &d.pairs()), d.clone());
+        prop_assert_eq!(CsrMatrix::from_pairs(N, &s.pairs()), s.clone());
+        prop_assert_eq!(d.pairs(), s.pairs());
+        prop_assert_eq!(d.nnz(), s.nnz());
+    }
+
+    #[test]
+    fn identity_is_neutral(a in pairs(N, 80)) {
+        let d = DenseBitMatrix::from_pairs(N, &a);
+        let id = DenseBitMatrix::identity(N);
+        prop_assert_eq!(d.multiply(&id), d.clone());
+        prop_assert_eq!(id.multiply(&d), d);
+        let s = CsrMatrix::from_pairs(N, &a);
+        let sid = CsrMatrix::identity(N);
+        prop_assert_eq!(s.multiply(&sid), s.clone());
+        prop_assert_eq!(sid.multiply(&s), s);
+    }
+}

@@ -1,0 +1,134 @@
+//! Differential oracles for the non-matrix baselines on *general*
+//! grammars (ε-rules, unit rules, long rules — the territory the matrix
+//! solvers never see because they require weak CNF).
+//!
+//! Strategy: encode a short word as a chain graph; then for every span
+//! `(i, j)` of the chain, GLL's and RSM's answer for `(S, i, j)` must
+//! equal brute-force membership of `word[i..j]` in `L(G_S)` as computed
+//! by [`Cfg::bounded_language`] on the original grammar. This covers ε
+//! (empty spans), unit chains and long rules end to end.
+
+use cfpq::baselines::{gll::solve_gll, rsm::solve_rsm_cfg};
+use cfpq::graph::generators;
+use cfpq::prelude::*;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Random general CFG over at most 3 terminals with ε/unit/long rules.
+fn random_general_cfg(seed: u64) -> Cfg {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n_nts = rng.gen_range(2..4usize);
+    let n_terms = rng.gen_range(1..4usize);
+    let nts: Vec<String> = (0..n_nts).map(|i| format!("N{i}")).collect();
+    let terms: Vec<String> = (0..n_terms).map(|i| format!("t{i}")).collect();
+    let mut text = String::new();
+    let n_rules = rng.gen_range(n_nts..n_nts * 3);
+    for r in 0..n_rules {
+        let lhs = if r < n_nts {
+            &nts[r]
+        } else {
+            &nts[rng.gen_range(0..n_nts)]
+        };
+        let len = rng.gen_range(0..4usize);
+        let mut rhs: Vec<&str> = Vec::new();
+        for _ in 0..len {
+            if rng.gen_bool(0.45) {
+                rhs.push(&nts[rng.gen_range(0..n_nts)]);
+            } else {
+                rhs.push(&terms[rng.gen_range(0..n_terms)]);
+            }
+        }
+        if rhs.is_empty() {
+            text.push_str(&format!("{lhs} -> eps\n"));
+        } else {
+            text.push_str(&format!("{lhs} -> {}\n", rhs.join(" ")));
+        }
+    }
+    Cfg::parse(&text).expect("generated grammar parses")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn gll_and_rsm_match_brute_force_on_all_chain_spans(
+        grammar_seed in 0u64..2000,
+        word_len in 0usize..5,
+        word_seed in 0u64..100,
+    ) {
+        let cfg = random_general_cfg(grammar_seed);
+        let start = cfg.start.unwrap();
+        let n_terms = cfg.symbols.n_terms();
+        if n_terms == 0 {
+            // Grammar used no terminal at all (only ε/nonterminal rules);
+            // no chain can be built.
+            return Ok(());
+        }
+
+        // A random word over the grammar's alphabet (not necessarily a
+        // member — negatives matter).
+        let mut rng = StdRng::seed_from_u64(word_seed);
+        let word: Vec<u32> = (0..word_len).map(|_| rng.gen_range(0..n_terms) as u32).collect();
+        let names: Vec<String> = word
+            .iter()
+            .map(|&t| cfg.symbols.term_name(Term(t)).to_owned())
+            .collect();
+        let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        let graph = if name_refs.is_empty() {
+            // A single node, no edges: only the ε span exists.
+            Graph::new(1)
+        } else {
+            generators::word_chain(&name_refs)
+        };
+
+        let gll = solve_gll(&graph, &cfg);
+        let rsm = solve_rsm_cfg(&graph, &cfg);
+        // Brute-force language up to the word length.
+        let language = cfg.bounded_language(start, word.len());
+
+        for i in 0..=word.len() {
+            for j in i..=word.len() {
+                let span: Vec<Term> = word[i..j].iter().map(|&t| Term(t)).collect();
+                let expect = language.contains(&span);
+                prop_assert_eq!(
+                    gll.contains(start, i as u32, j as u32),
+                    expect,
+                    "GLL span ({}, {}) grammar seed {}", i, j, grammar_seed
+                );
+                prop_assert_eq!(
+                    rsm.contains(start, i as u32, j as u32),
+                    expect,
+                    "RSM span ({}, {}) grammar seed {}", i, j, grammar_seed
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn gll_and_rsm_agree_on_cyclic_graphs_with_general_grammars() {
+    // On cyclic graphs there is no simple brute-force oracle, but the two
+    // independent implementations must agree with each other.
+    for seed in 0..30u64 {
+        let cfg = random_general_cfg(seed);
+        let start = cfg.start.unwrap();
+        let names: Vec<String> = cfg
+            .symbols
+            .terms()
+            .map(|(_, n)| n.to_owned())
+            .collect();
+        if names.is_empty() {
+            continue; // terminal-free grammar: no labeled graph to build
+        }
+        let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        let graph = generators::random_graph(6, 14, &refs, seed ^ 0xF00D);
+        let gll = solve_gll(&graph, &cfg);
+        let rsm = solve_rsm_cfg(&graph, &cfg);
+        assert_eq!(
+            gll.pairs(start),
+            rsm.pairs(start),
+            "GLL vs RSM divergence on seed {seed}"
+        );
+    }
+}

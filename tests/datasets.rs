@@ -1,0 +1,92 @@
+//! Integration tests over the evaluation datasets: the invariants the
+//! harness relies on when regenerating Tables 1 and 2.
+
+use cfpq::grammar::queries;
+use cfpq::graph::ontology;
+use cfpq::prelude::*;
+
+#[test]
+fn repeat_scales_results_exactly_8x() {
+    // The paper's g1/g2/g3 rows have #results exactly 8x their base
+    // ontologies' — the property that pins down disjoint-copy semantics.
+    // Verified here on the smallest base to keep the test fast.
+    let q1 = queries::query1();
+    let base = ontology::dataset("skos").unwrap().to_graph();
+    let base_count = solve(&base, &q1, Backend::Sparse).unwrap().start_count();
+    assert!(base_count > 0);
+    let repeated = base.repeat(8);
+    let repeated_count = solve(&repeated, &q1, Backend::Sparse)
+        .unwrap()
+        .start_count();
+    assert_eq!(repeated_count, 8 * base_count);
+}
+
+#[test]
+fn queries_give_consistent_counts_across_backends_on_travel() {
+    let graph = ontology::dataset("travel").unwrap().to_graph();
+    for q in [queries::query1(), queries::query2()] {
+        let counts: Vec<usize> = [
+            Backend::Dense,
+            Backend::Sparse,
+            Backend::SparsePar { workers: 3 },
+        ]
+        .into_iter()
+        .map(|b| solve(&graph, &q, b).unwrap().start_count())
+        .collect();
+        assert_eq!(counts[0], counts[1]);
+        assert_eq!(counts[1], counts[2]);
+    }
+}
+
+#[test]
+fn q1_results_are_symmetric_on_rdf_graphs() {
+    // Same-generation is symmetric by construction on graphs closed
+    // under edge inversion: if x subClassOf_r ... subClassOf y then the
+    // mirrored path relates y to x.
+    let graph = ontology::dataset("univ-bench").unwrap().to_graph();
+    let ans = solve(&graph, &queries::query1(), Backend::Sparse).unwrap();
+    let pairs: std::collections::BTreeSet<(u32, u32)> =
+        ans.start_pairs().iter().copied().collect();
+    for &(i, j) in &pairs {
+        assert!(pairs.contains(&(j, i)), "missing mirror of ({i},{j})");
+    }
+}
+
+#[test]
+fn q2_only_involves_subclass_edges() {
+    // Q2's alphabet is {subClassOf, subClassOf_r}: deleting all type and
+    // padding triples must not change the answer.
+    let full = ontology::dataset("funding").unwrap();
+    let mut trimmed = cfpq::graph::TripleSet::new();
+    for (s, p, o) in full.iter() {
+        if p == "subClassOf" {
+            trimmed.add(s, p, o);
+        }
+    }
+    let q2 = queries::query2();
+    let full_count = solve(&full.to_graph(), &q2, Backend::Sparse)
+        .unwrap()
+        .start_count();
+    let trimmed_count = solve(&trimmed.to_graph(), &q2, Backend::Sparse)
+        .unwrap()
+        .start_count();
+    assert_eq!(full_count, trimmed_count);
+}
+
+#[test]
+fn baselines_match_on_generations_dataset() {
+    let cfg = queries::query1();
+    let wcnf = cfg
+        .to_wcnf(cfpq::grammar::cnf::CnfOptions::default())
+        .unwrap();
+    let graph = ontology::dataset("generations").unwrap().to_graph();
+
+    let matrix = solve(&graph, &cfg, Backend::Sparse).unwrap();
+    let hellings = cfpq::baselines::hellings::solve_hellings(&graph, &wcnf);
+    let gll = cfpq::baselines::gll::solve_gll(&graph, &cfg);
+
+    let s_wcnf = wcnf.symbols.get_nt("S").unwrap();
+    let s_cfg = cfg.symbols.get_nt("S").unwrap();
+    assert_eq!(matrix.start_pairs(), hellings.pairs(s_wcnf).as_slice());
+    assert_eq!(matrix.start_pairs(), gll.pairs(s_cfg).as_slice());
+}

@@ -1,0 +1,214 @@
+//! Integration tests for the grammar pipeline: CNF normalization must
+//! preserve the language (checked via CYK on sampled member words and on
+//! near-miss mutations), across randomly generated *general* grammars
+//! with ε-rules, unit rules and long rules.
+
+use cfpq::grammar::cnf::CnfOptions;
+use cfpq::grammar::cyk::cyk_recognize;
+use cfpq::grammar::{Cfg, Term};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates a random general CFG (with ε/unit/long rules) as DSL text.
+fn random_general_cfg(seed: u64) -> Cfg {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n_nts = rng.gen_range(2..5usize);
+    let n_terms = rng.gen_range(1..4usize);
+    let nts: Vec<String> = (0..n_nts).map(|i| format!("N{i}")).collect();
+    let terms: Vec<String> = (0..n_terms).map(|i| format!("t{i}")).collect();
+    let mut text = String::new();
+    // Ensure N0 has at least one production.
+    let n_rules = rng.gen_range(n_nts..n_nts * 3);
+    for r in 0..n_rules {
+        let lhs = if r < n_nts { &nts[r] } else { &nts[rng.gen_range(0..n_nts)] };
+        let len = rng.gen_range(0..5usize);
+        let mut rhs: Vec<&str> = Vec::new();
+        for _ in 0..len {
+            if rng.gen_bool(0.5) {
+                rhs.push(&nts[rng.gen_range(0..n_nts)]);
+            } else {
+                rhs.push(&terms[rng.gen_range(0..n_terms)]);
+            }
+        }
+        if rhs.is_empty() {
+            text.push_str(&format!("{lhs} -> eps\n"));
+        } else {
+            text.push_str(&format!("{lhs} -> {}\n", rhs.join(" ")));
+        }
+    }
+    Cfg::parse(&text).expect("generated text parses")
+}
+
+/// Derives a random word from the general grammar by bounded expansion;
+/// `None` if the budget runs out.
+fn derive_word(cfg: &Cfg, seed: u64, budget: usize) -> Option<Vec<Term>> {
+    use cfpq::grammar::cfg::Symbol;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let start = cfg.start?;
+    let by_lhs: Vec<Vec<usize>> = {
+        let mut v = vec![Vec::new(); cfg.symbols.n_nts()];
+        for (i, p) in cfg.productions.iter().enumerate() {
+            v[p.lhs.index()].push(i);
+        }
+        v
+    };
+    let mut word = Vec::new();
+    let mut stack = vec![Symbol::N(start)];
+    let mut steps = 0;
+    while let Some(sym) = stack.pop() {
+        steps += 1;
+        if steps > budget {
+            return None;
+        }
+        match sym {
+            Symbol::T(t) => word.push(t),
+            Symbol::N(nt) => {
+                let rules = &by_lhs[nt.index()];
+                if rules.is_empty() {
+                    return None;
+                }
+                // Prefer shorter productions near the budget.
+                let pick = if steps * 2 > budget {
+                    *rules
+                        .iter()
+                        .min_by_key(|&&r| cfg.productions[r].rhs.len())
+                        .unwrap()
+                } else {
+                    rules[rng.gen_range(0..rules.len())]
+                };
+                for s in cfg.productions[pick].rhs.iter().rev() {
+                    stack.push(*s);
+                }
+            }
+        }
+    }
+    Some(word)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn normalization_preserves_membership(seed in 0u64..3000) {
+        let cfg = random_general_cfg(seed);
+        let Ok(wcnf) = cfg.to_wcnf(CnfOptions::default()) else {
+            return Ok(());
+        };
+        let start = wcnf.start;
+        // Sampled member words must be accepted post-normalization.
+        for w_seed in 0..6u64 {
+            if let Some(word) = derive_word(&cfg, seed ^ (w_seed + 1), 60) {
+                if word.len() <= 10 {
+                    // Map terms: same symbol table indices survive normalization.
+                    prop_assert!(
+                        cyk_recognize(&wcnf, start, &word),
+                        "derived word {:?} rejected (seed {})",
+                        word, seed
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn normalization_preserves_language_exhaustively(seed in 0u64..600) {
+        // The strongest pipeline check: enumerate L(G) up to length L by
+        // brute-force derivation on the ORIGINAL grammar (ε/unit/long
+        // rules intact), then test EVERY word over Σ of length ≤ L
+        // against CYK on the normalized grammar. Positives and negatives
+        // both covered, exhaustively.
+        const L: usize = 4;
+        let cfg = random_general_cfg(seed);
+        let Ok(wcnf) = cfg.to_wcnf(CnfOptions::default()) else {
+            return Ok(());
+        };
+        let start = cfg.start.unwrap();
+        let language = cfg.bounded_language(start, L);
+        let n_terms = cfg.symbols.n_terms();
+        // All words over the alphabet up to length L.
+        let mut words: Vec<Vec<Term>> = vec![vec![]];
+        let mut frontier: Vec<Vec<Term>> = vec![vec![]];
+        for _ in 0..L {
+            let mut next = Vec::new();
+            for w in &frontier {
+                for t in 0..n_terms {
+                    let mut w2 = w.clone();
+                    w2.push(Term(t as u32));
+                    next.push(w2);
+                }
+            }
+            words.extend(next.iter().cloned());
+            frontier = next;
+        }
+        for word in &words {
+            prop_assert_eq!(
+                cyk_recognize(&wcnf, wcnf.start, word),
+                language.contains(word),
+                "CNF disagrees with brute-force derivation on {:?} (seed {})",
+                word, seed
+            );
+        }
+    }
+
+    #[test]
+    fn useless_removal_never_changes_start_language(seed in 0u64..800) {
+        let cfg = random_general_cfg(seed);
+        let (Ok(keep), Ok(drop)) = (
+            cfg.to_wcnf(CnfOptions::default()),
+            cfg.to_wcnf(CnfOptions { remove_useless: true }),
+        ) else {
+            return Ok(());
+        };
+        for w_seed in 0..4u64 {
+            if let Some(word) = derive_word(&cfg, seed ^ (w_seed + 77), 50) {
+                if word.len() <= 8 {
+                    prop_assert_eq!(
+                        cyk_recognize(&keep, keep.start, &word),
+                        cyk_recognize(&drop, drop.start, &word),
+                        "useless-symbol removal changed L(G_S)"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn dyck_language_deep_checks() {
+    // Exhaustive membership over all bracket strings of length <= 8.
+    let wcnf = Cfg::parse("S -> S S | ( S ) | ( )")
+        .unwrap()
+        .to_wcnf(CnfOptions::default())
+        .unwrap();
+    let s = wcnf.symbols.get_nt("S").unwrap();
+    let open = wcnf.symbols.get_term("(").unwrap();
+    let close = wcnf.symbols.get_term(")").unwrap();
+
+    fn is_balanced(word: &[bool]) -> bool {
+        // true = open
+        if word.is_empty() {
+            return false; // our Dyck grammar excludes eps
+        }
+        let mut depth = 0i32;
+        for &b in word {
+            depth += if b { 1 } else { -1 };
+            if depth < 0 {
+                return false;
+            }
+        }
+        depth == 0
+    }
+
+    for len in 1..=8usize {
+        for mask in 0..(1u32 << len) {
+            let bools: Vec<bool> = (0..len).map(|i| mask >> i & 1 == 1).collect();
+            let word: Vec<Term> = bools.iter().map(|&b| if b { open } else { close }).collect();
+            assert_eq!(
+                cyk_recognize(&wcnf, s, &word),
+                is_balanced(&bools),
+                "word mask {mask:b} len {len}"
+            );
+        }
+    }
+}

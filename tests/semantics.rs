@@ -1,0 +1,137 @@
+//! Integration tests for the non-relational semantics: single-path
+//! witness extraction at scale, all-path enumeration, and the
+//! conjunctive-grammar upper approximation.
+
+use cfpq::core::all_paths::{enumerate_paths, EnumLimits};
+use cfpq::core::conjunctive::{anbncn, solve_conjunctive};
+use cfpq::core::relational::solve_on_engine;
+use cfpq::core::single_path::validate_witness;
+use cfpq::grammar::cnf::CnfOptions;
+use cfpq::grammar::queries;
+use cfpq::graph::{generators, ontology};
+use cfpq::prelude::*;
+
+#[test]
+fn every_single_path_witness_on_skos_validates() {
+    // The §5 semantics on a real-ish dataset: extract a witness for every
+    // same-generation pair and re-derive its label word.
+    let wcnf = queries::query1()
+        .to_wcnf(CnfOptions::default())
+        .unwrap();
+    let graph = ontology::dataset("skos").unwrap().to_graph();
+    let s = wcnf.symbols.get_nt("S").unwrap();
+    let index = solve_single_path(&graph, &wcnf);
+    let pairs = index.pairs_with_lengths(s);
+    assert!(!pairs.is_empty());
+    for (i, j, len) in pairs {
+        let path = extract_path(&index, &graph, &wcnf, s, i, j)
+            .unwrap_or_else(|e| panic!("({i},{j}): {e}"));
+        assert_eq!(path.len() as u32, len);
+        assert!(validate_witness(&path, &graph, &wcnf, s, i, j));
+    }
+}
+
+#[test]
+fn witness_lengths_are_even_for_same_generation() {
+    // Q1 derivations always pair an up-edge with a down-edge, so witness
+    // lengths are even — a semantic regression check on the length
+    // bookkeeping of §5.
+    let wcnf = queries::query1()
+        .to_wcnf(CnfOptions::default())
+        .unwrap();
+    let graph = ontology::dataset("travel").unwrap().to_graph();
+    let s = wcnf.symbols.get_nt("S").unwrap();
+    let index = solve_single_path(&graph, &wcnf);
+    for (i, j, len) in index.pairs_with_lengths(s) {
+        assert_eq!(len % 2, 0, "odd witness length {len} at ({i},{j})");
+    }
+}
+
+#[test]
+fn all_paths_on_binary_tree_counts_descend_ascend_pairs() {
+    // On a binary tree with down/up edges and grammar S -> down S up |
+    // down up, node 0's S-loops descend k levels and come back: the
+    // number of distinct length-2k witnesses from the root equals the
+    // number of depth-k descendants (each gives a unique down-path...
+    // with per-level binary choice: 2^k paths of length 2k? No — each
+    // witness is a down-path to some node and straight back, so exactly
+    // #nodes at depth k).
+    let grammar = Cfg::parse("S -> down S up | down up").unwrap();
+    let wcnf = grammar.to_wcnf(CnfOptions::default()).unwrap();
+    let s = wcnf.symbols.get_nt("S").unwrap();
+    let graph = generators::binary_tree(3, "down", "up");
+    let rel = solve_on_engine(&SparseEngine, &graph, &wcnf);
+    assert!(rel.contains(s, 0, 0));
+    let paths = enumerate_paths(
+        &rel,
+        &graph,
+        &wcnf,
+        s,
+        0,
+        0,
+        EnumLimits {
+            max_len: 6,
+            max_paths: 1000,
+        },
+    );
+    // Witness of length 2: down to a child and back (2 children);
+    // length 4: down 2 and back (4 grandchildren); length 6: 8.
+    let mut by_len = std::collections::BTreeMap::new();
+    for p in &paths {
+        *by_len.entry(p.len()).or_insert(0usize) += 1;
+        assert!(validate_witness(p, &graph, &wcnf, s, 0, 0));
+    }
+    assert_eq!(by_len.get(&2), Some(&2));
+    assert_eq!(by_len.get(&4), Some(&4));
+    assert_eq!(by_len.get(&6), Some(&8));
+}
+
+#[test]
+fn conjunctive_anbncn_on_graph_with_multiple_chains() {
+    // Two chains sharing endpoints: one spells a b c (member), the other
+    // a b b c (a^1 b^2 c^1, not a member).
+    let g = anbncn();
+    let s = g.symbols.get_nt("S").unwrap();
+    let mut graph = Graph::new(0);
+    // Chain 1: 0 -a-> 1 -b-> 2 -c-> 3
+    graph.add_edge_named(0, "a", 1);
+    graph.add_edge_named(1, "b", 2);
+    graph.add_edge_named(2, "c", 3);
+    // Chain 2: 0 -a-> 4 -b-> 5 -b-> 6 -c-> 3
+    graph.add_edge_named(0, "a", 4);
+    graph.add_edge_named(4, "b", 5);
+    graph.add_edge_named(5, "b", 6);
+    graph.add_edge_named(6, "c", 3);
+    let idx = solve_conjunctive(&SparseEngine, &graph, &g);
+    assert!(idx.contains(s, 0, 3), "abc path satisfies a^n b^n c^n");
+    // The relation only contains pairs justified by *some* conjunct pair;
+    // (0,3) comes from the valid chain. No pair can start mid-chain.
+    assert!(!idx.contains(s, 1, 3));
+    assert!(!idx.contains(s, 4, 3));
+}
+
+#[test]
+fn conjunctive_is_upper_approximation_on_merged_cycles() {
+    // On a single node with a/b/c self loops, the projections each accept
+    // (0,0); the conjunctive result may accept it too (upper
+    // approximation of an undecidable exact answer) but must stay within
+    // every projection.
+    let g = anbncn();
+    let s = g.symbols.get_nt("S").unwrap();
+    let mut graph = Graph::new(1);
+    for l in ["a", "b", "c"] {
+        graph.add_edge_named(0, l, 0);
+    }
+    let conj = solve_conjunctive(&SparseEngine, &graph, &g);
+    for pick in 0..2 {
+        let proj = g.projection(pick);
+        let rel = solve_on_engine(&SparseEngine, &graph, &proj);
+        for (i, j) in conj.pairs(s) {
+            assert!(rel.contains(s, i, j), "projection {pick} must contain ({i},{j})");
+        }
+    }
+    // Here the approximation does report (0,0): a b c is realizable as a
+    // cycle and both conjuncts hold — and indeed a true witness (a b c)
+    // exists, so this is not even spurious.
+    assert!(conj.contains(s, 0, 0));
+}
