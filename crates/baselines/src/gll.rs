@@ -1,8 +1,8 @@
-//! GLL-based context-free path querying [9] — the paper's `GLL` column.
+//! GLL-based context-free path querying \[9\] — the paper's `GLL` column.
 //!
-//! Scott & Johnstone's GLL parsing [22] generalizes recursive descent to
+//! Scott & Johnstone's GLL parsing \[22\] generalizes recursive descent to
 //! arbitrary context-free grammars using *descriptors* and a
-//! *graph-structured stack* (GSS). Grigorev & Ragozina [9] generalize the
+//! *graph-structured stack* (GSS). Grigorev & Ragozina \[9\] generalize the
 //! input from a string to a graph: the "input pointer" becomes a graph
 //! node, and reading a terminal follows every matching out-edge.
 //!
@@ -106,8 +106,8 @@ impl<'g> GllSolver<'g> {
         let mut work: VecDeque<(Slot, GssId, u32)> = VecDeque::new();
 
         let enqueue = |seen: &mut HashSet<(Slot, GssId, u32)>,
-                           work: &mut VecDeque<(Slot, GssId, u32)>,
-                           d: (Slot, GssId, u32)| {
+                       work: &mut VecDeque<(Slot, GssId, u32)>,
+                       d: (Slot, GssId, u32)| {
             if seen.insert(d) {
                 work.push_back(d);
             }

@@ -1,4 +1,4 @@
-//! Hellings' worklist algorithm for relational CFPQ [11].
+//! Hellings' worklist algorithm for relational CFPQ \[11\].
 //!
 //! The pre-matrix state of the art (§3): a dynamic-transitive-closure-style
 //! worklist over result triples `(A, i, j)`. When a new triple for `B`
@@ -24,12 +24,12 @@ pub fn solve_hellings(graph: &Graph, grammar: &Wcnf) -> TripleStore {
     let mut queue: VecDeque<(u32, u32, u32)> = VecDeque::new(); // (nt, i, j)
 
     let push = |store: &mut TripleStore,
-                    succ: &mut Vec<Vec<Vec<u32>>>,
-                    pred: &mut Vec<Vec<Vec<u32>>>,
-                    queue: &mut VecDeque<(u32, u32, u32)>,
-                    nt: cfpq_grammar::Nt,
-                    i: u32,
-                    j: u32| {
+                succ: &mut Vec<Vec<Vec<u32>>>,
+                pred: &mut Vec<Vec<Vec<u32>>>,
+                queue: &mut VecDeque<(u32, u32, u32)>,
+                nt: cfpq_grammar::Nt,
+                i: u32,
+                j: u32| {
         if store.insert(nt, i, j) {
             succ[nt.index()][i as usize].push(j);
             pred[nt.index()][j as usize].push(i);
@@ -46,7 +46,9 @@ pub fn solve_hellings(graph: &Graph, grammar: &Wcnf) -> TripleStore {
     for e in graph.edges() {
         if let Some(term) = term_of[e.label.index()] {
             for &nt in &by_term[term.index()] {
-                push(&mut store, &mut succ, &mut pred, &mut queue, nt, e.from, e.to);
+                push(
+                    &mut store, &mut succ, &mut pred, &mut queue, nt, e.from, e.to,
+                );
             }
         }
     }
@@ -82,7 +84,10 @@ mod tests {
     use cfpq_graph::generators;
 
     fn wcnf(src: &str) -> Wcnf {
-        Cfg::parse(src).unwrap().to_wcnf(CnfOptions::default()).unwrap()
+        Cfg::parse(src)
+            .unwrap()
+            .to_wcnf(CnfOptions::default())
+            .unwrap()
     }
 
     #[test]

@@ -4,12 +4,12 @@
 //! implemented from scratch:
 //!
 //! * [`hellings`] — the classic cubic worklist algorithm for relational
-//!   CFPQ (Hellings [11]; also the algorithmic core of Zhang et al. [30]).
-//! * [`gll`] — GLL-based CFPQ (Grigorev & Ragozina [9]): descriptor-driven
+//!   CFPQ (Hellings \[11\]; also the algorithmic core of Zhang et al. \[30\]).
+//! * [`gll`] — GLL-based CFPQ (Grigorev & Ragozina \[9\]): descriptor-driven
 //!   generalized top-down parsing with a graph-structured stack,
 //!   generalized from strings to graphs. This is the `GLL` column of
 //!   Tables 1 and 2.
-//! * [`valiant`] — Valiant's sub-cubic string recognizer [25]: the
+//! * [`valiant`] — Valiant's sub-cubic string recognizer \[25\]: the
 //!   divide-and-conquer computation of the transitive closure `a⁺` of an
 //!   upper-triangular matrix with matrix multiplication as the primitive.
 //!   The paper's Algorithm 1 generalizes this closure to arbitrary
@@ -19,8 +19,8 @@
 //! compare them against each other and against `cfpq-core`.
 
 pub mod gll;
-pub mod rsm;
 pub mod hellings;
+pub mod rsm;
 pub mod valiant;
 
 use cfpq_grammar::Nt;

@@ -123,10 +123,11 @@ pub fn solve_rsm(graph: &Graph, cfg: &Cfg, rsm: &Rsm, start: Nt) -> TripleStore 
         .collect();
 
     type Config = (u32, NodeId, StateId, NodeId); // (box/nt, entry, state, node)
+    type Context = (u32, NodeId, StateId); // suspended caller: (box, entry, return state)
     let mut seen: HashSet<Config> = HashSet::new();
     let mut work: VecDeque<Config> = VecDeque::new();
     // Contexts waiting on (B, v): resume (A, u, q', ·) at every result w.
-    let mut waiting: HashMap<(u32, NodeId), Vec<(u32, NodeId, StateId)>> = HashMap::new();
+    let mut waiting: HashMap<(u32, NodeId), Vec<Context>> = HashMap::new();
     // Started boxes, to avoid re-entry.
     let mut started: HashSet<(u32, NodeId)> = HashSet::new();
     // Known results per (B, v) for replay.
@@ -167,10 +168,7 @@ pub fn solve_rsm(graph: &Graph, cfg: &Cfg, rsm: &Rsm, start: Nt) -> TripleStore 
                 }
                 Symbol::N(callee) => {
                     // Suspend into a call of `callee` at v.
-                    waiting
-                        .entry((callee.0, v))
-                        .or_default()
-                        .push((a, u, q2));
+                    waiting.entry((callee.0, v)).or_default().push((a, u, q2));
                     if started.insert((callee.0, v)) {
                         enqueue(&mut seen, &mut work, (callee.0, v, 0, v));
                     }
@@ -276,11 +274,19 @@ mod tests {
             let rsm_store = solve_rsm_cfg(&graph, &cfg);
             let gll_store = solve_gll(&graph, &cfg);
             let s = cfg.symbols.get_nt("S").unwrap();
-            assert_eq!(rsm_store.pairs(s), gll_store.pairs(s), "rsm vs gll, seed {seed}");
+            assert_eq!(
+                rsm_store.pairs(s),
+                gll_store.pairs(s),
+                "rsm vs gll, seed {seed}"
+            );
             let wcnf = cfg.to_wcnf(CnfOptions::default()).unwrap();
             let idx = solve_on_engine(&SparseEngine, &graph, &wcnf);
             let s_w = wcnf.symbols.get_nt("S").unwrap();
-            assert_eq!(rsm_store.pairs(s), idx.pairs(s_w), "rsm vs matrix, seed {seed}");
+            assert_eq!(
+                rsm_store.pairs(s),
+                idx.pairs(s_w),
+                "rsm vs matrix, seed {seed}"
+            );
         }
     }
 

@@ -1,4 +1,4 @@
-//! Valiant's algorithm [25]: string recognition via divide-and-conquer
+//! Valiant's algorithm \[25\]: string recognition via divide-and-conquer
 //! transitive closure of an upper-triangular matrix.
 //!
 //! For a word `w` of length `n`, positions are `0..=n` and the
@@ -9,7 +9,7 @@
 //! multiplications (here over the §2 set algebra, decomposable into
 //! Boolean products).
 //!
-//! The recursion follows Okhotin's presentation [19]:
+//! The recursion follows Okhotin's presentation \[19\]:
 //!
 //! * `compute(l, r)` closes the square block `l..=r` by recursing on the
 //!   two halves and then `complete`-ing the off-diagonal block, after
@@ -29,7 +29,7 @@ use cfpq_matrix::SetMatrix;
 use std::ops::Range;
 
 /// Parses `word`, returning the full recognition matrix `T` (size
-/// `(n+1)²`); `T[0][n]` holds every nonterminal deriving the word.
+/// `(n+1)²`); `T\[0\][n]` holds every nonterminal deriving the word.
 pub fn valiant_parse(grammar: &Wcnf, word: &[Term]) -> SetMatrix {
     let n = word.len();
     let size = n + 1;
@@ -78,7 +78,15 @@ fn compute(t: &mut SetMatrix, p: &mut SetMatrix, g: &Wcnf, l: usize, r: usize) {
 /// block is final, and `P` already holds, for each block cell, all
 /// products through split points `k ∈ [r1, l2]` (the "middle" between the
 /// row range and the column range).
-fn complete(t: &mut SetMatrix, p: &mut SetMatrix, g: &Wcnf, l1: usize, r1: usize, l2: usize, r2: usize) {
+fn complete(
+    t: &mut SetMatrix,
+    p: &mut SetMatrix,
+    g: &Wcnf,
+    l1: usize,
+    r1: usize,
+    l2: usize,
+    r2: usize,
+) {
     let nr = r1 - l1;
     let nc = r2 - l2;
     if nr == 0 || nc == 0 {
@@ -155,11 +163,17 @@ mod tests {
     use cfpq_grammar::{Cfg, Nt};
 
     fn wcnf(src: &str) -> Wcnf {
-        Cfg::parse(src).unwrap().to_wcnf(CnfOptions::default()).unwrap()
+        Cfg::parse(src)
+            .unwrap()
+            .to_wcnf(CnfOptions::default())
+            .unwrap()
     }
 
     fn word(g: &Wcnf, names: &[&str]) -> Vec<Term> {
-        names.iter().map(|n| g.symbols.get_term(n).unwrap()).collect()
+        names
+            .iter()
+            .map(|n| g.symbols.get_term(n).unwrap())
+            .collect()
     }
 
     /// Full-table equivalence with CYK: every cell, every nonterminal.

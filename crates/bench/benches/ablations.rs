@@ -14,12 +14,14 @@
 //!   topology).
 
 use cfpq_baselines::{gll::solve_gll, hellings::solve_hellings};
-use cfpq_core::relational::{solve_on_engine, solve_on_engine_batched, solve_on_engine_delta, solve_set_matrix};
+use cfpq_core::relational::{
+    solve_on_engine, solve_on_engine_batched, solve_on_engine_delta, solve_set_matrix,
+};
 use cfpq_grammar::cnf::CnfOptions;
 use cfpq_grammar::Cfg;
 use cfpq_graph::generators;
 use cfpq_graph::ontology::evaluation_suite;
-use cfpq_matrix::{Device, DenseEngine, ParDenseEngine, ParSparseEngine, SparseEngine};
+use cfpq_matrix::{DenseEngine, Device, ParSparseEngine, SparseEngine};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::time::Duration;
 

@@ -24,16 +24,26 @@ fn main() {
     let idx = solve_on_engine(&SparseEngine, g3, &q1);
     println!("serial solve: {:?} ({} iters)", t.elapsed(), idx.iterations);
 
-    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2);
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(2);
     let dev = Device::new(workers);
     let e = ParSparseEngine::new(dev.clone());
     let t = Instant::now();
     let idx = solve_on_engine(&e, g3, &q1);
-    println!("par({workers}) solve: {:?} ({} iters)", t.elapsed(), idx.iterations);
+    println!(
+        "par({workers}) solve: {:?} ({} iters)",
+        t.elapsed(),
+        idx.iterations
+    );
 
     let t = Instant::now();
     let idx = solve_on_engine_batched(&e, g3, &q1);
-    println!("par({workers}) batched solve: {:?} ({} iters)", t.elapsed(), idx.iterations);
+    println!(
+        "par({workers}) batched solve: {:?} ({} iters)",
+        t.elapsed(),
+        idx.iterations
+    );
 
     // Isolated big multiply: the final S matrix squared.
     let s = &idx.matrices[q1.start.index()];

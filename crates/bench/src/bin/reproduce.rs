@@ -24,13 +24,22 @@ fn main() {
         match arg.as_str() {
             "table1" | "table2" | "all" => which = arg,
             "--workers" => {
-                workers = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .expect("--workers needs a number");
+                workers = match it.next().and_then(|v| v.parse().ok()) {
+                    Some(n) => n,
+                    None => {
+                        eprintln!("--workers needs a number");
+                        std::process::exit(2);
+                    }
+                };
             }
             "--json" => {
-                json_path = Some(it.next().expect("--json needs a path"));
+                json_path = match it.next() {
+                    Some(p) => Some(p),
+                    None => {
+                        eprintln!("--json needs a path");
+                        std::process::exit(2);
+                    }
+                };
             }
             other => {
                 eprintln!("unknown argument `{other}`");

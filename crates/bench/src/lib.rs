@@ -88,7 +88,9 @@ pub fn time_ms<T>(f: impl FnOnce() -> T) -> (T, f64) {
 /// they report the same `#results`.
 pub fn run_row(query: Query, dataset: &Dataset, device_workers: usize) -> Row {
     let cfg = query.grammar();
-    let wcnf: Wcnf = cfg.to_wcnf(CnfOptions::default()).expect("query normalizes");
+    let wcnf: Wcnf = cfg
+        .to_wcnf(CnfOptions::default())
+        .expect("query normalizes");
     let start_cfg = cfg.start.expect("query has start");
     let start_wcnf = wcnf.start;
     let graph = &dataset.graph;
@@ -191,7 +193,12 @@ pub fn render_table(query: Query, rows: &[Row]) -> String {
 pub fn small_suite() -> Vec<Dataset> {
     evaluation_suite()
         .into_iter()
-        .filter(|d| matches!(d.name.as_str(), "skos" | "generations" | "travel" | "univ-bench"))
+        .filter(|d| {
+            matches!(
+                d.name.as_str(),
+                "skos" | "generations" | "travel" | "univ-bench"
+            )
+        })
         .collect()
 }
 

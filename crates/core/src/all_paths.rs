@@ -3,7 +3,7 @@
 //! The all-path query semantics "requires presenting all possible paths
 //! from node m to node n whose labeling is derived from a non-terminal A".
 //! On cyclic graphs the full answer can be infinite (the paper cites
-//! annotated grammars [12] as one mitigation); this module provides the
+//! annotated grammars \[12\] as one mitigation); this module provides the
 //! practical variant: enumerate all *distinct* witness paths up to a
 //! length bound and a result limit, pruned by the relational index so
 //! only productive splits are explored.
@@ -62,7 +62,16 @@ pub fn enumerate_paths<M: BoolMat>(
     // never wastes budget on long paths before short ones are exhausted.
     for len in 1..=limits.max_len {
         let mut batch = Vec::new();
-        ctx.collect(nt, from, to, len, &mut Vec::new(), &mut batch, &mut results, &mut seen);
+        ctx.collect(
+            nt,
+            from,
+            to,
+            len,
+            &mut Vec::new(),
+            &mut batch,
+            &mut results,
+            &mut seen,
+        );
         if results.len() >= limits.max_paths {
             break;
         }
@@ -182,8 +191,7 @@ impl<M: BoolMat> Ctx<'_, M> {
         results: &mut Vec<Vec<Edge>>,
         seen: &mut BTreeSet<Vec<(u32, u32, u32)>>,
     ) {
-        let key: Vec<(u32, u32, u32)> =
-            path.iter().map(|e| (e.from, e.label.0, e.to)).collect();
+        let key: Vec<(u32, u32, u32)> = path.iter().map(|e| (e.from, e.label.0, e.to)).collect();
         if seen.insert(key) {
             results.push(path.to_vec());
         }
@@ -201,7 +209,10 @@ mod tests {
     use cfpq_matrix::DenseEngine;
 
     fn wcnf(src: &str) -> Wcnf {
-        Cfg::parse(src).unwrap().to_wcnf(CnfOptions::default()).unwrap()
+        Cfg::parse(src)
+            .unwrap()
+            .to_wcnf(CnfOptions::default())
+            .unwrap()
     }
 
     #[test]

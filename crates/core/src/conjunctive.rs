@@ -7,9 +7,9 @@
 //! fixpoint sweep as `T_A |= ⋂ᵢ (T_Bᵢ × T_Cᵢ)`.
 //!
 //! On *linear* inputs (word chains) this coincides with conjunctive CYK
-//! and is exact (Okhotin [19] — parsing by matrix multiplication
+//! and is exact (Okhotin \[19\] — parsing by matrix multiplication
 //! generalizes to Boolean grammars). On arbitrary graphs the result is an
-//! upper approximation: conjunctive path querying is undecidable [11], so
+//! upper approximation: conjunctive path querying is undecidable \[11\], so
 //! no terminating algorithm can be exact. Two sound properties are tested:
 //! string-exactness on chains, and containment in every single-conjunct
 //! projection (a context-free over-grammar).
@@ -21,7 +21,7 @@ use cfpq_matrix::BoolEngine;
 
 use crate::relational::RelationalIndex;
 
-/// A conjunctive rule `lhs → conjuncts[0] & conjuncts[1] & …`, every
+/// A conjunctive rule `lhs → conjuncts\[0\] & conjuncts\[1\] & …`, every
 /// conjunct a pair of nonterminals (binary normal form).
 #[derive(Clone, Debug)]
 pub struct ConjRule {
@@ -239,10 +239,8 @@ mod tests {
         for pick in 0..2 {
             let proj = g.projection(pick);
             let rel = solve_on_engine(&DenseEngine, &graph, &proj);
-            let conj_pairs: std::collections::BTreeSet<_> =
-                conj.pairs(s).into_iter().collect();
-            let proj_pairs: std::collections::BTreeSet<_> =
-                rel.pairs(s).into_iter().collect();
+            let conj_pairs: std::collections::BTreeSet<_> = conj.pairs(s).into_iter().collect();
+            let proj_pairs: std::collections::BTreeSet<_> = rel.pairs(s).into_iter().collect();
             assert!(
                 conj_pairs.is_subset(&proj_pairs),
                 "projection {pick} must over-approximate"

@@ -7,7 +7,7 @@
 use cfpq_grammar::cnf::CnfOptions;
 use cfpq_grammar::{Cfg, GrammarError, Nt, Wcnf};
 use cfpq_graph::Graph;
-use cfpq_matrix::{Device, DenseEngine, ParDenseEngine, ParSparseEngine, SparseEngine};
+use cfpq_matrix::{DenseEngine, Device, ParDenseEngine, ParSparseEngine, SparseEngine};
 use std::collections::BTreeMap;
 
 use crate::relational::{solve_on_engine, solve_set_matrix};
@@ -98,7 +98,9 @@ impl QueryAnswer {
 
     /// Iterates `(name, pairs)` for all nonterminals.
     pub fn relations(&self) -> impl Iterator<Item = (&str, &[(u32, u32)])> {
-        self.relations.iter().map(|(k, v)| (k.as_str(), v.as_slice()))
+        self.relations
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.as_slice()))
     }
 }
 
@@ -129,10 +131,7 @@ pub fn solve_wcnf(graph: &Graph, wcnf: &Wcnf, backend: Backend) -> QueryAnswer {
             let map = (0..wcnf.n_nts())
                 .map(|i| {
                     let nt = Nt(i as u32);
-                    (
-                        wcnf.symbols.nt_name(nt).to_owned(),
-                        result.pairs(nt),
-                    )
+                    (wcnf.symbols.nt_name(nt).to_owned(), result.pairs(nt))
                 })
                 .collect();
             (map, result.iterations)
@@ -216,7 +215,10 @@ mod tests {
         // Normalization introduces lifted terminal carriers such as
         // T<subClassOf_r>; they participate in the answer.
         let names: Vec<&str> = ans.relations().map(|(n, _)| n).collect();
-        assert!(names.iter().any(|n| n.starts_with("T<")), "names: {names:?}");
+        assert!(
+            names.iter().any(|n| n.starts_with("T<")),
+            "names: {names:?}"
+        );
     }
 
     #[test]

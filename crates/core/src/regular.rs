@@ -64,7 +64,10 @@ impl Nfa {
     /// `a+` — one or more repetitions of a single label.
     pub fn plus(label: &str) -> Nfa {
         let mut n = Nfa::new(2);
-        n.start(0).accept(1).transition(0, label, 1).transition(1, label, 1);
+        n.start(0)
+            .accept(1)
+            .transition(0, label, 1)
+            .transition(1, label, 1);
         n
     }
 

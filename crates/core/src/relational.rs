@@ -131,10 +131,8 @@ pub fn solve_on_engine_with<E: BoolEngine>(
         iterations += 1;
         let mut changed = false;
         for rule in &grammar.binary_rules {
-            let product = engine.multiply(
-                &matrices[rule.left.index()],
-                &matrices[rule.right.index()],
-            );
+            let product =
+                engine.multiply(&matrices[rule.left.index()], &matrices[rule.right.index()]);
             changed |= engine.union_in_place(&mut matrices[rule.lhs.index()], &product);
         }
         if !changed {
@@ -296,10 +294,13 @@ mod tests {
     use cfpq_grammar::queries;
     use cfpq_grammar::Cfg;
     use cfpq_graph::generators;
-    use cfpq_matrix::{Device, DenseEngine, ParDenseEngine, ParSparseEngine, SparseEngine};
+    use cfpq_matrix::{DenseEngine, Device, ParDenseEngine, ParSparseEngine, SparseEngine};
 
     fn wcnf(src: &str) -> Wcnf {
-        Cfg::parse(src).unwrap().to_wcnf(CnfOptions::default()).unwrap()
+        Cfg::parse(src)
+            .unwrap()
+            .to_wcnf(CnfOptions::default())
+            .unwrap()
     }
 
     #[test]
@@ -388,7 +389,7 @@ mod tests {
     }
 
     #[test]
-    fn labels_not_in_grammar_are_ignored(){
+    fn labels_not_in_grammar_are_ignored() {
         let g = wcnf("S -> a");
         let mut graph = generators::chain(1, "a");
         graph.add_edge_named(0, "unrelated", 1);
@@ -493,8 +494,7 @@ mod nullable_tests {
         }
         // Non-diagonal part must equal the epsilon-free relation.
         let without = solve_on_engine(&SparseEngine, &graph, &wcnf);
-        let non_diag: Vec<(u32, u32)> =
-            pairs.iter().copied().filter(|(i, j)| i != j).collect();
+        let non_diag: Vec<(u32, u32)> = pairs.iter().copied().filter(|(i, j)| i != j).collect();
         let expect: Vec<(u32, u32)> = without
             .pairs(s)
             .into_iter()

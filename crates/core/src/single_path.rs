@@ -143,7 +143,12 @@ impl std::fmt::Display for ExtractError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ExtractError::NotInRelation => write!(f, "pair is not in the relation"),
-            ExtractError::NoWitnessSplit { nt, from, to, length } => write!(
+            ExtractError::NoWitnessSplit {
+                nt,
+                from,
+                to,
+                length,
+            } => write!(
                 f,
                 "no witness split for {nt:?} ({from} -> {to}, length {length})"
             ),
@@ -170,7 +175,9 @@ pub fn extract_path(
     };
     let term_of = label_terminal_map(graph, grammar);
     let mut path = Vec::with_capacity(total as usize);
-    extract_into(index, graph, grammar, &term_of, nt, from, to, total, &mut path)?;
+    extract_into(
+        index, graph, grammar, &term_of, nt, from, to, total, &mut path,
+    )?;
     Ok(path)
 }
 
@@ -293,7 +300,10 @@ mod tests {
     use cfpq_matrix::DenseEngine;
 
     fn wcnf(src: &str) -> Wcnf {
-        Cfg::parse(src).unwrap().to_wcnf(CnfOptions::default()).unwrap()
+        Cfg::parse(src)
+            .unwrap()
+            .to_wcnf(CnfOptions::default())
+            .unwrap()
     }
 
     #[test]
@@ -370,7 +380,7 @@ mod tests {
         graph.add_edge_named(0, "b", 0);
         let idx = solve_single_path(&graph, &g);
         let len = idx.length(s, 0, 0).expect("S at (0,0)");
-        assert!(len >= 2 && len % 2 == 0);
+        assert!(len >= 2 && len.is_multiple_of(2));
         let path = extract_path(&idx, &graph, &g, s, 0, 0).unwrap();
         assert!(validate_witness(&path, &graph, &g, s, 0, 0));
     }
@@ -396,17 +406,37 @@ mod tests {
         let b = graph.get_label("b").unwrap();
         // Discontiguous.
         let bad = vec![
-            Edge { from: 0, label: a, to: 1 },
-            Edge { from: 0, label: b, to: 1 },
+            Edge {
+                from: 0,
+                label: a,
+                to: 1,
+            },
+            Edge {
+                from: 0,
+                label: b,
+                to: 1,
+            },
         ];
         assert!(!validate_witness(&bad, &graph, &g, s, 0, 1));
         // Nonexistent edge.
-        let fake = vec![Edge { from: 1, label: a, to: 0 }];
+        let fake = vec![Edge {
+            from: 1,
+            label: a,
+            to: 0,
+        }];
         assert!(!validate_witness(&fake, &graph, &g, s, 1, 0));
         // Wrong endpoints.
         let good = vec![
-            Edge { from: 0, label: a, to: 1 },
-            Edge { from: 1, label: b, to: 2 },
+            Edge {
+                from: 0,
+                label: a,
+                to: 1,
+            },
+            Edge {
+                from: 1,
+                label: b,
+                to: 2,
+            },
         ];
         assert!(validate_witness(&good, &graph, &g, s, 0, 2));
         assert!(!validate_witness(&good, &graph, &g, s, 0, 1));

@@ -74,7 +74,7 @@ pub struct Cfg {
     pub symbols: SymbolTable,
     /// All productions, in declaration order.
     pub productions: Vec<Production>,
-    /// The designated start nonterminal, if any. Following Hellings [11]
+    /// The designated start nonterminal, if any. Following Hellings \[11\]
     /// and the paper, grammars may omit the start symbol: CFPQ queries name
     /// the start nonterminal per query.
     pub start: Option<Nt>,
@@ -254,10 +254,7 @@ mod tests {
 
     #[test]
     fn parse_epsilon_and_comments() {
-        let g = Cfg::parse(
-            "# Dyck language\nS -> ( S ) S | eps  # alternatives\n",
-        )
-        .unwrap();
+        let g = Cfg::parse("# Dyck language\nS -> ( S ) S | eps  # alternatives\n").unwrap();
         assert_eq!(g.productions.len(), 2);
         assert!(g.productions[1].rhs.is_empty());
     }
@@ -292,7 +289,10 @@ mod tests {
 
     #[test]
     fn empty_grammar_is_error() {
-        assert_eq!(Cfg::parse("# only comments\n").unwrap_err(), GrammarError::Empty);
+        assert_eq!(
+            Cfg::parse("# only comments\n").unwrap_err(),
+            GrammarError::Empty
+        );
     }
 
     #[test]
@@ -331,7 +331,11 @@ impl Cfg {
     /// brute-force membership oracle for *general* grammars (ε-rules,
     /// unit rules, long rules) used to differential-test the CNF
     /// pipeline; exponential in general, so keep `max_len` small.
-    pub fn bounded_language(&self, start: Nt, max_len: usize) -> std::collections::BTreeSet<Vec<Term>> {
+    pub fn bounded_language(
+        &self,
+        start: Nt,
+        max_len: usize,
+    ) -> std::collections::BTreeSet<Vec<Term>> {
         use std::collections::{BTreeSet, HashSet, VecDeque};
         let mut words: BTreeSet<Vec<Term>> = BTreeSet::new();
         let mut seen: HashSet<Vec<Symbol>> = HashSet::new();
@@ -358,7 +362,9 @@ impl Cfg {
                     }
                 }
                 Some(pos) => {
-                    let Symbol::N(nt) = form[pos] else { unreachable!() };
+                    let Symbol::N(nt) = form[pos] else {
+                        unreachable!()
+                    };
                     for p in &self.productions {
                         if p.lhs != nt {
                             continue;
@@ -369,10 +375,7 @@ impl Cfg {
                         next.extend_from_slice(&form[pos + 1..]);
                         // Prune: nonterminals derive at least ε, terminals
                         // are permanent, so terminal count is monotone.
-                        let nt_count = next
-                            .iter()
-                            .filter(|s| matches!(s, Symbol::N(_)))
-                            .count();
+                        let nt_count = next.iter().filter(|s| matches!(s, Symbol::N(_))).count();
                         let t_count = next.len() - nt_count;
                         if t_count > max_len || next.len() > max_len + 8 {
                             continue;
@@ -399,13 +402,10 @@ mod bounded_language_tests {
         let words = g.bounded_language(s, 6);
         let a = g.symbols.get_term("a").unwrap();
         let b = g.symbols.get_term("b").unwrap();
-        let expect: std::collections::BTreeSet<Vec<Term>> = [
-            vec![a, b],
-            vec![a, a, b, b],
-            vec![a, a, a, b, b, b],
-        ]
-        .into_iter()
-        .collect();
+        let expect: std::collections::BTreeSet<Vec<Term>> =
+            [vec![a, b], vec![a, a, b, b], vec![a, a, a, b, b, b]]
+                .into_iter()
+                .collect();
         assert_eq!(words, expect);
     }
 

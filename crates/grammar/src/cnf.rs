@@ -24,20 +24,12 @@ use crate::wcnf::{BinaryRule, TermRule, Wcnf};
 use std::collections::{BTreeSet, HashMap, HashSet};
 
 /// Options controlling normalization.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct CnfOptions {
     /// Remove non-generating and (from `start`) unreachable nonterminals
     /// after normalization. Default `false`: the paper's relational
     /// semantics answers queries for every nonterminal of the grammar.
     pub remove_useless: bool,
-}
-
-impl Default for CnfOptions {
-    fn default() -> Self {
-        Self {
-            remove_useless: false,
-        }
-    }
 }
 
 impl Cfg {
@@ -147,10 +139,10 @@ impl Cfg {
                 if let [Symbol::N(b)] = p.rhs.as_slice() {
                     let b = *b;
                     let reachable: Vec<Nt> = unit_reach[b.index()].iter().copied().collect();
-                    for a in 0..n_nts {
-                        if unit_reach[a].contains(&p.lhs) {
+                    for reach_a in unit_reach.iter_mut() {
+                        if reach_a.contains(&p.lhs) {
                             for c in &reachable {
-                                changed |= unit_reach[a].insert(*c);
+                                changed |= reach_a.insert(*c);
                             }
                         }
                     }
@@ -165,8 +157,8 @@ impl Cfg {
                 continue;
             }
             // For every A that unit-reaches p.lhs, add A -> p.rhs.
-            for a in 0..n_nts {
-                if unit_reach[a].contains(&p.lhs) {
+            for (a, reach_a) in unit_reach.iter().enumerate() {
+                if reach_a.contains(&p.lhs) {
                     final_rules.insert((Nt(a as u32), p.rhs.clone()));
                 }
             }
@@ -249,8 +241,9 @@ fn remove_useless(wcnf: &mut Wcnf) {
             }
         }
     }
-    wcnf.binary_rules
-        .retain(|r| generating.contains(&r.lhs) && generating.contains(&r.left) && generating.contains(&r.right));
+    wcnf.binary_rules.retain(|r| {
+        generating.contains(&r.lhs) && generating.contains(&r.left) && generating.contains(&r.right)
+    });
 
     // Reachable from start over remaining rules.
     let mut reachable: HashSet<Nt> = HashSet::new();
@@ -266,8 +259,7 @@ fn remove_useless(wcnf: &mut Wcnf) {
             }
         }
     }
-    wcnf.binary_rules
-        .retain(|r| reachable.contains(&r.lhs));
+    wcnf.binary_rules.retain(|r| reachable.contains(&r.lhs));
     wcnf.term_rules
         .retain(|r| reachable.contains(&r.lhs) && generating.contains(&r.lhs));
 }
@@ -278,7 +270,10 @@ mod tests {
     use crate::cyk::cyk_recognize;
 
     fn wcnf(src: &str) -> Wcnf {
-        Cfg::parse(src).unwrap().to_wcnf(CnfOptions::default()).unwrap()
+        Cfg::parse(src)
+            .unwrap()
+            .to_wcnf(CnfOptions::default())
+            .unwrap()
     }
 
     #[test]
@@ -405,7 +400,11 @@ mod tests {
     fn word(g: &Wcnf, names: &[&str]) -> Vec<Term> {
         names
             .iter()
-            .map(|n| g.symbols.get_term(n).unwrap_or_else(|| panic!("terminal {n}")))
+            .map(|n| {
+                g.symbols
+                    .get_term(n)
+                    .unwrap_or_else(|| panic!("terminal {n}"))
+            })
             .collect()
     }
 }

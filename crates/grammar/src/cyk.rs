@@ -110,11 +110,17 @@ mod tests {
     use crate::cnf::CnfOptions;
 
     fn g(src: &str) -> Wcnf {
-        Cfg::parse(src).unwrap().to_wcnf(CnfOptions::default()).unwrap()
+        Cfg::parse(src)
+            .unwrap()
+            .to_wcnf(CnfOptions::default())
+            .unwrap()
     }
 
     fn w(g: &Wcnf, names: &[&str]) -> Vec<Term> {
-        names.iter().map(|n| g.symbols.get_term(n).unwrap()).collect()
+        names
+            .iter()
+            .map(|n| g.symbols.get_term(n).unwrap())
+            .collect()
     }
 
     #[test]

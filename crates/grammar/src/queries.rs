@@ -86,10 +86,8 @@ pub fn an_bn() -> Cfg {
 /// `S → p_r S p | p_r p`. The "layered" navigation pattern of the
 /// bioinformatics motivation.
 pub fn same_generation(label: &str) -> Cfg {
-    Cfg::parse(&format!(
-        "S -> {label}_r S {label}\nS -> {label}_r {label}"
-    ))
-    .expect("same_generation grammar is well-formed")
+    Cfg::parse(&format!("S -> {label}_r S {label}\nS -> {label}_r {label}"))
+        .expect("same_generation grammar is well-formed")
 }
 
 /// A small ambiguous expression grammar, exercising heavy CNF rewriting

@@ -124,8 +124,8 @@ pub fn sample_word(g: &Wcnf, start: Nt, max_expansions: usize, seed: u64) -> Opt
         // Bias towards terminal rules as the budget runs out so that
         // derivations tend to terminate.
         let near_budget = expansions * 2 > max_expansions;
-        let choose_term = !terms.is_empty()
-            && (bins.is_empty() || near_budget || rng.gen_bool(0.55));
+        let choose_term =
+            !terms.is_empty() && (bins.is_empty() || near_budget || rng.gen_bool(0.55));
         if choose_term {
             let r = terms[rng.gen_range(0..terms.len())];
             word.push(r.term);
@@ -181,7 +181,10 @@ mod tests {
                 );
             }
         }
-        assert!(produced > 20, "sampler should usually succeed, got {produced}");
+        assert!(
+            produced > 20,
+            "sampler should usually succeed, got {produced}"
+        );
     }
 
     #[test]

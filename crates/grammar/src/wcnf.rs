@@ -1,6 +1,6 @@
 //! Weak Chomsky Normal Form — the grammar shape consumed by every solver.
 //!
-//! Following Hellings [11] and §2 of the paper, a grammar in *weak* CNF has
+//! Following Hellings \[11\] and §2 of the paper, a grammar in *weak* CNF has
 //! only productions of the forms
 //!
 //! * `A → B C` with `A, B, C ∈ N` ([`BinaryRule`]), and
@@ -153,7 +153,10 @@ mod tests {
     use crate::cnf::CnfOptions;
 
     fn abc() -> Wcnf {
-        Cfg::parse("S -> A B\nA -> a\nB -> b").unwrap().to_wcnf(CnfOptions::default()).unwrap()
+        Cfg::parse("S -> A B\nA -> a\nB -> b")
+            .unwrap()
+            .to_wcnf(CnfOptions::default())
+            .unwrap()
     }
 
     #[test]

@@ -66,17 +66,116 @@ pub const PROFILES: &[OntologyProfile] = &[
     // traverses subClassOf, so a tiny Q2 count pins a tiny subClassOf
     // share — e.g. skos: 1 result, generations: 0); type_share,
     // class_pool_ratio and instance_ratio against the Q1 magnitudes.
-    OntologyProfile { name: "skos", triples: 252, class_share: 0.02, type_share: 0.55, class_ratio: 0.60, instance_ratio: 0.40, class_pool_ratio: 0.25, seed: 0xC0FFEE01 },
-    OntologyProfile { name: "generations", triples: 273, class_share: 0.01, type_share: 0.60, class_ratio: 0.60, instance_ratio: 0.35, class_pool_ratio: 0.28, seed: 0xC0FFEE02 },
-    OntologyProfile { name: "travel", triples: 277, class_share: 0.20, type_share: 0.50, class_ratio: 0.75, instance_ratio: 0.45, class_pool_ratio: 0.30, seed: 0xC0FFEE03 },
-    OntologyProfile { name: "univ-bench", triples: 293, class_share: 0.25, type_share: 0.50, class_ratio: 0.70, instance_ratio: 0.45, class_pool_ratio: 0.30, seed: 0xC0FFEE04 },
-    OntologyProfile { name: "atom-primitive", triples: 425, class_share: 0.35, type_share: 0.30, class_ratio: 0.45, instance_ratio: 0.40, class_pool_ratio: 0.50, seed: 0xC0FFEE05 },
-    OntologyProfile { name: "biomedical-measure-primitive", triples: 459, class_share: 0.45, type_share: 0.25, class_ratio: 0.40, instance_ratio: 0.40, class_pool_ratio: 0.50, seed: 0xC0FFEE06 },
-    OntologyProfile { name: "foaf", triples: 631, class_share: 0.03, type_share: 0.55, class_ratio: 0.70, instance_ratio: 0.30, class_pool_ratio: 0.22, seed: 0xC0FFEE07 },
-    OntologyProfile { name: "people-pets", triples: 640, class_share: 0.06, type_share: 0.55, class_ratio: 0.60, instance_ratio: 0.30, class_pool_ratio: 0.25, seed: 0xC0FFEE08 },
-    OntologyProfile { name: "funding", triples: 1086, class_share: 0.35, type_share: 0.40, class_ratio: 0.55, instance_ratio: 0.40, class_pool_ratio: 0.35, seed: 0xC0FFEE09 },
-    OntologyProfile { name: "wine", triples: 1839, class_share: 0.08, type_share: 0.55, class_ratio: 0.55, instance_ratio: 0.28, class_pool_ratio: 0.22, seed: 0xC0FFEE0A },
-    OntologyProfile { name: "pizza", triples: 1980, class_share: 0.35, type_share: 0.35, class_ratio: 0.45, instance_ratio: 0.35, class_pool_ratio: 0.35, seed: 0xC0FFEE0B },
+    OntologyProfile {
+        name: "skos",
+        triples: 252,
+        class_share: 0.02,
+        type_share: 0.55,
+        class_ratio: 0.60,
+        instance_ratio: 0.40,
+        class_pool_ratio: 0.25,
+        seed: 0xC0FFEE01,
+    },
+    OntologyProfile {
+        name: "generations",
+        triples: 273,
+        class_share: 0.01,
+        type_share: 0.60,
+        class_ratio: 0.60,
+        instance_ratio: 0.35,
+        class_pool_ratio: 0.28,
+        seed: 0xC0FFEE02,
+    },
+    OntologyProfile {
+        name: "travel",
+        triples: 277,
+        class_share: 0.20,
+        type_share: 0.50,
+        class_ratio: 0.75,
+        instance_ratio: 0.45,
+        class_pool_ratio: 0.30,
+        seed: 0xC0FFEE03,
+    },
+    OntologyProfile {
+        name: "univ-bench",
+        triples: 293,
+        class_share: 0.25,
+        type_share: 0.50,
+        class_ratio: 0.70,
+        instance_ratio: 0.45,
+        class_pool_ratio: 0.30,
+        seed: 0xC0FFEE04,
+    },
+    OntologyProfile {
+        name: "atom-primitive",
+        triples: 425,
+        class_share: 0.35,
+        type_share: 0.30,
+        class_ratio: 0.45,
+        instance_ratio: 0.40,
+        class_pool_ratio: 0.50,
+        seed: 0xC0FFEE05,
+    },
+    OntologyProfile {
+        name: "biomedical-measure-primitive",
+        triples: 459,
+        class_share: 0.45,
+        type_share: 0.25,
+        class_ratio: 0.40,
+        instance_ratio: 0.40,
+        class_pool_ratio: 0.50,
+        seed: 0xC0FFEE06,
+    },
+    OntologyProfile {
+        name: "foaf",
+        triples: 631,
+        class_share: 0.03,
+        type_share: 0.55,
+        class_ratio: 0.70,
+        instance_ratio: 0.30,
+        class_pool_ratio: 0.22,
+        seed: 0xC0FFEE07,
+    },
+    OntologyProfile {
+        name: "people-pets",
+        triples: 640,
+        class_share: 0.06,
+        type_share: 0.55,
+        class_ratio: 0.60,
+        instance_ratio: 0.30,
+        class_pool_ratio: 0.25,
+        seed: 0xC0FFEE08,
+    },
+    OntologyProfile {
+        name: "funding",
+        triples: 1086,
+        class_share: 0.35,
+        type_share: 0.40,
+        class_ratio: 0.55,
+        instance_ratio: 0.40,
+        class_pool_ratio: 0.35,
+        seed: 0xC0FFEE09,
+    },
+    OntologyProfile {
+        name: "wine",
+        triples: 1839,
+        class_share: 0.08,
+        type_share: 0.55,
+        class_ratio: 0.55,
+        instance_ratio: 0.28,
+        class_pool_ratio: 0.22,
+        seed: 0xC0FFEE0A,
+    },
+    OntologyProfile {
+        name: "pizza",
+        triples: 1980,
+        class_share: 0.35,
+        type_share: 0.35,
+        class_ratio: 0.45,
+        instance_ratio: 0.35,
+        class_pool_ratio: 0.35,
+        seed: 0xC0FFEE0B,
+    },
 ];
 
 impl OntologyProfile {
@@ -260,7 +359,10 @@ mod tests {
         assert_eq!(by_name("g1").triples, 8688);
         assert_eq!(by_name("g2").triples, 14712);
         assert_eq!(by_name("g3").triples, 15840);
-        assert_eq!(by_name("g1").graph.n_edges(), 8 * by_name("funding").graph.n_edges());
+        assert_eq!(
+            by_name("g1").graph.n_edges(),
+            8 * by_name("funding").graph.n_edges()
+        );
     }
 
     #[test]
@@ -296,13 +398,15 @@ mod tests {
     #[test]
     fn instances_are_multi_typed() {
         let t = dataset("wine").unwrap();
-        let mut types_of: std::collections::HashMap<&str, usize> =
-            std::collections::HashMap::new();
+        let mut types_of: std::collections::HashMap<&str, usize> = std::collections::HashMap::new();
         for (s, p, _) in t.iter() {
             if p == "type" {
                 *types_of.entry(s).or_insert(0) += 1;
             }
         }
-        assert!(types_of.values().any(|&d| d > 1), "some instance has 2+ types");
+        assert!(
+            types_of.values().any(|&d| d > 1),
+            "some instance has 2+ types"
+        );
     }
 }

@@ -34,7 +34,11 @@ pub struct TripleParseError {
 
 impl fmt::Display for TripleParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "triple parse error on line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "triple parse error on line {}: {}",
+            self.line, self.message
+        )
     }
 }
 

@@ -87,11 +87,7 @@ pub fn valiant_closure_terms(a: &SetMatrix, rules: &[BinaryRule], k: usize) -> S
 /// Checks Theorem 1 on a concrete instance: iterates Valiant's union until
 /// it reaches `a_cf` (or `max_k` terms), returning the number of terms
 /// needed. `None` means the bound was hit — a test failure upstream.
-pub fn theorem1_terms_needed(
-    a: &SetMatrix,
-    rules: &[BinaryRule],
-    max_k: usize,
-) -> Option<usize> {
+pub fn theorem1_terms_needed(a: &SetMatrix, rules: &[BinaryRule], max_k: usize) -> Option<usize> {
     let target = squaring_closure(a, rules, false).matrix;
     for k in 1..=max_k {
         let u = valiant_closure_terms(a, rules, k);
@@ -141,11 +137,7 @@ mod tests {
         // Chain a a b b: S spans (0,4) and (1,3).
         let g = an_bn();
         let s = g.symbols.get_nt("S").unwrap();
-        let m = init(
-            &g,
-            5,
-            &[(0, "a", 1), (1, "a", 2), (2, "b", 3), (3, "b", 4)],
-        );
+        let m = init(&g, 5, &[(0, "a", 1), (1, "a", 2), (2, "b", 3), (3, "b", 4)]);
         let r = squaring_closure(&m, &g.binary_rules, false);
         assert!(r.matrix.contains(0, 4, s));
         assert!(r.matrix.contains(1, 3, s));
@@ -165,11 +157,7 @@ mod tests {
     #[test]
     fn snapshots_are_monotone() {
         let g = an_bn();
-        let m = init(
-            &g,
-            4,
-            &[(0, "a", 1), (1, "a", 2), (2, "b", 3), (3, "b", 0)],
-        );
+        let m = init(&g, 4, &[(0, "a", 1), (1, "a", 2), (2, "b", 3), (3, "b", 0)]);
         let r = squaring_closure(&m, &g.binary_rules, true);
         assert_eq!(r.snapshots.len(), r.iterations + 1);
         for w in r.snapshots.windows(2) {
@@ -186,7 +174,13 @@ mod tests {
         let m = init(
             &g,
             4,
-            &[(0, "a", 1), (1, "a", 2), (2, "b", 3), (3, "b", 0), (0, "b", 0)],
+            &[
+                (0, "a", 1),
+                (1, "a", 2),
+                (2, "b", 3),
+                (3, "b", 0),
+                (0, "b", 0),
+            ],
         );
         let k = theorem1_terms_needed(&m, &g.binary_rules, 64);
         assert!(k.is_some(), "a+ must converge to a_cf (Theorem 1)");

@@ -246,7 +246,9 @@ mod tests {
         let mut b = DenseBitMatrix::zeros(n);
         let mut state = 0x12345678u64;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             state >> 33
         };
         for _ in 0..300 {

@@ -224,7 +224,10 @@ impl Device {
         }
         let mut remaining = completion.remaining.lock().expect("completion poisoned");
         while *remaining > 0 {
-            remaining = completion.done.wait(remaining).expect("completion poisoned");
+            remaining = completion
+                .done
+                .wait(remaining)
+                .expect("completion poisoned");
         }
         drop(remaining);
         if completion.panicked.load(Ordering::SeqCst) {

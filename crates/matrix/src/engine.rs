@@ -70,7 +70,10 @@ pub trait BoolEngine: Send + Sync {
     /// The zero matrix of size `n × n`.
     fn zeros(&self, n: usize) -> Self::Matrix;
 
-    /// Builds a matrix from `(row, col)` pairs.
+    /// Builds a matrix from `(row, col)` pairs. Takes `&self` because the
+    /// engine is an abstract factory here (the matrix is built *by* the
+    /// engine, not converted *from* it).
+    #[allow(clippy::wrong_self_convention)]
     fn from_pairs(&self, n: usize, pairs: &[(u32, u32)]) -> Self::Matrix;
 
     /// Boolean matrix product.
@@ -165,8 +168,7 @@ impl BoolEngine for ParDenseEngine {
     }
     fn multiply_batch(&self, jobs: &[(&DenseBitMatrix, &DenseBitMatrix)]) -> Vec<DenseBitMatrix> {
         // One serial kernel per job; no nested offload (see Device docs).
-        self.device
-            .par_map(jobs.to_vec(), |(a, b)| a.multiply(b))
+        self.device.par_map(jobs.to_vec(), |(a, b)| a.multiply(b))
     }
 }
 
@@ -240,8 +242,7 @@ impl BoolEngine for ParSparseEngine {
     }
     fn multiply_batch(&self, jobs: &[(&CsrMatrix, &CsrMatrix)]) -> Vec<CsrMatrix> {
         // One serial kernel per job; no nested offload (see Device docs).
-        self.device
-            .par_map(jobs.to_vec(), |(a, b)| a.multiply(b))
+        self.device.par_map(jobs.to_vec(), |(a, b)| a.multiply(b))
     }
 }
 

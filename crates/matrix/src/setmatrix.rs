@@ -128,8 +128,7 @@ impl SetMatrix {
                         if !b_in {
                             continue;
                         }
-                        let c_in = other.bits[bo + r.right.index() / 64]
-                            >> (r.right.index() % 64)
+                        let c_in = other.bits[bo + r.right.index() / 64] >> (r.right.index() % 64)
                             & 1
                             == 1;
                         if c_in {
@@ -164,8 +163,7 @@ impl SetMatrix {
                 if cell.is_empty() {
                     row.push(".".to_owned());
                 } else {
-                    let names: Vec<&str> =
-                        cell.iter().map(|&nt| symbols.nt_name(nt)).collect();
+                    let names: Vec<&str> = cell.iter().map(|&nt| symbols.nt_name(nt)).collect();
                     row.push(format!("{{{}}}", names.join(",")));
                 }
             }

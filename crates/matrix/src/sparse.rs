@@ -59,7 +59,10 @@ impl CsrMatrix {
         let nnz: usize = rows.iter().map(Vec::len).sum();
         let mut cols = Vec::with_capacity(nnz);
         for r in rows {
-            debug_assert!(r.windows(2).all(|w| w[0] < w[1]), "rows must be sorted+deduped");
+            debug_assert!(
+                r.windows(2).all(|w| w[0] < w[1]),
+                "rows must be sorted+deduped"
+            );
             cols.extend_from_slice(&r);
             row_ptr.push(cols.len());
         }
@@ -399,7 +402,10 @@ impl CsrMatrix {
                 if b.is_empty() {
                     return a.to_vec();
                 }
-                a.iter().copied().filter(|j| b.binary_search(j).is_err()).collect()
+                a.iter()
+                    .copied()
+                    .filter(|j| b.binary_search(j).is_err())
+                    .collect()
             })
             .collect();
         CsrMatrix::from_rows(rows)
@@ -411,7 +417,10 @@ impl CsrMatrix {
         let rows = (0..self.n)
             .map(|i| {
                 let (a, b) = (self.row(i), other.row(i));
-                a.iter().copied().filter(|j| b.binary_search(j).is_ok()).collect()
+                a.iter()
+                    .copied()
+                    .filter(|j| b.binary_search(j).is_ok())
+                    .collect()
             })
             .collect();
         CsrMatrix::from_rows(rows)

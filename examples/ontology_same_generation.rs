@@ -66,6 +66,8 @@ fn main() {
     let scaled = solve(&g1, &q1, Backend::SparsePar { workers: 0 })
         .unwrap()
         .start_count();
-    println!("\nfunding Q1 results: {base}; g1 = 8 x funding: {scaled} (exactly 8x: {})",
-        scaled == 8 * base);
+    println!(
+        "\nfunding Q1 results: {base}; g1 = 8 x funding: {scaled} (exactly 8x: {})",
+        scaled == 8 * base
+    );
 }

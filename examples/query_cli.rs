@@ -20,7 +20,10 @@ fn main() -> ExitCode {
         _ => {
             // Default to the bundled sample so `cargo run --example
             // query_cli` works out of the box.
-            ("data/university.triples".to_owned(), "data/same_generation.grammar".to_owned())
+            (
+                "data/university.triples".to_owned(),
+                "data/same_generation.grammar".to_owned(),
+            )
         }
     };
     let backend = match args.get(2).map(String::as_str) {

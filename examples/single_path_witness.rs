@@ -45,7 +45,10 @@ fn main() {
         let labels: Vec<&str> = path.iter().map(|e| graph.label_name(e.label)).collect();
         println!("  ({i}, {j}) len {len}: {}", labels.join(" "));
     }
-    println!("All {} witnesses validated against the grammar.", answers.len());
+    println!(
+        "All {} witnesses validated against the grammar.",
+        answers.len()
+    );
 
     // §7 future work: all-path semantics, bounded, on a cyclic graph.
     let mut cyclic = Graph::new(1);

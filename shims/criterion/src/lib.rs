@@ -1,0 +1,188 @@
+//! Offline stand-in for the `criterion` crate (see `shims/README.md`).
+//!
+//! Provides the API slice the bench targets use — [`Criterion`],
+//! [`BenchmarkGroup`] with `sample_size`/`warm_up_time`/
+//! `measurement_time`, [`Bencher::iter`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros. Each benchmark runs
+//! one warm-up call plus one timed call and prints the wall-clock time;
+//! the point of the shim is that `cargo bench --no-run` compiles the
+//! bench targets and `cargo bench` produces indicative numbers offline.
+
+use std::marker::PhantomData;
+use std::time::{Duration, Instant};
+
+/// Measurement markers, mirroring `criterion::measurement`.
+pub mod measurement {
+    /// Wall-clock time (the only measurement the shim supports).
+    pub struct WallTime;
+}
+
+/// Entry point handed to benchmark functions.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Mirrors `Criterion::configure_from_args` (no-op here).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _parent: PhantomData,
+        }
+    }
+
+    /// Registers and immediately runs a single benchmark.
+    pub fn bench_function(
+        &mut self,
+        name: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_one(&name.into(), &mut f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a, M = measurement::WallTime> {
+    name: String,
+    _parent: PhantomData<(&'a mut Criterion, M)>,
+}
+
+impl<M> BenchmarkGroup<'_, M> {
+    /// Accepted for API parity; the shim always runs one sample.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API parity; the shim warms up with one call.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API parity; the shim times one call.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Registers and immediately runs a benchmark in this group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into());
+        run_one(&full, &mut f);
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+fn run_one(name: &str, f: &mut impl FnMut(&mut Bencher)) {
+    let mut bencher = Bencher {
+        elapsed: Duration::ZERO,
+        iters: 0,
+    };
+    f(&mut bencher);
+    if bencher.iters > 0 {
+        let per_iter = bencher.elapsed / bencher.iters;
+        println!(
+            "bench {name:<50} {per_iter:>12.2?}/iter ({} iters)",
+            bencher.iters
+        );
+    } else {
+        println!("bench {name:<50} (no iterations recorded)");
+    }
+}
+
+/// Timing handle passed to each benchmark closure.
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u32,
+}
+
+impl Bencher {
+    /// Runs `routine` once warm-up + once timed (the shim's sampling
+    /// policy), recording the timed call.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let _ = black_box(routine());
+        let start = Instant::now();
+        let out = routine();
+        self.elapsed += start.elapsed();
+        self.iters += 1;
+        let _ = black_box(out);
+    }
+}
+
+/// Opaque value sink, mirroring `criterion::black_box`.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Bundles benchmark functions into a runner function, mirroring
+/// `criterion::criterion_group!` (plain list form).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `fn main` invoking the given groups, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("group");
+        group
+            .sample_size(10)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(1));
+        let mut calls = 0u32;
+        group.bench_function("sum", |b| {
+            b.iter(|| {
+                calls += 1;
+                (0..100u64).sum::<u64>()
+            })
+        });
+        group.finish();
+        assert!(calls >= 2, "warm-up + timed call");
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_macro_runs_targets() {
+        benches();
+    }
+
+    #[test]
+    fn top_level_bench_function_runs() {
+        let mut c = Criterion::default();
+        let mut ran = false;
+        c.bench_function("direct", |b| b.iter(|| ran = true));
+        assert!(ran);
+    }
+}

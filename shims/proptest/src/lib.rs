@@ -1,0 +1,369 @@
+//! Offline stand-in for the `proptest` crate (see `shims/README.md`).
+//!
+//! Implements the slice of proptest this workspace uses:
+//!
+//! * the [`proptest!`] macro over `fn name(pat in strategy, ...)` items
+//!   with an optional `#![proptest_config(...)]` header,
+//! * [`Strategy`] for half-open integer ranges, tuples of strategies and
+//!   [`collection::vec`],
+//! * `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!`,
+//! * [`ProptestConfig`] with `with_cases`.
+//!
+//! Differences from the real crate: cases are sampled from a
+//! deterministic RNG (no shrinking, no failure persistence). The seed is
+//! `ProptestConfig::rng_seed` (default `0xCF9C_5EED`) mixed with the
+//! test name, so every CI run replays the same cases; set the
+//! `CFPQ_PROPTEST_SEED` environment variable to explore other streams.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+use std::ops::Range;
+
+/// Test-case failure raised by the `prop_assert*` macros.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// Assertion failure with a rendered message.
+    Fail(String),
+    /// Input rejected by the test body (kept for API parity).
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// Builds a failure from any displayable message.
+    pub fn fail(msg: impl fmt::Display) -> Self {
+        TestCaseError::Fail(msg.to_string())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "{m}"),
+            TestCaseError::Reject(m) => write!(f, "rejected: {m}"),
+        }
+    }
+}
+
+/// Result type the generated test bodies produce.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Per-`proptest!`-block configuration.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+    /// Base RNG seed; mixed with the test name per test function.
+    pub rng_seed: u64,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases with the default fixed seed.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..Default::default()
+        }
+    }
+
+    /// Config with an explicit base seed.
+    pub fn with_cases_and_seed(cases: u32, rng_seed: u64) -> Self {
+        ProptestConfig { cases, rng_seed }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 64,
+            rng_seed: 0xCF9C_5EED,
+        }
+    }
+}
+
+/// The RNG driving case generation. Deterministic; see crate docs.
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Derives the per-test RNG from the config seed and the test name,
+    /// honouring the `CFPQ_PROPTEST_SEED` override.
+    pub fn for_test(config: &ProptestConfig, test_name: &str) -> Self {
+        let base = std::env::var("CFPQ_PROPTEST_SEED")
+            .ok()
+            .and_then(|s| s.parse::<u64>().ok())
+            .unwrap_or(config.rng_seed);
+        // FNV-1a over the test name keeps distinct tests on distinct streams.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng(StdRng::seed_from_u64(base ^ h))
+    }
+
+    /// Next raw 64 bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// A generator of values for property tests (no shrinking).
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_strategy_for_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                rng.0.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_strategy_for_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Always produces a clone of the wrapped value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+impl Strategy for Range<char> {
+    type Value = char;
+    fn generate(&self, rng: &mut TestRng) -> char {
+        let lo = self.start as u32;
+        let hi = self.end as u32;
+        assert!(lo < hi, "empty range strategy");
+        char::from_u32(rng.0.gen_range(lo..hi)).unwrap_or(self.start)
+    }
+}
+
+macro_rules! impl_strategy_for_tuple {
+    ($(($($name:ident),+)),+ $(,)?) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_strategy_for_tuple!((A, B), (A, B, C), (A, B, C, D), (A, B, C, D, E));
+
+/// Collection strategies (`prop::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s of `element` values with a length drawn from
+    /// `len` (half-open, as in the real crate).
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    /// See [`vec()`].
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = if self.len.start + 1 >= self.len.end {
+                self.len.start
+            } else {
+                (self.len.clone()).generate(rng)
+            };
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Name-compatible module alias: lets `prop::collection::vec(...)` work
+/// after `use proptest::prelude::*`.
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// The usual glob import, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        collection, prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just,
+        ProptestConfig, Strategy, TestCaseError, TestCaseResult, TestRng,
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body, returning a
+/// [`TestCaseError`] (not panicking) on failure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?}` != `{:?}` ({} != {})",
+            left, right, stringify!($left), stringify!($right)
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "{}: `{:?}` != `{:?}`",
+            format!($($fmt)+), left, right
+        );
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: both sides equal `{:?}`",
+            left
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "{}: both sides equal `{:?}`",
+            format!($($fmt)+), left
+        );
+    }};
+}
+
+/// Declares deterministic property tests. Supports the subset of the
+/// real macro's grammar this workspace uses:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn my_property(x in 0u32..10, v in prop::collection::vec(0u64..5, 0..8)) {
+///         prop_assert!(x < 10);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { @cfg($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { @cfg($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@cfg($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::TestRng::for_test(&config, stringify!($name));
+            for case in 0..config.cases {
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)*
+                #[allow(unreachable_code)]
+                let outcome: $crate::TestCaseResult = (|| {
+                    $body
+                    ::core::result::Result::Ok(())
+                })();
+                match outcome {
+                    ::core::result::Result::Ok(()) => {}
+                    ::core::result::Result::Err($crate::TestCaseError::Reject(_)) => {}
+                    ::core::result::Result::Err(e) => panic!(
+                        "proptest `{}` failed at case {}/{}: {}\n(deterministic; re-run reproduces — see shims/README.md)",
+                        stringify!($name), case + 1, config.cases, e
+                    ),
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_generate_in_bounds() {
+        let cfg = ProptestConfig::default();
+        let mut rng = TestRng::for_test(&cfg, "ranges_generate_in_bounds");
+        for _ in 0..200 {
+            let v = (3u32..9).generate(&mut rng);
+            assert!((3..9).contains(&v));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_len() {
+        let cfg = ProptestConfig::default();
+        let mut rng = TestRng::for_test(&cfg, "vec_strategy_respects_len");
+        for _ in 0..100 {
+            let v = collection::vec((0u32..5, 0u32..5), 2..7).generate(&mut rng);
+            assert!((2..7).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let cfg = ProptestConfig::default();
+        let mut a = TestRng::for_test(&cfg, "same-name");
+        let mut b = TestRng::for_test(&cfg, "same-name");
+        let va: Vec<u64> = (0..16).map(|_| (0u64..1000).generate(&mut a)).collect();
+        let vb: Vec<u64> = (0..16).map(|_| (0u64..1000).generate(&mut b)).collect();
+        assert_eq!(va, vb);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn macro_smoke(x in 0u32..10, pairs in collection::vec((0u32..4, 0u32..4), 0..6)) {
+            prop_assert!(x < 10);
+            for (a, b) in pairs {
+                prop_assert!(a < 4 && b < 4, "pair out of range: ({}, {})", a, b);
+            }
+            if x == 3 {
+                return Ok(());
+            }
+            prop_assert_ne!(x, 10);
+        }
+    }
+}

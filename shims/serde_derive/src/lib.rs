@@ -1,0 +1,144 @@
+//! Offline stand-in for `serde_derive` (see `shims/README.md`).
+//!
+//! Implements `#[derive(Serialize)]` for structs with named fields by
+//! walking the raw token stream (no `syn`/`quote` available offline).
+//! The generated impl renders the struct as an insertion-ordered
+//! `serde::Value::Object`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` for a named-field struct.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let (name, generics, body) =
+        parse_struct(&tokens).unwrap_or_else(|msg| panic!("#[derive(Serialize)] shim: {msg}"));
+    if !generics.is_empty() {
+        panic!("#[derive(Serialize)] shim supports only non-generic structs");
+    }
+    let fields =
+        named_fields(&body).unwrap_or_else(|msg| panic!("#[derive(Serialize)] shim: {msg}"));
+
+    let pushes: String = fields
+        .iter()
+        .map(|f| {
+            format!("entries.push(({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f})));")
+        })
+        .collect();
+    let impl_src = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 let mut entries: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                 {pushes}\n\
+                 ::serde::Value::Object(entries)\n\
+             }}\n\
+         }}"
+    );
+    impl_src.parse().expect("generated Serialize impl parses")
+}
+
+/// Finds `struct <Name> <generics?> { ... }`, skipping attributes and
+/// visibility. Returns (name, generic tokens, brace-group tokens).
+fn parse_struct(tokens: &[TokenTree]) -> Result<(String, Vec<TokenTree>, Vec<TokenTree>), String> {
+    let mut i = 0;
+    // Skip attributes (`#[...]`) and any `pub`, `pub(...)` prefix.
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    match tokens.get(i) {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" => i += 1,
+        other => return Err(format!("expected `struct`, found {other:?}")),
+    }
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => {
+            i += 1;
+            id.to_string()
+        }
+        other => return Err(format!("expected struct name, found {other:?}")),
+    };
+    let mut generics = Vec::new();
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            let mut depth = 0i32;
+            while let Some(tt) = tokens.get(i) {
+                if let TokenTree::Punct(p) = tt {
+                    match p.as_char() {
+                        '<' => depth += 1,
+                        '>' => depth -= 1,
+                        _ => {}
+                    }
+                }
+                generics.push(tt.clone());
+                i += 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+        }
+    }
+    match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            Ok((name, generics, g.stream().into_iter().collect()))
+        }
+        other => Err(format!(
+            "only structs with named fields are supported, found {other:?}"
+        )),
+    }
+}
+
+/// Extracts field names from the tokens of a named-field struct body.
+fn named_fields(body: &[TokenTree]) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut angle_depth = 0i32;
+    let mut expect_name = true;
+    let mut i = 0;
+    while i < body.len() {
+        match &body[i] {
+            // Skip field attributes like doc comments.
+            TokenTree::Punct(p) if p.as_char() == '#' && expect_name => {
+                i += 2;
+                continue;
+            }
+            TokenTree::Ident(id) if expect_name && id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = body.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+                continue;
+            }
+            TokenTree::Ident(id) if expect_name => {
+                fields.push(id.to_string());
+                expect_name = false;
+                i += 1;
+                continue;
+            }
+            TokenTree::Punct(p) => {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => expect_name = true,
+                    _ => {}
+                }
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    if fields.is_empty() {
+        return Err("struct has no named fields".to_owned());
+    }
+    Ok(fields)
+}

@@ -113,11 +113,7 @@ fn gll_and_rsm_agree_on_cyclic_graphs_with_general_grammars() {
     for seed in 0..30u64 {
         let cfg = random_general_cfg(seed);
         let start = cfg.start.unwrap();
-        let names: Vec<String> = cfg
-            .symbols
-            .terms()
-            .map(|(_, n)| n.to_owned())
-            .collect();
+        let names: Vec<String> = cfg.symbols.terms().map(|(_, n)| n.to_owned()).collect();
         if names.is_empty() {
             continue; // terminal-free grammar: no labeled graph to build
         }

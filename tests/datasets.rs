@@ -45,8 +45,7 @@ fn q1_results_are_symmetric_on_rdf_graphs() {
     // mirrored path relates y to x.
     let graph = ontology::dataset("univ-bench").unwrap().to_graph();
     let ans = solve(&graph, &queries::query1(), Backend::Sparse).unwrap();
-    let pairs: std::collections::BTreeSet<(u32, u32)> =
-        ans.start_pairs().iter().copied().collect();
+    let pairs: std::collections::BTreeSet<(u32, u32)> = ans.start_pairs().iter().copied().collect();
     for &(i, j) in &pairs {
         assert!(pairs.contains(&(j, i)), "missing mirror of ({i},{j})");
     }

@@ -162,6 +162,43 @@ proptest! {
 }
 
 #[test]
+fn four_engines_agree_on_paper_example_and_generated_graph() {
+    // The §4.3 worked example: every Boolean engine must report the
+    // paper's Fig. 9 answer R_S = {(0,0), (0,2), (1,2)} — and, on a
+    // generated graph, all four must agree pair-for-pair.
+    let wcnf = cfpq::grammar::queries::fig4_normal_form()
+        .to_wcnf(cfpq::grammar::cnf::CnfOptions::default())
+        .unwrap();
+    let expected_start = vec![(0u32, 0u32), (0, 2), (1, 2)];
+
+    let instances = [
+        (generators::paper_example(), Some(expected_start)),
+        (
+            generators::random_graph(12, 30, &["a", "b"], 0xE05_EED),
+            None,
+        ),
+    ];
+    for (graph, expect) in instances {
+        let dense = solve_on_engine(&DenseEngine, &graph, &wcnf);
+        let sparse = solve_on_engine(&SparseEngine, &graph, &wcnf);
+        let dense_par = solve_on_engine(&ParDenseEngine::new(Device::new(2)), &graph, &wcnf);
+        let sparse_par = solve_on_engine(&ParSparseEngine::new(Device::new(3)), &graph, &wcnf);
+
+        let reference = dense.pairs(wcnf.start);
+        if let Some(expect) = expect {
+            assert_eq!(reference, expect, "Fig. 9 R_S on the dense engine");
+        }
+        assert_eq!(sparse.pairs(wcnf.start), reference, "sparse vs dense");
+        assert_eq!(dense_par.pairs(wcnf.start), reference, "dense-par vs dense");
+        assert_eq!(
+            sparse_par.pairs(wcnf.start),
+            reference,
+            "sparse-par vs dense"
+        );
+    }
+}
+
+#[test]
 fn engines_agree_on_every_builtin_query_and_dataset_sample() {
     // Deterministic integration sweep: both queries on the two smallest
     // ontology datasets across all backends.

@@ -21,7 +21,11 @@ fn random_general_cfg(seed: u64) -> Cfg {
     // Ensure N0 has at least one production.
     let n_rules = rng.gen_range(n_nts..n_nts * 3);
     for r in 0..n_rules {
-        let lhs = if r < n_nts { &nts[r] } else { &nts[rng.gen_range(0..n_nts)] };
+        let lhs = if r < n_nts {
+            &nts[r]
+        } else {
+            &nts[rng.gen_range(0..n_nts)]
+        };
         let len = rng.gen_range(0..5usize);
         let mut rhs: Vec<&str> = Vec::new();
         for _ in 0..len {
@@ -203,7 +207,10 @@ fn dyck_language_deep_checks() {
     for len in 1..=8usize {
         for mask in 0..(1u32 << len) {
             let bools: Vec<bool> = (0..len).map(|i| mask >> i & 1 == 1).collect();
-            let word: Vec<Term> = bools.iter().map(|&b| if b { open } else { close }).collect();
+            let word: Vec<Term> = bools
+                .iter()
+                .map(|&b| if b { open } else { close })
+                .collect();
             assert_eq!(
                 cyk_recognize(&wcnf, s, &word),
                 is_balanced(&bools),

@@ -19,7 +19,11 @@ fn assert_matrix(
         for (j, cell) in row.iter().enumerate() {
             let mut expect: Vec<Nt> = cell
                 .iter()
-                .map(|name| wcnf.symbols.get_nt(name).unwrap_or_else(|| panic!("nt {name}")))
+                .map(|name| {
+                    wcnf.symbols
+                        .get_nt(name)
+                        .unwrap_or_else(|| panic!("nt {name}"))
+                })
                 .collect();
             expect.sort_unstable();
             let got = snapshot.cell(i as u32, j as u32);

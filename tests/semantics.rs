@@ -15,9 +15,7 @@ use cfpq::prelude::*;
 fn every_single_path_witness_on_skos_validates() {
     // The §5 semantics on a real-ish dataset: extract a witness for every
     // same-generation pair and re-derive its label word.
-    let wcnf = queries::query1()
-        .to_wcnf(CnfOptions::default())
-        .unwrap();
+    let wcnf = queries::query1().to_wcnf(CnfOptions::default()).unwrap();
     let graph = ontology::dataset("skos").unwrap().to_graph();
     let s = wcnf.symbols.get_nt("S").unwrap();
     let index = solve_single_path(&graph, &wcnf);
@@ -36,9 +34,7 @@ fn witness_lengths_are_even_for_same_generation() {
     // Q1 derivations always pair an up-edge with a down-edge, so witness
     // lengths are even — a semantic regression check on the length
     // bookkeeping of §5.
-    let wcnf = queries::query1()
-        .to_wcnf(CnfOptions::default())
-        .unwrap();
+    let wcnf = queries::query1().to_wcnf(CnfOptions::default()).unwrap();
     let graph = ontology::dataset("travel").unwrap().to_graph();
     let s = wcnf.symbols.get_nt("S").unwrap();
     let index = solve_single_path(&graph, &wcnf);
@@ -127,7 +123,10 @@ fn conjunctive_is_upper_approximation_on_merged_cycles() {
         let proj = g.projection(pick);
         let rel = solve_on_engine(&SparseEngine, &graph, &proj);
         for (i, j) in conj.pairs(s) {
-            assert!(rel.contains(s, i, j), "projection {pick} must contain ({i},{j})");
+            assert!(
+                rel.contains(s, i, j),
+                "projection {pick} must contain ({i},{j})"
+            );
         }
     }
     // Here the approximation does report (0,0): a b c is realizable as a
