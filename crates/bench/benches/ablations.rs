@@ -16,6 +16,7 @@
 use cfpq_baselines::{gll::solve_gll, hellings::solve_hellings};
 use cfpq_core::relational::{
     solve_on_engine, solve_on_engine_batched, solve_on_engine_delta, solve_set_matrix,
+    FixpointSolver, Strategy,
 };
 use cfpq_grammar::cnf::CnfOptions;
 use cfpq_grammar::Cfg;
@@ -96,6 +97,22 @@ fn bench_delta(c: &mut Criterion) {
         });
         group.bench_function(format!("{name}/delta"), |b| {
             b.iter(|| solve_on_engine_delta(&SparseEngine, g, &wcnf))
+        });
+    }
+    group.finish();
+
+    // The full strategy ladder on one representative dataset: what each
+    // step (batching, semi-naive Δ, masking) buys on the same input.
+    let mut group = c.benchmark_group("ablation-strategy");
+    configure(&mut group);
+    let funding = &suite.iter().find(|d| d.name == "funding").unwrap().graph;
+    for strategy in Strategy::ALL {
+        group.bench_function(format!("funding/{}", strategy.name()), |b| {
+            b.iter(|| {
+                FixpointSolver::new(&SparseEngine)
+                    .strategy(strategy)
+                    .solve(funding, &wcnf)
+            })
         });
     }
     group.finish();

@@ -1,0 +1,112 @@
+//! Kernel-level Criterion benches for the masked multiplication path —
+//! the per-operation counterpart of the solver-level ablations.
+//!
+//! Measures, per representation:
+//!
+//! * `multiply` vs `multiply_masked` as the complement mask grows — the
+//!   masked kernel's whole point is that a denser mask means *less*
+//!   output to materialize, so its time should fall while the unmasked
+//!   product stays flat;
+//! * `multiply` + `difference` vs the fused `multiply_masked` — what the
+//!   engine-default fallback costs against the real kernels;
+//! * batched masked products on the parallel device — the §7 "one
+//!   kernel per rule" overlap the `MaskedDelta` sweep relies on.
+
+use cfpq_matrix::{BoolEngine, CsrMatrix, DenseBitMatrix, Device, ParSparseEngine};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn configure(group: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>) {
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+}
+
+/// Deterministic pseudo-random pair list (no external RNG in benches).
+fn random_pairs(n: usize, count: usize, seed: u64) -> Vec<(u32, u32)> {
+    let mut state = seed;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) as u32
+    };
+    (0..count)
+        .map(|_| (next() % n as u32, next() % n as u32))
+        .collect()
+}
+
+fn bench_dense_masked(c: &mut Criterion) {
+    let n = 512usize;
+    let a = DenseBitMatrix::from_pairs(n, &random_pairs(n, 4 * n, 0xA));
+    let b = DenseBitMatrix::from_pairs(n, &random_pairs(n, 4 * n, 0xB));
+
+    let mut group = c.benchmark_group("kernel-dense");
+    configure(&mut group);
+    group.bench_function("multiply", |bch| bch.iter(|| a.multiply(&b)));
+    for mask_factor in [1usize, 8, 64] {
+        let mask = DenseBitMatrix::from_pairs(n, &random_pairs(n, mask_factor * n, 0xC));
+        group.bench_function(format!("masked/mask-nnz-{}", mask.nnz()), |bch| {
+            bch.iter(|| a.multiply_masked(&b, &mask))
+        });
+        group.bench_function(format!("mul-then-diff/mask-nnz-{}", mask.nnz()), |bch| {
+            bch.iter(|| a.multiply(&b).difference(&mask))
+        });
+    }
+    group.finish();
+}
+
+fn bench_sparse_masked(c: &mut Criterion) {
+    let n = 2048usize;
+    let a = CsrMatrix::from_pairs(n, &random_pairs(n, 8 * n, 0x1));
+    let b = CsrMatrix::from_pairs(n, &random_pairs(n, 8 * n, 0x2));
+
+    let mut group = c.benchmark_group("kernel-sparse");
+    configure(&mut group);
+    group.bench_function("multiply", |bch| bch.iter(|| a.multiply(&b)));
+    for mask_factor in [2usize, 16, 64] {
+        let mask = CsrMatrix::from_pairs(n, &random_pairs(n, mask_factor * n, 0x3));
+        group.bench_function(format!("masked/mask-nnz-{}", mask.nnz()), |bch| {
+            bch.iter(|| a.multiply_masked(&b, &mask))
+        });
+        group.bench_function(format!("mul-then-diff/mask-nnz-{}", mask.nnz()), |bch| {
+            bch.iter(|| a.multiply(&b).difference(&mask))
+        });
+    }
+    group.finish();
+}
+
+fn bench_masked_batch(c: &mut Criterion) {
+    let n = 1024usize;
+    let a = CsrMatrix::from_pairs(n, &random_pairs(n, 8 * n, 0x11));
+    let b = CsrMatrix::from_pairs(n, &random_pairs(n, 8 * n, 0x12));
+    let mask = CsrMatrix::from_pairs(n, &random_pairs(n, 16 * n, 0x13));
+    let jobs: Vec<(&CsrMatrix, &CsrMatrix, Option<&CsrMatrix>)> = (0..8)
+        .map(|i| {
+            if i % 2 == 0 {
+                (&a, &b, Some(&mask))
+            } else {
+                (&b, &a, None)
+            }
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("kernel-masked-batch");
+    configure(&mut group);
+    for workers in [1usize, 2, 4] {
+        let e = ParSparseEngine::new(Device::new(workers));
+        group.bench_function(format!("sparse-par/{workers}"), |bch| {
+            bch.iter(|| e.multiply_masked_batch(&jobs))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_dense_masked,
+    bench_sparse_masked,
+    bench_masked_batch
+);
+criterion_main!(benches);

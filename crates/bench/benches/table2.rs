@@ -6,7 +6,7 @@
 
 use cfpq_baselines::gll::GllSolver;
 use cfpq_bench::Query;
-use cfpq_core::relational::solve_on_engine;
+use cfpq_core::relational::FixpointSolver;
 use cfpq_grammar::cnf::CnfOptions;
 use cfpq_graph::ontology::evaluation_suite;
 use cfpq_matrix::{Device, ParDenseEngine, ParSparseEngine, SparseEngine};
@@ -33,14 +33,14 @@ fn bench_table2(c: &mut Criterion) {
         });
         group.bench_function(format!("{name}/dense-par"), |b| {
             let e = ParDenseEngine::new(Device::host_parallel());
-            b.iter(|| solve_on_engine(&e, g, &wcnf))
+            b.iter(|| FixpointSolver::new(&e).solve(g, &wcnf))
         });
         group.bench_function(format!("{name}/sparse"), |b| {
-            b.iter(|| solve_on_engine(&SparseEngine, g, &wcnf))
+            b.iter(|| FixpointSolver::new(&SparseEngine).solve(g, &wcnf))
         });
         group.bench_function(format!("{name}/sparse-par"), |b| {
             let e = ParSparseEngine::new(Device::host_parallel());
-            b.iter(|| solve_on_engine(&e, g, &wcnf))
+            b.iter(|| FixpointSolver::new(&e).solve(g, &wcnf))
         });
     }
     group.finish();
@@ -54,11 +54,11 @@ fn bench_table2(c: &mut Criterion) {
         let ds = suite.iter().find(|d| d.name == name).unwrap();
         let g = &ds.graph;
         group.bench_function(format!("{name}/sparse"), |b| {
-            b.iter(|| solve_on_engine(&SparseEngine, g, &wcnf))
+            b.iter(|| FixpointSolver::new(&SparseEngine).solve(g, &wcnf))
         });
         group.bench_function(format!("{name}/sparse-par"), |b| {
             let e = ParSparseEngine::new(Device::host_parallel());
-            b.iter(|| solve_on_engine(&e, g, &wcnf))
+            b.iter(|| FixpointSolver::new(&e).solve(g, &wcnf))
         });
     }
     group.finish();

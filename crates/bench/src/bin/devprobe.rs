@@ -7,7 +7,7 @@
 //! cargo run --release -p cfpq-bench --bin devprobe
 //! ```
 
-use cfpq_core::relational::{solve_on_engine, solve_on_engine_batched};
+use cfpq_core::relational::{solve_on_engine, solve_on_engine_batched, FixpointSolver};
 use cfpq_grammar::cnf::CnfOptions;
 use cfpq_graph::ontology::evaluation_suite;
 use cfpq_matrix::{CsrMatrix, Device, ParSparseEngine, SparseEngine};
@@ -43,6 +43,16 @@ fn main() {
         "par({workers}) batched solve: {:?} ({} iters)",
         t.elapsed(),
         idx.iterations
+    );
+
+    let t = Instant::now();
+    let idx = FixpointSolver::new(&e).solve(g3, &q1);
+    println!(
+        "par({workers}) masked-delta solve: {:?} ({} iters, {} products, {} skipped)",
+        t.elapsed(),
+        idx.iterations,
+        idx.stats.products_computed,
+        idx.stats.products_skipped
     );
 
     // Isolated big multiply: the final S matrix squared.

@@ -2,15 +2,20 @@
 //!
 //! ```text
 //! cargo run --release -p cfpq-bench --bin reproduce -- [table1|table2|all] \
-//!     [--workers N] [--json PATH]
+//!     [--workers N] [--json PATH] [--smoke]
 //! ```
 //!
 //! Prints each table in the paper's layout and optionally writes the raw
-//! rows as JSON (consumed when updating EXPERIMENTS.md). `#results` is
-//! asserted identical across GLL / dGPU / sCPU / sGPU, mirroring the
-//! paper's "All implementations … have the same #results".
+//! rows as JSON (consumed when updating EXPERIMENTS.md and committed as
+//! the `BENCH_*.json` perf trajectory: per-sweep nnz, products computed,
+//! products skipped by the masked semi-naive pipeline). `#results` is
+//! asserted identical across GLL / dGPU / sCPU / sGPU and across the
+//! naive vs masked-delta fixpoint strategies, mirroring the paper's "All
+//! implementations … have the same #results". `--smoke` restricts the
+//! run to the four smallest ontologies — the CI guard that keeps the
+//! JSON schema and the kernel pipeline from rotting.
 
-use cfpq_bench::{render_table, run_table, Query};
+use cfpq_bench::{render_table, run_row, run_table, small_suite, Query};
 use std::io::Write;
 
 fn main() {
@@ -18,6 +23,7 @@ fn main() {
     let mut which = "all".to_owned();
     let mut workers = 0usize;
     let mut json_path: Option<String> = None;
+    let mut smoke = false;
 
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -41,9 +47,12 @@ fn main() {
                     }
                 };
             }
+            "--smoke" => smoke = true,
             other => {
                 eprintln!("unknown argument `{other}`");
-                eprintln!("usage: reproduce [table1|table2|all] [--workers N] [--json PATH]");
+                eprintln!(
+                    "usage: reproduce [table1|table2|all] [--workers N] [--json PATH] [--smoke]"
+                );
                 std::process::exit(2);
             }
         }
@@ -57,8 +66,16 @@ fn main() {
 
     let mut all_rows = Vec::new();
     for q in queries {
-        eprintln!("running {} over the 14-dataset suite...", q.table_name());
-        let rows = run_table(q, workers);
+        let rows = if smoke {
+            eprintln!("running {} over the smoke suite...", q.table_name());
+            small_suite()
+                .iter()
+                .map(|ds| run_row(q, ds, workers))
+                .collect()
+        } else {
+            eprintln!("running {} over the 14-dataset suite...", q.table_name());
+            run_table(q, workers)
+        };
         print!("{}", render_table(q, &rows));
         println!();
         all_rows.push((format!("{q:?}"), rows));

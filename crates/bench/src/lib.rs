@@ -17,9 +17,15 @@
 //! since a dense matrix representation leads to a significant performance
 //! degradation with the graph size growth"), the dense backend is skipped
 //! on g1–g3.
+//!
+//! All matrix columns run the default masked semi-naive pipeline
+//! (`Strategy::MaskedDelta`); each row also times the paper-literal
+//! naive loop on the serial CSR backend and reports both runs' kernel
+//! counters, so the JSON output doubles as the perf trajectory we hold
+//! future changes to (`BENCH_*.json`).
 
 use cfpq_baselines::gll::GllSolver;
-use cfpq_core::relational::solve_on_engine;
+use cfpq_core::relational::{FixpointSolver, SolveStats, Strategy};
 use cfpq_grammar::cnf::CnfOptions;
 use cfpq_grammar::{queries, Cfg, Wcnf};
 use cfpq_graph::ontology::{evaluation_suite, Dataset};
@@ -54,7 +60,36 @@ impl Query {
     }
 }
 
-/// One row of a reproduced table.
+/// Kernel-work counters of one fixpoint run, serialized into the
+/// `reproduce --json` output so `BENCH_*.json` files carry the perf
+/// trajectory (per-sweep nnz, products launched, products avoided).
+#[derive(Clone, Debug, Serialize)]
+pub struct SweepStats {
+    /// Fixpoint sweeps until no change.
+    pub sweeps: usize,
+    /// Matrix products actually launched.
+    pub products_computed: usize,
+    /// Products avoided by shared-pair dedup, empty-Δ skipping (delta
+    /// strategies only).
+    pub products_skipped: usize,
+    /// `Σ_A nnz(T_A)` after each sweep.
+    pub sweep_nnz: Vec<usize>,
+}
+
+impl SweepStats {
+    fn of(iterations: usize, stats: &SolveStats) -> Self {
+        Self {
+            sweeps: iterations,
+            products_computed: stats.products_computed,
+            products_skipped: stats.products_skipped,
+            sweep_nnz: stats.sweep_nnz.clone(),
+        }
+    }
+}
+
+/// One row of a reproduced table. The matrix columns run the default
+/// [`Strategy::MaskedDelta`] pipeline; `sparse_naive_ms`/`naive` keep
+/// the paper-literal loop as the in-row ablation baseline.
 #[derive(Clone, Debug, Serialize)]
 pub struct Row {
     /// Dataset name (skos … g3).
@@ -71,10 +106,16 @@ pub struct Row {
     /// dGPU column (dense-par), milliseconds; `None` on g1–g3 as in the
     /// paper.
     pub dense_par_ms: Option<f64>,
-    /// sCPU column (sparse serial), milliseconds.
+    /// sCPU column (sparse serial, masked-delta), milliseconds.
     pub sparse_ms: f64,
-    /// sGPU column (sparse-par), milliseconds.
+    /// sGPU column (sparse-par, masked-delta), milliseconds.
     pub sparse_par_ms: f64,
+    /// sCPU with the paper-literal naive loop, milliseconds (ablation).
+    pub sparse_naive_ms: f64,
+    /// Work counters of the sparse masked-delta run.
+    pub masked: SweepStats,
+    /// Work counters of the sparse naive run.
+    pub naive: SweepStats,
 }
 
 /// Times a closure in milliseconds.
@@ -84,8 +125,10 @@ pub fn time_ms<T>(f: impl FnOnce() -> T) -> (T, f64) {
     (out, start.elapsed().as_secs_f64() * 1e3)
 }
 
-/// Runs all four implementations of one query on one dataset and checks
-/// they report the same `#results`.
+/// Runs all four implementations of one query on one dataset (plus the
+/// paper-literal naive loop as an in-row ablation) and checks they
+/// report the same `#results`. Matrix backends run the default
+/// [`Strategy::MaskedDelta`] pipeline.
 pub fn run_row(query: Query, dataset: &Dataset, device_workers: usize) -> Row {
     let cfg = query.grammar();
     let wcnf: Wcnf = cfg
@@ -106,14 +149,26 @@ pub fn run_row(query: Query, dataset: &Dataset, device_workers: usize) -> Row {
     let (gll_store, gll_ms) = time_ms(|| GllSolver::new(&cfg, graph).solve(graph, start_cfg));
     let gll_results = gll_store.count(start_cfg);
 
-    // sCPU: serial CSR.
-    let (sparse_idx, sparse_ms) = time_ms(|| solve_on_engine(&SparseEngine, graph, &wcnf));
+    // sCPU: serial CSR, default (masked-delta) pipeline.
+    let (sparse_idx, sparse_ms) =
+        time_ms(|| FixpointSolver::new(&SparseEngine).solve(graph, &wcnf));
     let results = sparse_idx.matrices[start_wcnf.index()].nnz();
+    let masked = SweepStats::of(sparse_idx.iterations, &sparse_idx.stats);
+
+    // sCPU with the paper-literal Algorithm 1 loop: the in-row ablation
+    // showing what masking + semi-naive evaluation buys.
+    let (naive_idx, sparse_naive_ms) = time_ms(|| {
+        FixpointSolver::new(&SparseEngine)
+            .strategy(Strategy::Naive)
+            .solve(graph, &wcnf)
+    });
+    let naive_results = naive_idx.matrices[start_wcnf.index()].nnz();
+    let naive = SweepStats::of(naive_idx.iterations, &naive_idx.stats);
 
     // sGPU: parallel CSR (per-kernel offload above the work threshold,
     // mirroring CUSPARSE per-multiply offload).
     let engine = ParSparseEngine::new(device());
-    let (spar_idx, sparse_par_ms) = time_ms(|| solve_on_engine(&engine, graph, &wcnf));
+    let (spar_idx, sparse_par_ms) = time_ms(|| FixpointSolver::new(&engine).solve(graph, &wcnf));
     let spar_results = spar_idx.matrices[start_wcnf.index()].nnz();
 
     // dGPU: parallel dense; skipped on the large repeated graphs, as in
@@ -123,13 +178,18 @@ pub fn run_row(query: Query, dataset: &Dataset, device_workers: usize) -> Row {
         (results, None)
     } else {
         let engine = ParDenseEngine::new(device());
-        let (idx, ms) = time_ms(|| solve_on_engine(&engine, graph, &wcnf));
+        let (idx, ms) = time_ms(|| FixpointSolver::new(&engine).solve(graph, &wcnf));
         (idx.matrices[start_wcnf.index()].nnz(), Some(ms))
     };
 
     assert_eq!(
         gll_results, results,
         "GLL vs sparse #results mismatch on {}",
+        dataset.name
+    );
+    assert_eq!(
+        naive_results, results,
+        "naive vs masked-delta #results mismatch on {}",
         dataset.name
     );
     assert_eq!(
@@ -152,6 +212,9 @@ pub fn run_row(query: Query, dataset: &Dataset, device_workers: usize) -> Row {
         dense_par_ms,
         sparse_ms,
         sparse_par_ms,
+        sparse_naive_ms,
+        masked,
+        naive,
     }
 }
 
@@ -168,12 +231,21 @@ pub fn render_table(query: Query, rows: &[Row]) -> String {
     let mut out = String::new();
     out.push_str(&format!("{}\n", query.table_name()));
     out.push_str(&format!(
-        "{:<30} {:>8} {:>9} {:>9} {:>9} {:>9} {:>9}\n",
-        "Ontology", "#triples", "#results", "GLL(ms)", "dGPU(ms)", "sCPU(ms)", "sGPU(ms)"
+        "{:<30} {:>8} {:>9} {:>9} {:>9} {:>9} {:>9} {:>10} {:>7} {:>7}\n",
+        "Ontology",
+        "#triples",
+        "#results",
+        "GLL(ms)",
+        "dGPU(ms)",
+        "sCPU(ms)",
+        "sGPU(ms)",
+        "naive(ms)",
+        "#prod",
+        "#skip"
     ));
     for r in rows {
         out.push_str(&format!(
-            "{:<30} {:>8} {:>9} {:>9.0} {:>9} {:>9.0} {:>9.0}\n",
+            "{:<30} {:>8} {:>9} {:>9.0} {:>9} {:>9.0} {:>9.0} {:>10.0} {:>7} {:>7}\n",
             r.dataset,
             r.triples,
             r.results,
@@ -182,7 +254,10 @@ pub fn render_table(query: Query, rows: &[Row]) -> String {
                 .map(|v| format!("{v:.0}"))
                 .unwrap_or_else(|| "—".to_owned()),
             r.sparse_ms,
-            r.sparse_par_ms
+            r.sparse_par_ms,
+            r.sparse_naive_ms,
+            r.masked.products_computed,
+            r.masked.products_skipped,
         ));
     }
     out

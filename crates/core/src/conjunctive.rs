@@ -128,6 +128,7 @@ pub fn solve_conjunctive<E: BoolEngine>(
         .collect();
 
     let mut iterations = 0;
+    let mut stats = crate::relational::SolveStats::default();
     loop {
         iterations += 1;
         let mut changed = false;
@@ -135,6 +136,7 @@ pub fn solve_conjunctive<E: BoolEngine>(
             let mut acc: Option<E::Matrix> = None;
             for &(b, c) in &rule.conjuncts {
                 let product = engine.multiply(&matrices[b.index()], &matrices[c.index()]);
+                stats.products_computed += 1;
                 acc = Some(match acc {
                     None => product,
                     Some(prev) => engine.intersect(&prev, &product),
@@ -143,6 +145,9 @@ pub fn solve_conjunctive<E: BoolEngine>(
             let contribution = acc.expect("at least one conjunct");
             changed |= engine.union_in_place(&mut matrices[rule.lhs.index()], &contribution);
         }
+        stats
+            .sweep_nnz
+            .push(matrices.iter().map(cfpq_matrix::BoolMat::nnz).sum());
         if !changed {
             break;
         }
@@ -152,6 +157,7 @@ pub fn solve_conjunctive<E: BoolEngine>(
         matrices,
         iterations,
         n_nodes: n,
+        stats,
     }
 }
 

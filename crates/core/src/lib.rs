@@ -29,6 +29,8 @@ pub mod regular;
 pub mod relational;
 pub mod single_path;
 
-pub use query::{solve, Backend, QueryAnswer};
-pub use relational::{solve_on_engine, solve_set_matrix, RelationalIndex};
+pub use query::{solve, solve_with, Backend, QueryAnswer};
+pub use relational::{
+    solve_on_engine, solve_set_matrix, FixpointSolver, RelationalIndex, SolveStats, Strategy,
+};
 pub use single_path::{solve_single_path, SinglePathIndex};

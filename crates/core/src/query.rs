@@ -10,7 +10,7 @@ use cfpq_graph::Graph;
 use cfpq_matrix::{DenseEngine, Device, ParDenseEngine, ParSparseEngine, SparseEngine};
 use std::collections::BTreeMap;
 
-use crate::relational::{solve_on_engine, solve_set_matrix};
+use crate::relational::{solve_set_matrix, FixpointSolver, Strategy};
 
 /// Which implementation evaluates the query (§6 naming in comments).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -104,27 +104,63 @@ impl QueryAnswer {
     }
 }
 
-/// Evaluates a context-free path query w.r.t. the relational semantics.
+/// Evaluates a context-free path query w.r.t. the relational semantics,
+/// with the default fixpoint strategy ([`Strategy::MaskedDelta`]).
 ///
 /// The grammar is normalized to weak CNF internally; `grammar.start`
 /// (defaulting to the first rule's LHS) is the query's start nonterminal.
 pub fn solve(graph: &Graph, grammar: &Cfg, backend: Backend) -> Result<QueryAnswer, GrammarError> {
-    let wcnf = grammar.to_wcnf(CnfOptions::default())?;
-    Ok(solve_wcnf(graph, &wcnf, backend))
+    solve_with(graph, grammar, backend, Strategy::default())
 }
 
-/// Evaluates an already-normalized grammar.
+/// [`solve`] with an explicit fixpoint [`Strategy`] (ignored by the
+/// paper-literal [`Backend::SetMatrix`], which has no strategy knob).
+pub fn solve_with(
+    graph: &Graph,
+    grammar: &Cfg,
+    backend: Backend,
+    strategy: Strategy,
+) -> Result<QueryAnswer, GrammarError> {
+    let wcnf = grammar.to_wcnf(CnfOptions::default())?;
+    Ok(solve_wcnf_with(graph, &wcnf, backend, strategy))
+}
+
+/// Evaluates an already-normalized grammar with the default strategy.
 pub fn solve_wcnf(graph: &Graph, wcnf: &Wcnf, backend: Backend) -> QueryAnswer {
+    solve_wcnf_with(graph, wcnf, backend, Strategy::default())
+}
+
+/// [`solve_wcnf`] with an explicit fixpoint [`Strategy`].
+pub fn solve_wcnf_with(
+    graph: &Graph,
+    wcnf: &Wcnf,
+    backend: Backend,
+    strategy: Strategy,
+) -> QueryAnswer {
     let (relations, iterations): (BTreeMap<String, Vec<(u32, u32)>>, usize) = match backend {
-        Backend::Dense => collect(wcnf, solve_on_engine(&DenseEngine, graph, wcnf)),
+        Backend::Dense => collect(
+            wcnf,
+            FixpointSolver::new(&DenseEngine)
+                .strategy(strategy)
+                .solve(graph, wcnf),
+        ),
         Backend::DensePar { workers } => collect(
             wcnf,
-            solve_on_engine(&ParDenseEngine::new(Backend::device(workers)), graph, wcnf),
+            FixpointSolver::new(&ParDenseEngine::new(Backend::device(workers)))
+                .strategy(strategy)
+                .solve(graph, wcnf),
         ),
-        Backend::Sparse => collect(wcnf, solve_on_engine(&SparseEngine, graph, wcnf)),
+        Backend::Sparse => collect(
+            wcnf,
+            FixpointSolver::new(&SparseEngine)
+                .strategy(strategy)
+                .solve(graph, wcnf),
+        ),
         Backend::SparsePar { workers } => collect(
             wcnf,
-            solve_on_engine(&ParSparseEngine::new(Backend::device(workers)), graph, wcnf),
+            FixpointSolver::new(&ParSparseEngine::new(Backend::device(workers)))
+                .strategy(strategy)
+                .solve(graph, wcnf),
         ),
         Backend::SetMatrix => {
             let result = solve_set_matrix(graph, wcnf, false);

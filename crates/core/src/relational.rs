@@ -8,21 +8,55 @@
 //! 1. [`solve_set_matrix`] — the literal Algorithm 1 over
 //!    [`SetMatrix`] (cells are subsets of `N`), with optional
 //!    per-iteration snapshots used to replay Fig. 6–8;
-//! 2. [`solve_on_engine`] — the Boolean decomposition (§3, after
+//! 2. [`FixpointSolver`] — the Boolean decomposition (§3, after
 //!    Valiant): one Boolean matrix `T_A` per nonterminal and, per
-//!    iteration, `T_A |= T_B × T_C` for every `A → BC`. This is the form
+//!    sweep, `T_A |= T_B × T_C` for every `A → BC`. This is the form
 //!    that maps onto BLAS-style kernels, and it is generic over
 //!    [`BoolEngine`] so the paper's dGPU/sCPU/sGPU variants are just
 //!    engine choices.
 //!
-//! Both compute the same least fixpoint (cross-checked in tests), and a
-//! semi-naive variant [`solve_on_engine_delta`] implements the classic
-//! "only multiply what changed" optimization as an ablation point.
+//! # Fixpoint strategies
+//!
+//! All strategies compute the same least fixpoint (cross-checked by the
+//! fixed-seed property suite); they differ in how much kernel work a
+//! sweep launches. [`Strategy`] selects one:
+//!
+//! * [`Strategy::Naive`] — Algorithm 1 as printed: every rule recomputes
+//!   its full product `T_B × T_C` every sweep (Gauss–Seidel order, the
+//!   paper's reference loop).
+//! * [`Strategy::Batched`] — the same full products, but all rules of a
+//!   sweep are submitted as one [`BoolEngine::multiply_batch`], so
+//!   device-backed engines overlap rule kernels (the paper's §7 remark
+//!   that "matrix multiplication in the main loop … may be performed on
+//!   different GPGPU independently").
+//! * [`Strategy::Delta`] — classic semi-naive evaluation: each rule only
+//!   multiplies the entries discovered in the previous sweep,
+//!   `T_A |= ΔT_B × T_C ∪ T_B × ΔT_C`. Rules sharing the same `(B, C)`
+//!   right-hand side share one product, kernels with an empty Δ operand
+//!   are skipped outright, and no per-sweep zero matrices are allocated.
+//! * [`Strategy::MaskedDelta`] — **the default**: semi-naive plus
+//!   masking. Each product is computed through
+//!   [`BoolEngine::multiply_masked`] with the accumulated `T_A` as
+//!   complement mask, so the kernels never regenerate entries the
+//!   closure already holds — the output of every multiplication is
+//!   exactly the new information. Masking is what makes the
+//!   linear-algebra formulation pay off at scale (Azimov & Grigorev,
+//!   arXiv:1707.01007; Shemetova et al., arXiv:2103.14688), and it
+//!   composes with the batched §7 decomposition: a masked sweep is one
+//!   batch of independent masked kernels, the same shape the paper
+//!   proposes to spread across multiple GPUs.
+//!
+//! The legacy entry points [`solve_on_engine`] (naive),
+//! [`solve_on_engine_batched`] and [`solve_on_engine_delta`] remain as
+//! thin wrappers over [`FixpointSolver`] and serve as ablation
+//! baselines; per-sweep work counters come back in
+//! [`RelationalIndex::stats`].
 
 use cfpq_grammar::{Nt, Term, Wcnf};
 use cfpq_graph::Graph;
 use cfpq_matrix::closure::squaring_closure;
-use cfpq_matrix::{BoolEngine, BoolMat, SetMatrix};
+use cfpq_matrix::{BoolEngine, BoolMat, MaskedJob, SetMatrix};
+use std::collections::BTreeMap;
 
 /// Maps grammar terminals to graph labels by name: `term_of[label] =
 /// Some(term)` if the graph label's name is also a grammar terminal.
@@ -52,6 +86,58 @@ pub fn init_pairs(graph: &Graph, grammar: &Wcnf) -> Vec<Vec<(u32, u32)>> {
     pairs
 }
 
+/// How a [`FixpointSolver`] runs the sweeps of Algorithm 1. See the
+/// module docs for the full comparison; [`Strategy::MaskedDelta`] is the
+/// default everywhere (facade, benches, examples).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Strategy {
+    /// Full products, rule by rule (the paper's Algorithm 1 loop).
+    Naive,
+    /// Full products, one engine batch per sweep (§7 decomposition).
+    Batched,
+    /// Semi-naive: only newly-discovered entries are multiplied.
+    Delta,
+    /// Semi-naive with masked kernels: products never regenerate entries
+    /// the closure already holds. The default.
+    #[default]
+    MaskedDelta,
+}
+
+impl Strategy {
+    /// Every strategy, for exhaustive cross-checking.
+    pub const ALL: [Strategy; 4] = [
+        Strategy::Naive,
+        Strategy::Batched,
+        Strategy::Delta,
+        Strategy::MaskedDelta,
+    ];
+
+    /// Stable name for reports and benches.
+    pub fn name(self) -> &'static str {
+        match self {
+            Strategy::Naive => "naive",
+            Strategy::Batched => "batched",
+            Strategy::Delta => "delta",
+            Strategy::MaskedDelta => "masked-delta",
+        }
+    }
+}
+
+/// Kernel-work counters of one fixpoint run, for `reproduce --json` and
+/// the perf-trajectory files (`BENCH_*.json`).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SolveStats {
+    /// Matrix products actually launched across all sweeps.
+    pub products_computed: usize,
+    /// Products a rule-by-rule semi-naive loop would have launched but
+    /// this run avoided — by deduplicating shared `(B, C)` right-hand
+    /// sides and by skipping kernels whose Δ operand was empty. Zero for
+    /// the non-delta strategies (they skip nothing).
+    pub products_skipped: usize,
+    /// Total stored entries (`Σ_A nnz(T_A)`) after each sweep.
+    pub sweep_nnz: Vec<usize>,
+}
+
 /// The result of a relational CFPQ evaluation: one Boolean matrix per
 /// nonterminal, i.e. the decomposed transitive closure `a_cf`.
 #[derive(Clone, Debug)]
@@ -63,6 +149,8 @@ pub struct RelationalIndex<M> {
     pub iterations: usize,
     /// Graph size |V|.
     pub n_nodes: usize,
+    /// Kernel-work counters of the run.
+    pub stats: SolveStats,
 }
 
 impl<M: BoolMat> RelationalIndex<M> {
@@ -93,12 +181,297 @@ pub struct SolveOptions {
     pub nullable_diagonal: bool,
 }
 
-/// Runs Algorithm 1 in its Boolean decomposition on the given engine.
+/// The unified fixpoint pipeline: one engine-generic solver whose
+/// [`Strategy`] selects how much kernel work each sweep launches.
 ///
-/// Per outer iteration, every rule `A → BC` contributes
-/// `T_A |= T_B × T_C`; the loop stops when a full sweep changes nothing
-/// (the fixpoint test of line 8). Termination: entries only grow, bounded
-/// by `|V|²·|N|` (Theorem 3).
+/// ```
+/// use cfpq_core::relational::{FixpointSolver, Strategy};
+/// use cfpq_grammar::{cnf::CnfOptions, Cfg};
+/// use cfpq_graph::generators;
+/// use cfpq_matrix::SparseEngine;
+///
+/// let g = Cfg::parse("S -> a S b | a b").unwrap()
+///     .to_wcnf(CnfOptions::default()).unwrap();
+/// let s = g.symbols.get_nt("S").unwrap();
+/// let graph = generators::word_chain(&["a", "a", "b", "b"]);
+/// // MaskedDelta is the default strategy.
+/// let idx = FixpointSolver::new(&SparseEngine).solve(&graph, &g);
+/// assert_eq!(idx.pairs(s), vec![(0, 4), (1, 3)]);
+/// // Ablations pick another strategy explicitly.
+/// let naive = FixpointSolver::new(&SparseEngine)
+///     .strategy(Strategy::Naive)
+///     .solve(&graph, &g);
+/// assert_eq!(naive.pairs(s), idx.pairs(s));
+/// assert!(idx.stats.products_computed <= naive.stats.products_computed);
+/// ```
+pub struct FixpointSolver<'e, E: BoolEngine> {
+    engine: &'e E,
+    strategy: Strategy,
+    options: SolveOptions,
+}
+
+impl<'e, E: BoolEngine> FixpointSolver<'e, E> {
+    /// A solver on `engine` with the default [`Strategy::MaskedDelta`]
+    /// and default [`SolveOptions`].
+    pub fn new(engine: &'e E) -> Self {
+        Self {
+            engine,
+            strategy: Strategy::default(),
+            options: SolveOptions::default(),
+        }
+    }
+
+    /// Selects the sweep strategy.
+    pub fn strategy(mut self, strategy: Strategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Sets the solve options (ε-diagonal seeding).
+    pub fn options(mut self, options: SolveOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Runs Algorithm 1's fixpoint to completion. Termination: entries
+    /// only grow, bounded by `|V|²·|N|` (Theorem 3).
+    pub fn solve(&self, graph: &Graph, grammar: &Wcnf) -> RelationalIndex<E::Matrix> {
+        let n = graph.n_nodes();
+        let mut init = init_pairs(graph, grammar);
+        if self.options.nullable_diagonal {
+            for &nt in &grammar.nullable {
+                init[nt.index()].extend((0..n as u32).map(|m| (m, m)));
+            }
+        }
+        let matrices: Vec<E::Matrix> = init
+            .into_iter()
+            .map(|pairs| self.engine.from_pairs(n, &pairs))
+            .collect();
+        match self.strategy {
+            Strategy::Naive => self.run_naive(matrices, n, grammar),
+            Strategy::Batched => self.run_batched(matrices, n, grammar),
+            Strategy::Delta => self.run_delta(matrices, n, grammar, false),
+            Strategy::MaskedDelta => self.run_delta(matrices, n, grammar, true),
+        }
+    }
+
+    /// Algorithm 1 as printed: every rule recomputes its full product on
+    /// every sweep, unions applied immediately (Gauss–Seidel order).
+    fn run_naive(
+        &self,
+        mut matrices: Vec<E::Matrix>,
+        n: usize,
+        grammar: &Wcnf,
+    ) -> RelationalIndex<E::Matrix> {
+        let engine = self.engine;
+        let mut stats = SolveStats::default();
+        let mut iterations = 0;
+        loop {
+            iterations += 1;
+            let mut changed = false;
+            for rule in &grammar.binary_rules {
+                let product =
+                    engine.multiply(&matrices[rule.left.index()], &matrices[rule.right.index()]);
+                stats.products_computed += 1;
+                changed |= engine.union_in_place(&mut matrices[rule.lhs.index()], &product);
+            }
+            stats.sweep_nnz.push(total_nnz(&matrices));
+            if !changed {
+                break;
+            }
+        }
+        RelationalIndex {
+            matrices,
+            iterations,
+            n_nodes: n,
+            stats,
+        }
+    }
+
+    /// Full products, but each sweep's rules go to the engine as one
+    /// batch, computed from the same snapshot (Jacobi order; may take a
+    /// sweep or two more than Gauss–Seidel, same least fixpoint).
+    fn run_batched(
+        &self,
+        mut matrices: Vec<E::Matrix>,
+        n: usize,
+        grammar: &Wcnf,
+    ) -> RelationalIndex<E::Matrix> {
+        let engine = self.engine;
+        let mut stats = SolveStats::default();
+        let mut iterations = 0;
+        loop {
+            iterations += 1;
+            let jobs: Vec<(&E::Matrix, &E::Matrix)> = grammar
+                .binary_rules
+                .iter()
+                .map(|r| (&matrices[r.left.index()], &matrices[r.right.index()]))
+                .collect();
+            let products = engine.multiply_batch(&jobs);
+            stats.products_computed += jobs.len();
+            let mut changed = false;
+            for (rule, product) in grammar.binary_rules.iter().zip(products) {
+                changed |= engine.union_in_place(&mut matrices[rule.lhs.index()], &product);
+            }
+            stats.sweep_nnz.push(total_nnz(&matrices));
+            if !changed {
+                break;
+            }
+        }
+        RelationalIndex {
+            matrices,
+            iterations,
+            n_nodes: n,
+            stats,
+        }
+    }
+
+    /// Semi-naive sweeps, optionally with masked kernels.
+    ///
+    /// Per sweep each distinct `(B, C)` right-hand side contributes at
+    /// most two products, `ΔT_B × T_C` and `T_B × ΔT_C`, shared by every
+    /// rule `A → BC` (multiply once, union into every LHS). Kernels with
+    /// an empty Δ operand are skipped. On the first sweep Δ *is* the
+    /// initial matrix, so a single `T_B × T_C` product per pair suffices
+    /// — no clone of the initial matrices is ever taken. With `masked`
+    /// set, a pair produced by exactly one LHS `A` runs through
+    /// [`BoolEngine::multiply_masked`] with the accumulated `T_A` as
+    /// complement mask, so the kernel emits only new entries and the Δ
+    /// for the next sweep needs no difference pass.
+    fn run_delta(
+        &self,
+        mut full: Vec<E::Matrix>,
+        n: usize,
+        grammar: &Wcnf,
+        masked: bool,
+    ) -> RelationalIndex<E::Matrix> {
+        let engine = self.engine;
+        let n_nts = grammar.n_nts();
+
+        // Distinct (B, C) operand pairs → the LHS nonterminals they feed.
+        let mut by_pair: BTreeMap<(u32, u32), Vec<usize>> = BTreeMap::new();
+        for rule in &grammar.binary_rules {
+            let lhss = by_pair.entry((rule.left.0, rule.right.0)).or_default();
+            if !lhss.contains(&rule.lhs.index()) {
+                lhss.push(rule.lhs.index());
+            }
+        }
+        let groups: Vec<((usize, usize), Vec<usize>)> = by_pair
+            .into_iter()
+            .map(|((b, c), lhss)| ((b as usize, c as usize), lhss))
+            .collect();
+        // What a rule-by-rule semi-naive loop launches per sweep: two
+        // products (ΔB×C and B×ΔC) for every binary rule.
+        let per_sweep_potential = 2 * grammar.binary_rules.len();
+
+        let mut stats = SolveStats::default();
+        // Δ per nonterminal; `None` means empty (never allocated for
+        // nonterminals no rule produces).
+        let mut delta: Vec<Option<E::Matrix>> = (0..n_nts).map(|_| None).collect();
+        let mut iterations = 0;
+        loop {
+            iterations += 1;
+            let first = iterations == 1;
+
+            // Assemble this sweep's kernel jobs from the same snapshot.
+            let mut jobs: Vec<MaskedJob<'_, E::Matrix>> = Vec::new();
+            let mut job_group: Vec<usize> = Vec::new();
+            for (gi, ((b, c), lhss)) in groups.iter().enumerate() {
+                let mask = match (masked, &lhss[..]) {
+                    (true, &[a]) => Some(&full[a]),
+                    _ => None,
+                };
+                if first {
+                    // Δ = T initially, so ΔB×C and B×ΔC coincide.
+                    jobs.push((&full[*b], &full[*c], mask));
+                    job_group.push(gi);
+                } else {
+                    if let Some(db) = &delta[*b] {
+                        jobs.push((db, &full[*c], mask));
+                        job_group.push(gi);
+                    }
+                    if let Some(dc) = &delta[*c] {
+                        jobs.push((&full[*b], dc, mask));
+                        job_group.push(gi);
+                    }
+                }
+            }
+            let products = engine.multiply_masked_batch(&jobs);
+            stats.products_computed += jobs.len();
+            stats.products_skipped += per_sweep_potential - jobs.len();
+
+            // Union each product into the fresh accumulator of every LHS
+            // of its group (the product is shared, not recomputed).
+            let mut fresh: Vec<Option<E::Matrix>> = (0..n_nts).map(|_| None).collect();
+            let mut fresh_masked: Vec<bool> = vec![true; n_nts];
+            for (product, &gi) in products.into_iter().zip(&job_group) {
+                let lhss = &groups[gi].1;
+                let was_masked = masked && lhss.len() == 1;
+                let (&last, rest) = lhss.split_last().expect("group has an LHS");
+                for &a in rest {
+                    match &mut fresh[a] {
+                        Some(acc) => {
+                            engine.union_in_place(acc, &product);
+                        }
+                        None => fresh[a] = Some(product.clone()),
+                    }
+                    fresh_masked[a] &= was_masked;
+                }
+                match &mut fresh[last] {
+                    Some(acc) => {
+                        engine.union_in_place(acc, &product);
+                    }
+                    None => fresh[last] = Some(product),
+                }
+                fresh_masked[last] &= was_masked;
+            }
+
+            // Fold the fresh entries into the closure and derive the next Δ.
+            let mut changed = false;
+            for a in 0..n_nts {
+                let Some(f) = fresh[a].take() else {
+                    delta[a] = None;
+                    continue;
+                };
+                // Masked products are already disjoint from `full[a]`
+                // (the mask snapshot predates this sweep's unions), so
+                // they *are* the new Δ; unmasked ones need a difference.
+                let new_entries = if fresh_masked[a] {
+                    f
+                } else {
+                    engine.difference(&f, &full[a])
+                };
+                if new_entries.nnz() == 0 {
+                    delta[a] = None;
+                    continue;
+                }
+                engine.union_in_place(&mut full[a], &new_entries);
+                delta[a] = Some(new_entries);
+                changed = true;
+            }
+            stats.sweep_nnz.push(total_nnz(&full));
+            if !changed {
+                break;
+            }
+        }
+        RelationalIndex {
+            matrices: full,
+            iterations,
+            n_nodes: n,
+            stats,
+        }
+    }
+}
+
+/// `Σ_A nnz(T_A)` — one data point of [`SolveStats::sweep_nnz`].
+fn total_nnz<M: BoolMat>(matrices: &[M]) -> usize {
+    matrices.iter().map(BoolMat::nnz).sum()
+}
+
+/// Runs Algorithm 1 in its Boolean decomposition on the given engine,
+/// with the paper-literal [`Strategy::Naive`] loop. Kept as the
+/// reference/ablation entry point; the fast default pipeline is
+/// [`FixpointSolver`] (strategy [`Strategy::MaskedDelta`]).
 pub fn solve_on_engine<E: BoolEngine>(
     engine: &E,
     graph: &Graph,
@@ -114,130 +487,39 @@ pub fn solve_on_engine_with<E: BoolEngine>(
     grammar: &Wcnf,
     options: SolveOptions,
 ) -> RelationalIndex<E::Matrix> {
-    let n = graph.n_nodes();
-    let mut init = init_pairs(graph, grammar);
-    if options.nullable_diagonal {
-        for &nt in &grammar.nullable {
-            init[nt.index()].extend((0..n as u32).map(|m| (m, m)));
-        }
-    }
-    let mut matrices: Vec<E::Matrix> = init
-        .into_iter()
-        .map(|pairs| engine.from_pairs(n, &pairs))
-        .collect();
-
-    let mut iterations = 0;
-    loop {
-        iterations += 1;
-        let mut changed = false;
-        for rule in &grammar.binary_rules {
-            let product =
-                engine.multiply(&matrices[rule.left.index()], &matrices[rule.right.index()]);
-            changed |= engine.union_in_place(&mut matrices[rule.lhs.index()], &product);
-        }
-        if !changed {
-            break;
-        }
-    }
-
-    RelationalIndex {
-        matrices,
-        iterations,
-        n_nodes: n,
-    }
+    FixpointSolver::new(engine)
+        .strategy(Strategy::Naive)
+        .options(options)
+        .solve(graph, grammar)
 }
 
-/// Batched-sweep variant of [`solve_on_engine`]: per fixpoint sweep, the
-/// products of **all** rules are computed from the same snapshot and
-/// submitted to the engine as one batch ([`BoolEngine::multiply_batch`]),
-/// then all unions are applied. On device-backed engines the batch runs
-/// with one kernel per rule in parallel — the paper's §7 observation that
-/// "matrix multiplication in the main loop of the proposed algorithm may
-/// be performed on different GPGPU independently". Jacobi-style sweeps
-/// may need a few more iterations than the sequential (Gauss–Seidel)
-/// loop but reach the same least fixpoint (tested).
+/// [`Strategy::Batched`] wrapper: per fixpoint sweep, the products of
+/// **all** rules are computed from the same snapshot and submitted as
+/// one [`BoolEngine::multiply_batch`]. Jacobi-style sweeps may need a
+/// few more iterations than the sequential (Gauss–Seidel) loop but
+/// reach the same least fixpoint (tested).
 pub fn solve_on_engine_batched<E: BoolEngine>(
     engine: &E,
     graph: &Graph,
     grammar: &Wcnf,
 ) -> RelationalIndex<E::Matrix> {
-    let n = graph.n_nodes();
-    let mut matrices: Vec<E::Matrix> = init_pairs(graph, grammar)
-        .into_iter()
-        .map(|pairs| engine.from_pairs(n, &pairs))
-        .collect();
-
-    let mut iterations = 0;
-    loop {
-        iterations += 1;
-        let jobs: Vec<(&E::Matrix, &E::Matrix)> = grammar
-            .binary_rules
-            .iter()
-            .map(|r| (&matrices[r.left.index()], &matrices[r.right.index()]))
-            .collect();
-        let products = engine.multiply_batch(&jobs);
-        let mut changed = false;
-        for (rule, product) in grammar.binary_rules.iter().zip(products) {
-            changed |= engine.union_in_place(&mut matrices[rule.lhs.index()], &product);
-        }
-        if !changed {
-            break;
-        }
-    }
-
-    RelationalIndex {
-        matrices,
-        iterations,
-        n_nodes: n,
-    }
+    FixpointSolver::new(engine)
+        .strategy(Strategy::Batched)
+        .solve(graph, grammar)
 }
 
-/// Semi-naive ("delta") variant of [`solve_on_engine`]: per iteration each
-/// rule multiplies only the *newly discovered* part of its operands,
-/// `T_A |= ΔT_B × T_C ∪ T_B × ΔT_C`. Algorithmically equivalent (tested);
-/// benchmarked as an ablation against the paper's full-product loop.
+/// [`Strategy::Delta`] wrapper: semi-naive evaluation, each rule
+/// multiplies only the *newly discovered* part of its operands,
+/// `T_A |= ΔT_B × T_C ∪ T_B × ΔT_C`. Algorithmically equivalent to the
+/// naive loop (tested); benchmarked as an ablation point.
 pub fn solve_on_engine_delta<E: BoolEngine>(
     engine: &E,
     graph: &Graph,
     grammar: &Wcnf,
 ) -> RelationalIndex<E::Matrix> {
-    let n = graph.n_nodes();
-    let n_nts = grammar.n_nts();
-    let mut full: Vec<E::Matrix> = init_pairs(graph, grammar)
-        .into_iter()
-        .map(|pairs| engine.from_pairs(n, &pairs))
-        .collect();
-    // Initially everything is new.
-    let mut delta: Vec<E::Matrix> = full.clone();
-
-    let mut iterations = 0;
-    loop {
-        iterations += 1;
-        // Accumulate this sweep's products.
-        let mut fresh: Vec<E::Matrix> = (0..n_nts).map(|_| engine.zeros(n)).collect();
-        for rule in &grammar.binary_rules {
-            let (a, b, c) = (rule.lhs.index(), rule.left.index(), rule.right.index());
-            let p1 = engine.multiply(&delta[b], &full[c]);
-            let p2 = engine.multiply(&full[b], &delta[c]);
-            engine.union_in_place(&mut fresh[a], &p1);
-            engine.union_in_place(&mut fresh[a], &p2);
-        }
-        let mut changed = false;
-        for a in 0..n_nts {
-            let new_entries = engine.difference(&fresh[a], &full[a]);
-            changed |= engine.union_in_place(&mut full[a], &new_entries);
-            delta[a] = new_entries;
-        }
-        if !changed {
-            break;
-        }
-    }
-
-    RelationalIndex {
-        matrices: full,
-        iterations,
-        n_nodes: n,
-    }
+    FixpointSolver::new(engine)
+        .strategy(Strategy::Delta)
+        .solve(graph, grammar)
 }
 
 /// Result of the paper-literal set-matrix run (used for the Fig. 6–8
@@ -374,6 +656,95 @@ mod tests {
             let nt = Nt(nt as u32);
             assert_eq!(naive.pairs(nt), delta.pairs(nt));
         }
+    }
+
+    #[test]
+    fn all_strategies_agree_on_all_engines() {
+        let g = wcnf("S -> a S b | a b | S S");
+        let graph = generators::two_cycles(3, 4);
+        let reference = solve_on_engine(&DenseEngine, &graph, &g);
+        for strategy in Strategy::ALL {
+            let dense = FixpointSolver::new(&DenseEngine)
+                .strategy(strategy)
+                .solve(&graph, &g);
+            let sparse = FixpointSolver::new(&SparseEngine)
+                .strategy(strategy)
+                .solve(&graph, &g);
+            let dpar = FixpointSolver::new(&ParDenseEngine::new(Device::new(3)))
+                .strategy(strategy)
+                .solve(&graph, &g);
+            let spar = FixpointSolver::new(&ParSparseEngine::new(Device::new(2)))
+                .strategy(strategy)
+                .solve(&graph, &g);
+            for nt in 0..g.n_nts() {
+                let nt = Nt(nt as u32);
+                let expect = reference.pairs(nt);
+                let name = strategy.name();
+                assert_eq!(dense.pairs(nt), expect, "{name}/dense");
+                assert_eq!(sparse.pairs(nt), expect, "{name}/sparse");
+                assert_eq!(dpar.pairs(nt), expect, "{name}/dense-par");
+                assert_eq!(spar.pairs(nt), expect, "{name}/sparse-par");
+            }
+        }
+    }
+
+    #[test]
+    fn masked_delta_computes_fewer_products_than_naive() {
+        // The paper's evaluation shape: an ontology-style query grammar
+        // (Q1 has 6 binary rules sharing RHS pairs) over the small skos
+        // dataset. Shared-pair dedup and empty-Δ skipping must beat the
+        // naive loop's rules × sweeps product count.
+        let g = cfpq_grammar::queries::query1()
+            .to_wcnf(CnfOptions::default())
+            .unwrap();
+        let suite = cfpq_graph::ontology::evaluation_suite();
+        let graph = &suite.iter().find(|d| d.name == "skos").unwrap().graph;
+        let naive = solve_on_engine(&SparseEngine, graph, &g);
+        let masked = FixpointSolver::new(&SparseEngine).solve(graph, &g);
+        assert_eq!(naive.pairs(g.start), masked.pairs(g.start));
+        assert!(
+            masked.stats.products_computed < naive.stats.products_computed,
+            "masked {} vs naive {}",
+            masked.stats.products_computed,
+            naive.stats.products_computed
+        );
+        assert!(masked.stats.products_skipped > 0, "dedup/empty-Δ skips");
+        // The final sweep_nnz data point is the fixpoint size for both.
+        assert_eq!(
+            naive.stats.sweep_nnz.last(),
+            masked.stats.sweep_nnz.last(),
+            "both trajectories end at the same fixpoint"
+        );
+    }
+
+    #[test]
+    fn strategies_honour_nullable_diagonal() {
+        let g = Cfg::parse("S -> a S b | eps")
+            .unwrap()
+            .to_wcnf(CnfOptions::default())
+            .unwrap();
+        let graph = generators::two_cycles(2, 3);
+        let options = SolveOptions {
+            nullable_diagonal: true,
+        };
+        let reference = solve_on_engine_with(&SparseEngine, &graph, &g, options);
+        for strategy in Strategy::ALL {
+            let idx = FixpointSolver::new(&SparseEngine)
+                .strategy(strategy)
+                .options(options)
+                .solve(&graph, &g);
+            for nt in 0..g.n_nts() {
+                let nt = Nt(nt as u32);
+                assert_eq!(idx.pairs(nt), reference.pairs(nt), "{}", strategy.name());
+            }
+        }
+    }
+
+    #[test]
+    fn strategy_names_are_stable() {
+        let names: Vec<&str> = Strategy::ALL.iter().map(|s| s.name()).collect();
+        assert_eq!(names, vec!["naive", "batched", "delta", "masked-delta"]);
+        assert_eq!(Strategy::default(), Strategy::MaskedDelta);
     }
 
     #[test]

@@ -1,0 +1,170 @@
+//! Fixed-seed property suite for the unified fixpoint pipeline: every
+//! [`Strategy`] on every [`BoolEngine`] must compute exactly the
+//! closure that the paper-literal squaring loop over the set-valued
+//! matrix computes, on random graphs × random weak-CNF grammars, with
+//! and without the ε-diagonal option. This is the contract that lets
+//! the facade default to `MaskedDelta` everywhere: the fast path is
+//! observationally identical to Algorithm 1 as printed.
+
+use cfpq_core::relational::{init_pairs, FixpointSolver, SolveOptions, Strategy};
+use cfpq_grammar::random::{random_wcnf, RandomGrammarConfig};
+use cfpq_grammar::{Nt, Wcnf};
+use cfpq_graph::{generators, Graph};
+use cfpq_matrix::closure::squaring_closure;
+use cfpq_matrix::{
+    BoolEngine, BoolMat, DenseEngine, Device, ParDenseEngine, ParSparseEngine, SetMatrix,
+    SparseEngine,
+};
+use proptest::prelude::*;
+
+/// Base RNG seed: CI must replay the exact same cases on every run (see
+/// shims/README.md for the seeding scheme and `CFPQ_PROPTEST_SEED`).
+const RNG_SEED: u64 = 0x5EED_F1ED;
+
+/// Terminal names matching [`RandomGrammarConfig::default`]'s alphabet.
+const LABELS: [&str; 3] = ["t0", "t1", "t2"];
+
+/// The reference closure: Algorithm 1 as printed, `T ← T ∪ (T × T)`
+/// over the set-valued matrix, seeded exactly like the Boolean solvers.
+fn reference_pairs(graph: &Graph, grammar: &Wcnf, diagonal: bool) -> Vec<Vec<(u32, u32)>> {
+    let n = graph.n_nodes();
+    let mut t = SetMatrix::empty(n, grammar.n_nts());
+    for (nt_index, pairs) in init_pairs(graph, grammar).into_iter().enumerate() {
+        for (i, j) in pairs {
+            t.insert(i, j, Nt(nt_index as u32));
+        }
+    }
+    if diagonal {
+        for &nt in &grammar.nullable {
+            for m in 0..n as u32 {
+                t.insert(m, m, nt);
+            }
+        }
+    }
+    let closed = squaring_closure(&t, &grammar.binary_rules, false).matrix;
+    (0..grammar.n_nts())
+        .map(|a| {
+            let nt = Nt(a as u32);
+            let mut out = Vec::new();
+            for i in 0..n as u32 {
+                for j in 0..n as u32 {
+                    if closed.contains(i, j, nt) {
+                        out.push((i, j));
+                    }
+                }
+            }
+            out
+        })
+        .collect()
+}
+
+/// Runs one strategy on one engine and collects per-nonterminal pairs.
+fn solver_pairs<E: BoolEngine>(
+    engine: &E,
+    strategy: Strategy,
+    graph: &Graph,
+    grammar: &Wcnf,
+    diagonal: bool,
+) -> Vec<Vec<(u32, u32)>> {
+    let idx = FixpointSolver::new(engine)
+        .strategy(strategy)
+        .options(SolveOptions {
+            nullable_diagonal: diagonal,
+        })
+        .solve(graph, grammar);
+    (0..grammar.n_nts())
+        .map(|a| idx.matrices[a].pairs())
+        .collect()
+}
+
+/// Asserts all 4 strategies × all 4 engines match the reference.
+fn check_all(
+    graph: &Graph,
+    grammar: &Wcnf,
+    diagonal: bool,
+) -> Result<(), proptest::prelude::TestCaseError> {
+    let expect = reference_pairs(graph, grammar, diagonal);
+    for strategy in Strategy::ALL {
+        let runs = [
+            (
+                "dense",
+                solver_pairs(&DenseEngine, strategy, graph, grammar, diagonal),
+            ),
+            (
+                "sparse",
+                solver_pairs(&SparseEngine, strategy, graph, grammar, diagonal),
+            ),
+            (
+                "dense-par",
+                solver_pairs(
+                    &ParDenseEngine::new(Device::new(2)),
+                    strategy,
+                    graph,
+                    grammar,
+                    diagonal,
+                ),
+            ),
+            (
+                "sparse-par",
+                solver_pairs(
+                    &ParSparseEngine::new(Device::new(3)),
+                    strategy,
+                    graph,
+                    grammar,
+                    diagonal,
+                ),
+            ),
+        ];
+        for (engine_name, got) in runs {
+            prop_assert_eq!(
+                &got,
+                &expect,
+                "strategy {} on engine {} diverges from squaring closure (diagonal={})",
+                strategy.name(),
+                engine_name,
+                diagonal
+            );
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases_and_seed(12, RNG_SEED))]
+
+    #[test]
+    fn strategies_times_engines_equal_squaring_closure(
+        grammar_seed in 0u64..1000,
+        graph_seed in 0u64..1000,
+        n_nodes in 2usize..9,
+        edge_factor in 1usize..5,
+        diagonal in 0u32..2,
+    ) {
+        let grammar = random_wcnf(grammar_seed, RandomGrammarConfig::default());
+        let graph = generators::random_graph(
+            n_nodes,
+            edge_factor * n_nodes,
+            &LABELS,
+            graph_seed,
+        );
+        check_all(&graph, &grammar, diagonal == 1)?;
+    }
+
+    #[test]
+    fn strategies_agree_on_denser_grammars(
+        grammar_seed in 0u64..1000,
+        graph_seed in 0u64..1000,
+    ) {
+        // More rules → more shared (B, C) pairs → the dedup/masking
+        // paths in the delta strategies actually fire.
+        let config = RandomGrammarConfig {
+            n_nts: 5,
+            n_terms: 3,
+            n_binary: 14,
+            n_term_rules: 6,
+        };
+        let grammar = random_wcnf(grammar_seed, config);
+        let graph = generators::random_graph(7, 21, &LABELS, graph_seed);
+        check_all(&graph, &grammar, false)?;
+    }
+}

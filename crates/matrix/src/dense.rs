@@ -144,15 +144,63 @@ impl DenseBitMatrix {
     /// (as GPU offload pays launch/transfer costs), so offloading only
     /// pays off past a size threshold.
     pub fn multiply_on(&self, other: &DenseBitMatrix, device: &Device) -> DenseBitMatrix {
+        self.multiply_masked_opt_on(other, None, device)
+    }
+
+    /// Masked Boolean product `(self × other) \ mask`: entries already
+    /// present in `mask` are ANDed out of every accumulated output row,
+    /// so the result is always disjoint from `mask`.
+    ///
+    /// This is the kernel behind the semi-naive `MaskedDelta` fixpoint
+    /// strategy: passing the accumulated closure matrix as `mask` means
+    /// the product only materializes *new* entries, and rows the mask
+    /// already saturates produce no output at all.
+    ///
+    /// ```
+    /// use cfpq_matrix::DenseBitMatrix;
+    /// let a = DenseBitMatrix::from_pairs(3, &[(0, 1), (1, 1)]);
+    /// let b = DenseBitMatrix::from_pairs(3, &[(1, 2)]);
+    /// let mask = DenseBitMatrix::from_pairs(3, &[(0, 2)]);
+    /// assert_eq!(a.multiply_masked(&b, &mask).pairs(), vec![(1, 2)]);
+    /// ```
+    pub fn multiply_masked(&self, other: &DenseBitMatrix, mask: &DenseBitMatrix) -> DenseBitMatrix {
+        assert_eq!(self.n, other.n, "dimension mismatch");
+        assert_eq!(self.n, mask.n, "mask dimension mismatch");
+        let mut c = DenseBitMatrix::zeros(self.n);
+        multiply_rows_masked(self, other, Some(mask), 0, &mut c.bits);
+        c
+    }
+
+    /// [`DenseBitMatrix::multiply_masked`] with row blocks computed in
+    /// parallel on the `device` pool (same offload threshold as
+    /// [`DenseBitMatrix::multiply_on`]).
+    pub fn multiply_masked_on(
+        &self,
+        other: &DenseBitMatrix,
+        mask: &DenseBitMatrix,
+        device: &Device,
+    ) -> DenseBitMatrix {
+        assert_eq!(self.n, mask.n, "mask dimension mismatch");
+        self.multiply_masked_opt_on(other, Some(mask), device)
+    }
+
+    /// Shared offload scaffold of the serial-fallback threshold, row
+    /// chunking and scoped dispatch for the masked and unmasked products.
+    fn multiply_masked_opt_on(
+        &self,
+        other: &DenseBitMatrix,
+        mask: Option<&DenseBitMatrix>,
+        device: &Device,
+    ) -> DenseBitMatrix {
         assert_eq!(self.n, other.n, "dimension mismatch");
         const OFFLOAD_THRESHOLD_N: usize = 192;
         if device.n_workers() == 1 || self.n < OFFLOAD_THRESHOLD_N {
-            return self.multiply(other);
+            return match mask {
+                Some(m) => self.multiply_masked(other, m),
+                None => self.multiply(other),
+            };
         }
         let mut c = DenseBitMatrix::zeros(self.n);
-        if self.n == 0 {
-            return c;
-        }
         let rows_per = self.n.div_ceil(device.n_workers()).max(1);
         let wpr = self.wpr;
         let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = c
@@ -161,7 +209,7 @@ impl DenseBitMatrix {
             .enumerate()
             .map(|(chunk_idx, chunk)| {
                 let first_row = chunk_idx * rows_per;
-                Box::new(move || multiply_rows(self, other, first_row, chunk))
+                Box::new(move || multiply_rows_masked(self, other, mask, first_row, chunk))
                     as Box<dyn FnOnce() + Send + '_>
             })
             .collect();
@@ -188,10 +236,39 @@ impl DenseBitMatrix {
 /// rows, `out.len() / a.wpr` rows long). Shared by the serial and
 /// device-parallel kernels.
 fn multiply_rows(a: &DenseBitMatrix, b: &DenseBitMatrix, first_row: usize, out: &mut [u64]) {
+    multiply_rows_masked(a, b, None, first_row, out);
+}
+
+/// [`multiply_rows`] with an optional complement mask: after a row is
+/// accumulated, every word already set in the mask row is ANDed out, so
+/// the output never regenerates known entries. Rows whose mask is fully
+/// saturated (all `n` columns set) skip the accumulation entirely.
+fn multiply_rows_masked(
+    a: &DenseBitMatrix,
+    b: &DenseBitMatrix,
+    mask: Option<&DenseBitMatrix>,
+    first_row: usize,
+    out: &mut [u64],
+) {
     let wpr = a.wpr;
     for (local_i, crow) in out.chunks_mut(wpr).enumerate() {
         let i = first_row + local_i;
-        for (wi, &aw) in a.row(i).iter().enumerate() {
+        let arow = a.row(i);
+        // An empty left row yields an empty output row; skip the mask
+        // popcount and AND-out passes (the masked-delta hot path has a
+        // mostly-empty Δ as the left operand).
+        if arow.iter().all(|&w| w == 0) {
+            continue;
+        }
+        let mrow = mask.map(|m| m.row(i));
+        if let Some(mrow) = mrow {
+            // A saturated mask row cannot admit any new entry.
+            let set: usize = mrow.iter().map(|w| w.count_ones() as usize).sum();
+            if set == a.n {
+                continue;
+            }
+        }
+        for (wi, &aw) in arow.iter().enumerate() {
             let mut aw = aw;
             while aw != 0 {
                 let k = wi * 64 + aw.trailing_zeros() as usize;
@@ -200,6 +277,11 @@ fn multiply_rows(a: &DenseBitMatrix, b: &DenseBitMatrix, first_row: usize, out: 
                 for (cw, &bw) in crow.iter_mut().zip(brow.iter()) {
                     *cw |= bw;
                 }
+            }
+        }
+        if let Some(mrow) = mrow {
+            for (cw, &mw) in crow.iter_mut().zip(mrow.iter()) {
+                *cw &= !mw;
             }
         }
     }
@@ -351,5 +433,51 @@ mod setops_tests {
         assert_eq!(a.intersect(&b).pairs(), vec![(2, 3)]);
         assert!(a.difference(&a).is_zero());
         assert_eq!(a.intersect(&a), a);
+    }
+
+    #[test]
+    fn masked_product_equals_product_minus_mask() {
+        let n = 70usize;
+        let mut a = DenseBitMatrix::zeros(n);
+        let mut b = DenseBitMatrix::zeros(n);
+        let mut mask = DenseBitMatrix::zeros(n);
+        for i in 0..n as u32 {
+            a.set(i, (i * 7 + 3) % n as u32);
+            b.set(i, (i * 13 + 5) % n as u32);
+            mask.set(i, (i * 11 + 2) % n as u32);
+            mask.set((i * 3) % n as u32, i);
+        }
+        let expect = a.multiply(&b).difference(&mask);
+        assert_eq!(a.multiply_masked(&b, &mask), expect);
+        assert!(a.multiply_masked(&b, &mask).intersect(&mask).is_zero());
+    }
+
+    #[test]
+    fn masked_product_against_full_mask_is_zero() {
+        let mut full = DenseBitMatrix::zeros(9);
+        for i in 0..9u32 {
+            for j in 0..9u32 {
+                full.set(i, j);
+            }
+        }
+        let a = DenseBitMatrix::from_pairs(9, &[(0, 1), (5, 5)]);
+        assert!(a.multiply_masked(&a, &full).is_zero());
+    }
+
+    #[test]
+    fn parallel_masked_product_equals_serial() {
+        let n = 210usize; // above the offload threshold
+        let mut a = DenseBitMatrix::zeros(n);
+        let mut mask = DenseBitMatrix::zeros(n);
+        for i in 0..n as u32 {
+            a.set(i, (i * 31 + 7) % n as u32);
+            a.set((i * 5) % n as u32, i);
+            mask.set(i, (i * 17 + 1) % n as u32);
+        }
+        let serial = a.multiply_masked(&a, &mask);
+        for workers in [1, 2, 4] {
+            let d = Device::new(workers);
+            assert_eq!(a.multiply_masked_on(&a, &mask, &d), serial, "w={workers}");
+        }
     }
 }

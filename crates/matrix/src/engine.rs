@@ -59,6 +59,10 @@ impl BoolMat for CsrMatrix {
     }
 }
 
+/// One job of a [`BoolEngine::multiply_masked_batch`]: operands `(a, b)`
+/// plus an optional complement mask.
+pub type MaskedJob<'a, M> = (&'a M, &'a M, Option<&'a M>);
+
 /// A matrix backend: representation + execution strategy.
 pub trait BoolEngine: Send + Sync {
     /// The matrix type this engine operates on.
@@ -96,6 +100,40 @@ pub trait BoolEngine: Send + Sync {
     fn multiply_batch(&self, jobs: &[(&Self::Matrix, &Self::Matrix)]) -> Vec<Self::Matrix> {
         jobs.iter().map(|(a, b)| self.multiply(a, b)).collect()
     }
+
+    /// Masked Boolean product `(a × b) \ complement_mask`.
+    ///
+    /// The contract every implementation must honour (property-tested):
+    /// the output is disjoint from `complement_mask`, and
+    /// `multiply_masked(a, b, m) ∪ (multiply(a, b) ∩ m) = multiply(a, b)`.
+    ///
+    /// The default falls back to `multiply` + `difference`; both concrete
+    /// representations override it with real masked kernels that never
+    /// regenerate known entries (dense: AND-out mask words per output
+    /// row; CSR: seed the row accumulator with the mask row).
+    fn multiply_masked(
+        &self,
+        a: &Self::Matrix,
+        b: &Self::Matrix,
+        complement_mask: &Self::Matrix,
+    ) -> Self::Matrix {
+        self.difference(&self.multiply(a, b), complement_mask)
+    }
+
+    /// Computes several independent products, each with an optional
+    /// complement mask ([`BoolEngine::multiply_masked`] semantics when
+    /// the mask is present, plain [`BoolEngine::multiply`] otherwise).
+    /// The default runs sequentially; device-backed engines dispatch one
+    /// serial kernel per job to the pool so a fixpoint sweep's rule
+    /// kernels overlap.
+    fn multiply_masked_batch(&self, jobs: &[MaskedJob<'_, Self::Matrix>]) -> Vec<Self::Matrix> {
+        jobs.iter()
+            .map(|&(a, b, m)| match m {
+                Some(m) => self.multiply_masked(a, b, m),
+                None => self.multiply(a, b),
+            })
+            .collect()
+    }
 }
 
 /// Serial dense backend.
@@ -125,6 +163,14 @@ impl BoolEngine for DenseEngine {
     }
     fn intersect(&self, a: &DenseBitMatrix, b: &DenseBitMatrix) -> DenseBitMatrix {
         a.intersect(b)
+    }
+    fn multiply_masked(
+        &self,
+        a: &DenseBitMatrix,
+        b: &DenseBitMatrix,
+        mask: &DenseBitMatrix,
+    ) -> DenseBitMatrix {
+        a.multiply_masked(b, mask)
     }
 }
 
@@ -170,6 +216,21 @@ impl BoolEngine for ParDenseEngine {
         // One serial kernel per job; no nested offload (see Device docs).
         self.device.par_map(jobs.to_vec(), |(a, b)| a.multiply(b))
     }
+    fn multiply_masked(
+        &self,
+        a: &DenseBitMatrix,
+        b: &DenseBitMatrix,
+        mask: &DenseBitMatrix,
+    ) -> DenseBitMatrix {
+        a.multiply_masked_on(b, mask, &self.device)
+    }
+    fn multiply_masked_batch(&self, jobs: &[MaskedJob<'_, DenseBitMatrix>]) -> Vec<DenseBitMatrix> {
+        // One serial kernel per job; no nested offload (see Device docs).
+        self.device.par_map(jobs.to_vec(), |(a, b, m)| match m {
+            Some(m) => a.multiply_masked(b, m),
+            None => a.multiply(b),
+        })
+    }
 }
 
 /// Serial CSR backend — the stand-in for the paper's sCPU.
@@ -199,6 +260,9 @@ impl BoolEngine for SparseEngine {
     }
     fn intersect(&self, a: &CsrMatrix, b: &CsrMatrix) -> CsrMatrix {
         a.intersect(b)
+    }
+    fn multiply_masked(&self, a: &CsrMatrix, b: &CsrMatrix, mask: &CsrMatrix) -> CsrMatrix {
+        a.multiply_masked(b, mask)
     }
 }
 
@@ -244,6 +308,16 @@ impl BoolEngine for ParSparseEngine {
         // One serial kernel per job; no nested offload (see Device docs).
         self.device.par_map(jobs.to_vec(), |(a, b)| a.multiply(b))
     }
+    fn multiply_masked(&self, a: &CsrMatrix, b: &CsrMatrix, mask: &CsrMatrix) -> CsrMatrix {
+        a.multiply_masked_on(b, mask, &self.device)
+    }
+    fn multiply_masked_batch(&self, jobs: &[MaskedJob<'_, CsrMatrix>]) -> Vec<CsrMatrix> {
+        // One serial kernel per job; no nested offload (see Device docs).
+        self.device.par_map(jobs.to_vec(), |(a, b, m)| match m {
+            Some(m) => a.multiply_masked(b, m),
+            None => a.multiply(b),
+        })
+    }
 }
 
 #[cfg(test)]
@@ -268,6 +342,22 @@ mod tests {
         assert_eq!(batch.len(), 2);
         assert_eq!(batch[0].pairs(), e.multiply(&a, &b).pairs());
         assert_eq!(batch[1].pairs(), e.multiply(&b, &a).pairs());
+
+        // Masked-product contract: output disjoint from the mask, and
+        // masked(a,b,m) ∪ (a×b ∩ m) == a×b.
+        let mask = e.from_pairs(5, &[(0, 2), (3, 3)]);
+        let masked = e.multiply_masked(&a, &b, &mask);
+        assert!(e.intersect(&masked, &mask).pairs().is_empty());
+        let product = e.multiply(&a, &b);
+        let mut rebuilt = masked.clone();
+        e.union_in_place(&mut rebuilt, &e.intersect(&product, &mask));
+        assert_eq!(rebuilt.pairs(), product.pairs());
+        let masked_batch =
+            e.multiply_masked_batch(&[(&a, &b, Some(&mask)), (&a, &b, None), (&b, &a, None)]);
+        assert_eq!(masked_batch.len(), 3);
+        assert_eq!(masked_batch[0].pairs(), masked.pairs());
+        assert_eq!(masked_batch[1].pairs(), product.pairs());
+        assert_eq!(masked_batch[2].pairs(), e.multiply(&b, &a).pairs());
     }
 
     #[test]

@@ -28,6 +28,8 @@ pub mod sparse;
 
 pub use dense::DenseBitMatrix;
 pub use device::Device;
-pub use engine::{BoolEngine, BoolMat, DenseEngine, ParDenseEngine, ParSparseEngine, SparseEngine};
+pub use engine::{
+    BoolEngine, BoolMat, DenseEngine, MaskedJob, ParDenseEngine, ParSparseEngine, SparseEngine,
+};
 pub use setmatrix::SetMatrix;
 pub use sparse::CsrMatrix;

@@ -147,14 +147,47 @@ impl CsrMatrix {
         changed
     }
 
-    /// Boolean SpGEMM `self × other` (serial).
+    /// Assembles from a block of flat rows: `row_ends[r]` is the
+    /// cumulative entry count after row `r` within `cols`.
+    fn from_flat(n: usize, row_ends: Vec<usize>, cols: Vec<u32>) -> Self {
+        debug_assert_eq!(row_ends.len(), n);
+        let mut row_ptr = Vec::with_capacity(n + 1);
+        row_ptr.push(0);
+        row_ptr.extend(row_ends);
+        Self { n, row_ptr, cols }
+    }
+
+    /// Boolean SpGEMM `self × other` (serial). Output rows are drained
+    /// straight into the flat CSR `row_ptr`/`cols` arrays — no
+    /// intermediate per-row `Vec` allocations.
     pub fn multiply(&self, other: &CsrMatrix) -> CsrMatrix {
         assert_eq!(self.n, other.n, "dimension mismatch");
         let mut acc = RowAccumulator::new(self.n);
-        let rows: Vec<Vec<u32>> = (0..self.n)
-            .map(|i| multiply_row(self, other, i, &mut acc))
-            .collect();
-        CsrMatrix::from_rows(rows)
+        let (row_ends, cols) = multiply_block(self, other, None, 0..self.n, &mut acc);
+        CsrMatrix::from_flat(self.n, row_ends, cols)
+    }
+
+    /// Masked Boolean SpGEMM `(self × other) \ mask`: the row accumulator
+    /// is seeded with the mask row before accumulation, so bits already
+    /// known are never set and the drained output contains only *new*
+    /// entries — the result is always disjoint from `mask`.
+    ///
+    /// This is the kernel behind the semi-naive `MaskedDelta` fixpoint
+    /// strategy, where `mask` is the accumulated closure matrix.
+    ///
+    /// ```
+    /// use cfpq_matrix::CsrMatrix;
+    /// let a = CsrMatrix::from_pairs(3, &[(0, 1), (1, 1)]);
+    /// let b = CsrMatrix::from_pairs(3, &[(1, 2)]);
+    /// let mask = CsrMatrix::from_pairs(3, &[(0, 2)]);
+    /// assert_eq!(a.multiply_masked(&b, &mask).pairs(), vec![(1, 2)]);
+    /// ```
+    pub fn multiply_masked(&self, other: &CsrMatrix, mask: &CsrMatrix) -> CsrMatrix {
+        assert_eq!(self.n, other.n, "dimension mismatch");
+        assert_eq!(self.n, mask.n, "mask dimension mismatch");
+        let mut acc = RowAccumulator::new(self.n);
+        let (row_ends, cols) = multiply_block(self, other, Some(mask), 0..self.n, &mut acc);
+        CsrMatrix::from_flat(self.n, row_ends, cols)
     }
 
     /// Boolean SpGEMM with row blocks computed in parallel on `device`.
@@ -163,22 +196,48 @@ impl CsrMatrix {
     /// (just as GPU offload pays transfer/launch costs), so offloading
     /// only pays off past a work threshold.
     pub fn multiply_on(&self, other: &CsrMatrix, device: &Device) -> CsrMatrix {
+        self.multiply_masked_opt_on(other, None, device)
+    }
+
+    /// [`CsrMatrix::multiply_masked`] with row blocks computed in
+    /// parallel on `device` (same offload threshold as
+    /// [`CsrMatrix::multiply_on`]).
+    pub fn multiply_masked_on(
+        &self,
+        other: &CsrMatrix,
+        mask: &CsrMatrix,
+        device: &Device,
+    ) -> CsrMatrix {
+        assert_eq!(self.n, mask.n, "mask dimension mismatch");
+        self.multiply_masked_opt_on(other, Some(mask), device)
+    }
+
+    fn multiply_masked_opt_on(
+        &self,
+        other: &CsrMatrix,
+        mask: Option<&CsrMatrix>,
+        device: &Device,
+    ) -> CsrMatrix {
         assert_eq!(self.n, other.n, "dimension mismatch");
         const OFFLOAD_THRESHOLD_NNZ: usize = 64 * 1024;
         if device.n_workers() == 1 || self.nnz() + other.nnz() < OFFLOAD_THRESHOLD_NNZ {
-            return self.multiply(other);
+            return match mask {
+                Some(m) => self.multiply_masked(other, m),
+                None => self.multiply(other),
+            };
         }
         let blocks = device.par_map_ranges(self.n, |range: Range<usize>| {
             let mut acc = RowAccumulator::new(self.n);
-            range
-                .map(|i| multiply_row(self, other, i, &mut acc))
-                .collect::<Vec<_>>()
+            multiply_block(self, other, mask, range, &mut acc)
         });
-        let mut rows = Vec::with_capacity(self.n);
-        for block in blocks {
-            rows.extend(block);
+        let mut row_ends = Vec::with_capacity(self.n);
+        let mut cols = Vec::new();
+        for (block_ends, block_cols) in blocks {
+            let base = cols.len();
+            row_ends.extend(block_ends.into_iter().map(|e| base + e));
+            cols.extend_from_slice(&block_cols);
         }
-        CsrMatrix::from_rows(rows)
+        CsrMatrix::from_flat(self.n, row_ends, cols)
     }
 
     /// Transposed copy.
@@ -194,31 +253,98 @@ impl CsrMatrix {
     }
 }
 
-/// Computes row `i` of `a × b` using the shared accumulator.
-fn multiply_row(a: &CsrMatrix, b: &CsrMatrix, i: usize, acc: &mut RowAccumulator) -> Vec<u32> {
-    for &k in a.row(i) {
-        for &j in b.row(k as usize) {
-            acc.set(j);
+/// Computes rows `range` of `a × b` (optionally masked) into flat
+/// storage: returns per-row cumulative entry counts plus the packed
+/// column indices. Shared by the serial and device-parallel kernels.
+fn multiply_block(
+    a: &CsrMatrix,
+    b: &CsrMatrix,
+    mask: Option<&CsrMatrix>,
+    range: Range<usize>,
+    acc: &mut RowAccumulator,
+) -> (Vec<usize>, Vec<u32>) {
+    let mut row_ends = Vec::with_capacity(range.len());
+    let mut cols = Vec::new();
+    for i in range {
+        let arow = a.row(i);
+        // An empty left row yields an empty output row — in the masked
+        // delta hot path (sparse Δ left operand, dense closure mask)
+        // this skips the O(nnz(mask row)) seed/clear entirely.
+        if arow.is_empty() {
+            row_ends.push(cols.len());
+            continue;
         }
+        if let Some(m) = mask {
+            acc.seed_mask(m.row(i));
+            for &k in arow {
+                for &j in b.row(k as usize) {
+                    acc.set_masked(j);
+                }
+            }
+            acc.clear_mask();
+        } else {
+            // Mask-free fast path: no per-entry mask load in the hot loop.
+            for &k in arow {
+                for &j in b.row(k as usize) {
+                    acc.set(j);
+                }
+            }
+        }
+        acc.drain_into(&mut cols);
+        row_ends.push(cols.len());
     }
-    acc.drain_sorted()
+    (row_ends, cols)
 }
 
-/// A reusable dense bitset accumulator for one output row of SpGEMM.
+/// A reusable dense bitset accumulator for one output row of SpGEMM,
+/// with an optional complement mask: bits seeded via [`Self::seed_mask`]
+/// are suppressed by [`Self::set`], so the drain only ever emits entries
+/// *not* already known to the mask.
 struct RowAccumulator {
     words: Vec<u64>,
+    /// Complement-mask words; a bit set here can never enter `words`
+    /// through [`Self::set_masked`]. Allocated lazily on first
+    /// [`Self::seed_mask`], so unmasked products never pay for it.
+    mask: Vec<u64>,
     /// Indices of words touched since the last drain (sparse reset).
     touched: Vec<u32>,
+    /// Indices of mask words touched since the last clear.
+    mask_touched: Vec<u32>,
 }
 
 impl RowAccumulator {
     fn new(n: usize) -> Self {
         Self {
             words: vec![0; n.div_ceil(64).max(1)],
+            mask: Vec::new(),
             touched: Vec::new(),
+            mask_touched: Vec::new(),
         }
     }
 
+    /// Seeds the complement mask with a sorted row of known entries.
+    fn seed_mask(&mut self, row: &[u32]) {
+        if self.mask.is_empty() {
+            self.mask = vec![0; self.words.len()];
+        }
+        for &j in row {
+            let w = (j / 64) as usize;
+            if self.mask[w] == 0 {
+                self.mask_touched.push(w as u32);
+            }
+            self.mask[w] |= 1u64 << (j % 64);
+        }
+    }
+
+    /// Clears the complement mask (sparse reset).
+    fn clear_mask(&mut self) {
+        for &wi in &self.mask_touched {
+            self.mask[wi as usize] = 0;
+        }
+        self.mask_touched.clear();
+    }
+
+    /// Sets bit `j` unconditionally (the unmasked hot path).
     #[inline]
     fn set(&mut self, j: u32) {
         let w = (j / 64) as usize;
@@ -228,10 +354,32 @@ impl RowAccumulator {
         self.words[w] |= 1u64 << (j % 64);
     }
 
+    /// Sets bit `j` unless the seeded mask already holds it.
+    #[inline]
+    fn set_masked(&mut self, j: u32) {
+        let w = (j / 64) as usize;
+        let bit = (1u64 << (j % 64)) & !self.mask[w];
+        if bit == 0 {
+            return;
+        }
+        if self.words[w] == 0 {
+            self.touched.push(w as u32);
+        }
+        self.words[w] |= bit;
+    }
+
     /// Extracts all set bits in ascending order and clears the buffer.
+    #[cfg(test)]
     fn drain_sorted(&mut self) -> Vec<u32> {
-        self.touched.sort_unstable();
         let mut out = Vec::new();
+        self.drain_into(&mut out);
+        out
+    }
+
+    /// Appends all set bits in ascending order to `out` and clears the
+    /// buffer.
+    fn drain_into(&mut self, out: &mut Vec<u32>) {
+        self.touched.sort_unstable();
         for &wi in &self.touched {
             let mut word = self.words[wi as usize];
             self.words[wi as usize] = 0;
@@ -241,7 +389,6 @@ impl RowAccumulator {
             }
         }
         self.touched.clear();
-        out
     }
 }
 
@@ -381,6 +528,67 @@ mod tests {
         // Reusable after drain.
         acc.set(5);
         assert_eq!(acc.drain_sorted(), vec![5]);
+    }
+
+    #[test]
+    fn accumulator_mask_suppresses_known_bits() {
+        let mut acc = RowAccumulator::new(200);
+        acc.seed_mask(&[0, 64, 199]);
+        for j in [0u32, 1, 64, 65, 199] {
+            acc.set_masked(j);
+        }
+        assert_eq!(acc.drain_sorted(), vec![1, 65], "mask bits never drain");
+        acc.clear_mask();
+        acc.set_masked(0);
+        assert_eq!(acc.drain_sorted(), vec![0], "mask cleared");
+        // The unmasked fast path ignores the mask entirely.
+        acc.seed_mask(&[7]);
+        acc.set(7);
+        assert_eq!(acc.drain_sorted(), vec![7]);
+        acc.clear_mask();
+    }
+
+    #[test]
+    fn masked_product_equals_product_minus_mask() {
+        let n = 90usize;
+        let mut pairs_a = Vec::new();
+        let mut pairs_m = Vec::new();
+        let mut state = 0xabcd_1234u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 33) as u32
+        };
+        for _ in 0..500 {
+            pairs_a.push((next() % n as u32, next() % n as u32));
+            pairs_m.push((next() % n as u32, next() % n as u32));
+        }
+        let a = CsrMatrix::from_pairs(n, &pairs_a);
+        let m = CsrMatrix::from_pairs(n, &pairs_m);
+        let expect = a.multiply(&a).difference(&m);
+        let masked = a.multiply_masked(&a, &m);
+        assert_eq!(masked, expect);
+        assert!(masked.intersect(&m).is_zero(), "disjoint from mask");
+    }
+
+    #[test]
+    fn parallel_masked_product_equals_serial() {
+        // Enough nnz to cross the offload threshold.
+        let n = 600usize;
+        let pairs: Vec<(u32, u32)> = (0..n as u32)
+            .flat_map(|i| (0..120u32).map(move |d| (i, (i * 31 + d * 7 + 1) % n as u32)))
+            .collect();
+        let a = CsrMatrix::from_pairs(n, &pairs);
+        let mask_pairs: Vec<(u32, u32)> = (0..n as u32)
+            .flat_map(|i| (0..40u32).map(move |d| (i, (i * 13 + d * 3) % n as u32)))
+            .collect();
+        let m = CsrMatrix::from_pairs(n, &mask_pairs);
+        assert!(a.nnz() + a.nnz() >= 64 * 1024, "test must cross threshold");
+        let serial = a.multiply_masked(&a, &m);
+        for workers in [2, 4] {
+            let d = Device::new(workers);
+            assert_eq!(a.multiply_masked_on(&a, &m, &d), serial, "w={workers}");
+            assert_eq!(a.multiply_on(&a, &d), a.multiply(&a), "w={workers}");
+        }
     }
 
     #[test]

@@ -5,7 +5,10 @@
 
 use cfpq_grammar::random::{random_wcnf, RandomGrammarConfig};
 use cfpq_matrix::closure::{squaring_closure, theorem1_terms_needed, valiant_closure_terms};
-use cfpq_matrix::{CsrMatrix, DenseBitMatrix, Device, SetMatrix};
+use cfpq_matrix::{
+    BoolEngine, BoolMat, CsrMatrix, DenseBitMatrix, DenseEngine, Device, ParDenseEngine,
+    ParSparseEngine, SetMatrix, SparseEngine,
+};
 use proptest::prelude::*;
 
 /// Base RNG seed for every property in this file: CI must replay the
@@ -118,6 +121,54 @@ proptest! {
         let db = DenseBitMatrix::from_pairs(N, &b.pairs());
         prop_assert_eq!(da.difference(&db).pairs(), diff.pairs());
         prop_assert_eq!(da.intersect(&db).pairs(), inter.pairs());
+    }
+
+    #[test]
+    fn masked_product_laws_per_engine(a in pairs(N, 80), b in pairs(N, 80), m in pairs(N, 120)) {
+        // The multiply_masked contract on every engine: the output is
+        // disjoint from the mask, and together with the masked-out part
+        // of the plain product it rebuilds the plain product exactly —
+        // masked(a,b,m) ∪ (a×b ∩ m) == a×b.
+        fn check<E: BoolEngine>(
+            e: &E,
+            a: &[(u32, u32)],
+            b: &[(u32, u32)],
+            m: &[(u32, u32)],
+        ) -> Result<(), TestCaseError> {
+            let (ma, mb) = (e.from_pairs(N, a), e.from_pairs(N, b));
+            let mask = e.from_pairs(N, m);
+            let masked = e.multiply_masked(&ma, &mb, &mask);
+            prop_assert!(
+                e.intersect(&masked, &mask).nnz() == 0,
+                "output must be disjoint from the mask ({})",
+                e.name()
+            );
+            let product = e.multiply(&ma, &mb);
+            let mut rebuilt = masked;
+            e.union_in_place(&mut rebuilt, &e.intersect(&product, &mask));
+            prop_assert_eq!(rebuilt.pairs(), product.pairs(), "{}", e.name());
+            Ok(())
+        }
+        check(&DenseEngine, &a, &b, &m)?;
+        check(&SparseEngine, &a, &b, &m)?;
+        check(&ParDenseEngine::new(Device::new(2)), &a, &b, &m)?;
+        check(&ParSparseEngine::new(Device::new(3)), &a, &b, &m)?;
+    }
+
+    #[test]
+    fn masked_kernels_agree_across_representations(
+        a in pairs(N, 80), b in pairs(N, 80), m in pairs(N, 120)
+    ) {
+        let dense = DenseBitMatrix::from_pairs(N, &a)
+            .multiply_masked(&DenseBitMatrix::from_pairs(N, &b), &DenseBitMatrix::from_pairs(N, &m));
+        let sparse = CsrMatrix::from_pairs(N, &a)
+            .multiply_masked(&CsrMatrix::from_pairs(N, &b), &CsrMatrix::from_pairs(N, &m));
+        prop_assert_eq!(dense.pairs(), sparse.pairs());
+        // Both equal the unfused multiply-then-difference form.
+        let unfused = CsrMatrix::from_pairs(N, &a)
+            .multiply(&CsrMatrix::from_pairs(N, &b))
+            .difference(&CsrMatrix::from_pairs(N, &m));
+        prop_assert_eq!(sparse, unfused);
     }
 
     #[test]

@@ -3,12 +3,14 @@
 //!
 //! ```text
 //! cargo run --release --example query_cli -- \
-//!     data/university.triples data/same_generation.grammar [backend]
+//!     data/university.triples data/same_generation.grammar [backend] [strategy]
 //! ```
 //!
 //! Loads an RDF-style triple file, a grammar in the DSL, evaluates the
 //! query w.r.t. relational semantics and prints the start-nonterminal
-//! relation with node names, plus graph statistics.
+//! relation with node names, plus graph statistics. The fixpoint
+//! strategy defaults to `masked-delta` (the fast pipeline); pass
+//! `naive`, `batched` or `delta` to compare the ablations.
 
 use cfpq::prelude::*;
 use std::process::ExitCode;
@@ -36,6 +38,17 @@ fn main() -> ExitCode {
             eprintln!("unknown backend `{other}` (dense|sparse|dense-par|sparse-par|set-matrix)");
             return ExitCode::from(2);
         }
+    };
+    let strategy = match args.get(3).map(String::as_str) {
+        None => Strategy::default(),
+        Some(name) => match Strategy::ALL.into_iter().find(|s| s.name() == name) {
+            Some(s) => s,
+            None => {
+                let known: Vec<&str> = Strategy::ALL.iter().map(|s| s.name()).collect();
+                eprintln!("unknown strategy `{name}` ({})", known.join("|"));
+                return ExitCode::from(2);
+            }
+        },
     };
 
     let triples_text = match std::fs::read_to_string(&triples_path) {
@@ -75,16 +88,23 @@ fn main() -> ExitCode {
     );
 
     let started = std::time::Instant::now();
-    let answer = match cfpq::core::solve(&graph, &grammar, backend) {
+    let answer = match cfpq::core::solve_with(&graph, &grammar, backend, strategy) {
         Ok(a) => a,
         Err(e) => {
             eprintln!("query failed: {e}");
             return ExitCode::from(1);
         }
     };
+    // SetMatrix has no strategy knob; don't attribute one to it.
+    let strategy_note = if backend == Backend::SetMatrix {
+        String::new()
+    } else {
+        format!(" ({})", strategy.name())
+    };
     eprintln!(
-        "backend {} answered in {:.2?} ({} fixpoint iterations)",
+        "backend {}{} answered in {:.2?} ({} fixpoint iterations)",
         answer.backend,
+        strategy_note,
         started.elapsed(),
         answer.iterations
     );

@@ -62,4 +62,21 @@ fn main() {
         assert_eq!(ans.start_pairs(), &[(0, 0), (0, 2), (1, 2)], "Fig. 9 R_S");
     }
     println!("\nAll backends agree with Fig. 9.");
+
+    // Every fixpoint strategy reaches the same closure; the default
+    // (masked-delta) just launches less kernel work to get there.
+    println!("\nFixpoint strategies on the sparse backend:");
+    for strategy in Strategy::ALL {
+        let idx = FixpointSolver::new(&SparseEngine)
+            .strategy(strategy)
+            .solve(&graph, &wcnf);
+        println!(
+            "  {:12} -> {} sweeps, {} products computed, {} skipped",
+            strategy.name(),
+            idx.iterations,
+            idx.stats.products_computed,
+            idx.stats.products_skipped
+        );
+        assert_eq!(idx.pairs(wcnf.start), vec![(0, 0), (0, 2), (1, 2)]);
+    }
 }

@@ -10,7 +10,6 @@
 //! Run with: `cargo run --release --example single_path_witness`
 
 use cfpq::core::all_paths::{enumerate_paths, EnumLimits};
-use cfpq::core::relational::solve_on_engine;
 use cfpq::core::single_path::validate_witness;
 use cfpq::grammar::cnf::CnfOptions;
 use cfpq::grammar::queries;
@@ -54,7 +53,7 @@ fn main() {
     let mut cyclic = Graph::new(1);
     cyclic.add_edge_named(0, "subClassOf_r", 0);
     cyclic.add_edge_named(0, "subClassOf", 0);
-    let rel = solve_on_engine(&SparseEngine, &cyclic, &wcnf);
+    let rel = FixpointSolver::new(&SparseEngine).solve(&cyclic, &wcnf);
     let paths = enumerate_paths(
         &rel,
         &cyclic,

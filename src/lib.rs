@@ -37,8 +37,10 @@ pub use cfpq_matrix as matrix;
 
 /// Commonly used items in one import.
 pub mod prelude {
-    pub use cfpq_core::query::{solve, Backend, QueryAnswer};
-    pub use cfpq_core::relational::{solve_on_engine, solve_set_matrix};
+    pub use cfpq_core::query::{solve, solve_with, Backend, QueryAnswer};
+    pub use cfpq_core::relational::{
+        solve_on_engine, solve_set_matrix, FixpointSolver, SolveStats, Strategy,
+    };
     pub use cfpq_core::single_path::{extract_path, solve_single_path};
     pub use cfpq_grammar::{Cfg, Nt, Term, Wcnf};
     pub use cfpq_graph::{Graph, TripleSet};

@@ -51,6 +51,9 @@ proptest! {
         let dense_par = solve_on_engine(&ParDenseEngine::new(Device::new(3)), &graph, &g);
         let sparse_par = solve_on_engine(&ParSparseEngine::new(Device::new(2)), &graph, &g);
         let delta = solve_on_engine_delta(&SparseEngine, &graph, &g);
+        let masked = FixpointSolver::new(&SparseEngine).solve(&graph, &g);
+        let masked_par =
+            FixpointSolver::new(&ParSparseEngine::new(Device::new(2))).solve(&graph, &g);
         let set_matrix = solve_set_matrix(&graph, &g, false);
         let hellings = solve_hellings(&graph, &g);
 
@@ -61,6 +64,12 @@ proptest! {
             prop_assert_eq!(dense_par.pairs(nt), expect.clone(), "dense-par vs dense");
             prop_assert_eq!(sparse_par.pairs(nt), expect.clone(), "sparse-par vs dense");
             prop_assert_eq!(delta.pairs(nt), expect.clone(), "delta vs dense");
+            prop_assert_eq!(masked.pairs(nt), expect.clone(), "masked-delta vs dense");
+            prop_assert_eq!(
+                masked_par.pairs(nt),
+                expect.clone(),
+                "masked-delta-par vs dense"
+            );
             prop_assert_eq!(set_matrix.pairs(nt), expect.clone(), "set-matrix vs dense");
             prop_assert_eq!(hellings.pairs(nt), expect, "hellings vs dense");
         }
