@@ -14,10 +14,7 @@
 //!   topology).
 
 use cfpq_baselines::{gll::solve_gll, hellings::solve_hellings};
-use cfpq_core::relational::{
-    solve_on_engine, solve_on_engine_batched, solve_on_engine_delta, solve_set_matrix,
-    FixpointSolver, Strategy,
-};
+use cfpq_core::relational::{solve_on_engine, solve_set_matrix, FixpointSolver, Strategy};
 use cfpq_grammar::cnf::CnfOptions;
 use cfpq_grammar::Cfg;
 use cfpq_graph::generators;
@@ -77,7 +74,11 @@ fn bench_threads(c: &mut Criterion) {
         group.bench_function(format!("sparse-par-batched/{workers}"), |b| {
             // The §7 multi-device decomposition: one kernel per rule.
             let e = ParSparseEngine::new(Device::new(workers));
-            b.iter(|| solve_on_engine_batched(&e, g1, &wcnf))
+            b.iter(|| {
+                FixpointSolver::new(&e)
+                    .strategy(Strategy::Batched)
+                    .solve(g1, &wcnf)
+            })
         });
     }
     group.finish();
@@ -96,7 +97,11 @@ fn bench_delta(c: &mut Criterion) {
             b.iter(|| solve_on_engine(&SparseEngine, g, &wcnf))
         });
         group.bench_function(format!("{name}/delta"), |b| {
-            b.iter(|| solve_on_engine_delta(&SparseEngine, g, &wcnf))
+            b.iter(|| {
+                FixpointSolver::new(&SparseEngine)
+                    .strategy(Strategy::Delta)
+                    .solve(g, &wcnf)
+            })
         });
     }
     group.finish();

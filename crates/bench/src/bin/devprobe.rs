@@ -7,7 +7,7 @@
 //! cargo run --release -p cfpq-bench --bin devprobe
 //! ```
 
-use cfpq_core::relational::{solve_on_engine, solve_on_engine_batched, FixpointSolver};
+use cfpq_core::relational::{solve_on_engine, FixpointSolver, Strategy};
 use cfpq_grammar::cnf::CnfOptions;
 use cfpq_graph::ontology::evaluation_suite;
 use cfpq_matrix::{CsrMatrix, Device, ParSparseEngine, SparseEngine};
@@ -38,7 +38,9 @@ fn main() {
     );
 
     let t = Instant::now();
-    let idx = solve_on_engine_batched(&e, g3, &q1);
+    let idx = FixpointSolver::new(&e)
+        .strategy(Strategy::Batched)
+        .solve(g3, &q1);
     println!(
         "par({workers}) batched solve: {:?} ({} iters)",
         t.elapsed(),

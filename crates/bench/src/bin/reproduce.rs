@@ -1,8 +1,9 @@
-//! Regenerates the paper's evaluation tables end to end.
+//! Regenerates the paper's evaluation tables end to end, plus the
+//! incremental-session scenario.
 //!
 //! ```text
-//! cargo run --release -p cfpq-bench --bin reproduce -- [table1|table2|all] \
-//!     [--workers N] [--json PATH] [--smoke]
+//! cargo run --release -p cfpq-bench --bin reproduce -- \
+//!     [table1|table2|incremental|all] [--workers N] [--json PATH] [--smoke]
 //! ```
 //!
 //! Prints each table in the paper's layout and optionally writes the raw
@@ -14,8 +15,19 @@
 //! implementations … have the same #results". `--smoke` restricts the
 //! run to the four smallest ontologies — the CI guard that keeps the
 //! JSON schema and the kernel pipeline from rotting.
+//!
+//! The `incremental` scenario (part of `all`) builds one `CfpqSession`
+//! index, runs both evaluation queries, inserts a held-out edge batch
+//! via `add_edges`, and re-queries: the emitted rows assert that the
+//! semi-naive repair launches strictly fewer products than a cold solve
+//! of the full graph. Full mode runs g3 at 1/10/100-edge batches (the
+//! numbers committed as `BENCH_pr3.json`); smoke mode runs the two
+//! smallest ontologies at 1/10.
 
-use cfpq_bench::{render_table, run_row, run_table, small_suite, Query};
+use cfpq_bench::{
+    render_incremental, render_table, run_incremental, run_row, run_table, small_suite, Query,
+};
+use cfpq_graph::ontology::evaluation_suite;
 use std::io::Write;
 
 fn main() {
@@ -28,7 +40,7 @@ fn main() {
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
-            "table1" | "table2" | "all" => which = arg,
+            "table1" | "table2" | "incremental" | "all" => which = arg,
             "--workers" => {
                 workers = match it.next().and_then(|v| v.parse().ok()) {
                     Some(n) => n,
@@ -51,7 +63,8 @@ fn main() {
             other => {
                 eprintln!("unknown argument `{other}`");
                 eprintln!(
-                    "usage: reproduce [table1|table2|all] [--workers N] [--json PATH] [--smoke]"
+                    "usage: reproduce [table1|table2|incremental|all] \
+                     [--workers N] [--json PATH] [--smoke]"
                 );
                 std::process::exit(2);
             }
@@ -61,10 +74,12 @@ fn main() {
     let queries: Vec<Query> = match which.as_str() {
         "table1" => vec![Query::Q1],
         "table2" => vec![Query::Q2],
+        "incremental" => vec![],
         _ => vec![Query::Q1, Query::Q2],
     };
+    let run_incremental_scenario = matches!(which.as_str(), "incremental" | "all");
 
-    let mut all_rows = Vec::new();
+    let mut sections: Vec<serde_json::Value> = Vec::new();
     for q in queries {
         let rows = if smoke {
             eprintln!("running {} over the smoke suite...", q.table_name());
@@ -78,17 +93,33 @@ fn main() {
         };
         print!("{}", render_table(q, &rows));
         println!();
-        all_rows.push((format!("{q:?}"), rows));
+        sections.push(serde_json::json!({ "query": format!("{q:?}"), "rows": rows }));
+    }
+
+    if run_incremental_scenario {
+        // Smoke: two small ontologies at small batches (the CI guard).
+        // Full: g3 — the largest graph — at 1/10/100-edge batches; these
+        // are the rows committed as BENCH_pr3.json.
+        let rows = if smoke {
+            eprintln!("running incremental scenario over the smoke suite...");
+            small_suite()
+                .iter()
+                .take(2)
+                .flat_map(|ds| run_incremental(ds, &[1, 10]))
+                .collect::<Vec<_>>()
+        } else {
+            eprintln!("running incremental scenario on g3 (1/10/100-edge batches)...");
+            let suite = evaluation_suite();
+            let g3 = suite.iter().find(|d| d.name == "g3").expect("g3 present");
+            run_incremental(g3, &[1, 10, 100])
+        };
+        print!("{}", render_incremental(&rows));
+        println!();
+        sections.push(serde_json::json!({ "query": "Incremental", "rows": rows }));
     }
 
     if let Some(path) = json_path {
-        let json = serde_json::to_string_pretty(
-            &all_rows
-                .iter()
-                .map(|(q, rows)| serde_json::json!({ "query": q, "rows": rows }))
-                .collect::<Vec<_>>(),
-        )
-        .expect("rows serialize");
+        let json = serde_json::to_string_pretty(&sections).expect("rows serialize");
         let mut f = std::fs::File::create(&path).expect("open json output");
         f.write_all(json.as_bytes()).expect("write json output");
         eprintln!("wrote {path}");

@@ -19,18 +19,26 @@
 //! * [`regular`] — regular path queries on the same matrix kernels
 //!   (the §3 baseline formalism), used as a differential oracle for
 //!   regular grammars.
+//! * [`session`] — the engine layer for serving many queries over one
+//!   evolving graph: a persistent [`session::GraphIndex`] of per-label
+//!   adjacency matrices, [`session::PreparedQuery`] caching the CNF
+//!   normalization, and [`session::CfpqSession`] with incremental
+//!   `add_edges` repair via the semi-naive Δ loop.
 //! * [`query`] — the high-level API tying grammars, graphs and backends
-//!   together ([`query::solve`], [`query::Backend`]).
+//!   together ([`query::solve`], [`query::Backend`]); each matrix
+//!   backend is a one-shot session.
 
 pub mod all_paths;
 pub mod conjunctive;
 pub mod query;
 pub mod regular;
 pub mod relational;
+pub mod session;
 pub mod single_path;
 
 pub use query::{solve, solve_with, Backend, QueryAnswer};
 pub use relational::{
     solve_on_engine, solve_set_matrix, FixpointSolver, RelationalIndex, SolveStats, Strategy,
 };
+pub use session::{CfpqSession, GraphIndex, PreparedQuery, QueryId, RunInfo};
 pub use single_path::{solve_single_path, SinglePathIndex};

@@ -7,10 +7,11 @@
 use cfpq_grammar::cnf::CnfOptions;
 use cfpq_grammar::{Cfg, GrammarError, Nt, Wcnf};
 use cfpq_graph::Graph;
-use cfpq_matrix::{DenseEngine, Device, ParDenseEngine, ParSparseEngine, SparseEngine};
+use cfpq_matrix::{BoolEngine, DenseEngine, Device, ParDenseEngine, ParSparseEngine, SparseEngine};
 use std::collections::BTreeMap;
 
-use crate::relational::{solve_set_matrix, FixpointSolver, Strategy};
+use crate::relational::{solve_set_matrix, Strategy};
+use crate::session::{CfpqSession, PreparedQuery};
 
 /// Which implementation evaluates the query (§6 naming in comments).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -68,7 +69,9 @@ pub struct QueryAnswer {
     pub iterations: usize,
     /// Start nonterminal name of the query grammar.
     pub start: String,
-    relations: BTreeMap<String, Vec<(u32, u32)>>,
+    /// Shared so a session cache hit hands out the materialized
+    /// relations by refcount bump instead of deep-copying every pair.
+    relations: std::sync::Arc<BTreeMap<String, Vec<(u32, u32)>>>,
 }
 
 impl QueryAnswer {
@@ -102,6 +105,24 @@ impl QueryAnswer {
             .iter()
             .map(|(k, v)| (k.as_str(), v.as_slice()))
     }
+
+    /// Assembles an answer from already-collected relations (the session
+    /// layer materializes these straight from a [`RelationalIndex`]).
+    pub(crate) fn from_parts(
+        backend: &'static str,
+        n_nodes: usize,
+        iterations: usize,
+        start: String,
+        relations: BTreeMap<String, Vec<(u32, u32)>>,
+    ) -> Self {
+        Self {
+            backend,
+            n_nodes,
+            iterations,
+            start,
+            relations: std::sync::Arc::new(relations),
+        }
+    }
 }
 
 /// Evaluates a context-free path query w.r.t. the relational semantics,
@@ -131,68 +152,84 @@ pub fn solve_wcnf(graph: &Graph, wcnf: &Wcnf, backend: Backend) -> QueryAnswer {
 }
 
 /// [`solve_wcnf`] with an explicit fixpoint [`Strategy`].
+///
+/// Every matrix backend is served through a one-shot
+/// [`CfpqSession`]: the graph is indexed
+/// into per-label adjacency matrices, the (already normalized) grammar
+/// becomes a prepared query, and one evaluation produces the answer —
+/// exactly the path a long-lived session takes, so the one-shot and
+/// many-query code cannot drift apart. Only the paper-literal
+/// [`Backend::SetMatrix`] keeps its own direct path (it has no engine).
 pub fn solve_wcnf_with(
     graph: &Graph,
     wcnf: &Wcnf,
     backend: Backend,
     strategy: Strategy,
 ) -> QueryAnswer {
-    let (relations, iterations): (BTreeMap<String, Vec<(u32, u32)>>, usize) = match backend {
-        Backend::Dense => collect(
+    match backend {
+        Backend::Dense => one_shot(DenseEngine, graph, wcnf, strategy),
+        Backend::DensePar { workers } => one_shot(
+            ParDenseEngine::new(Backend::device(workers)),
+            graph,
             wcnf,
-            FixpointSolver::new(&DenseEngine)
-                .strategy(strategy)
-                .solve(graph, wcnf),
+            strategy,
         ),
-        Backend::DensePar { workers } => collect(
+        Backend::Sparse => one_shot(SparseEngine, graph, wcnf, strategy),
+        Backend::SparsePar { workers } => one_shot(
+            ParSparseEngine::new(Backend::device(workers)),
+            graph,
             wcnf,
-            FixpointSolver::new(&ParDenseEngine::new(Backend::device(workers)))
-                .strategy(strategy)
-                .solve(graph, wcnf),
-        ),
-        Backend::Sparse => collect(
-            wcnf,
-            FixpointSolver::new(&SparseEngine)
-                .strategy(strategy)
-                .solve(graph, wcnf),
-        ),
-        Backend::SparsePar { workers } => collect(
-            wcnf,
-            FixpointSolver::new(&ParSparseEngine::new(Backend::device(workers)))
-                .strategy(strategy)
-                .solve(graph, wcnf),
+            strategy,
         ),
         Backend::SetMatrix => {
             let result = solve_set_matrix(graph, wcnf, false);
-            let map = (0..wcnf.n_nts())
+            let relations: BTreeMap<String, Vec<(u32, u32)>> = (0..wcnf.n_nts())
                 .map(|i| {
                     let nt = Nt(i as u32);
                     (wcnf.symbols.nt_name(nt).to_owned(), result.pairs(nt))
                 })
                 .collect();
-            (map, result.iterations)
+            QueryAnswer::from_parts(
+                backend.name(),
+                graph.n_nodes(),
+                result.iterations,
+                wcnf.symbols.nt_name(wcnf.start).to_owned(),
+                relations,
+            )
         }
-    };
-    QueryAnswer {
-        backend: backend.name(),
-        n_nodes: graph.n_nodes(),
-        iterations,
-        start: wcnf.symbols.nt_name(wcnf.start).to_owned(),
-        relations,
     }
 }
 
-fn collect<M: cfpq_matrix::BoolMat>(
+/// Builds a single-use session, prepares the query, evaluates it once.
+/// The index is restricted to the labels this grammar actually mentions
+/// — a one-shot call knows its only grammar up front, so indexing the
+/// rest (e.g. RDF padding predicates) would be pure overhead.
+fn one_shot<E: BoolEngine>(
+    engine: E,
+    graph: &Graph,
     wcnf: &Wcnf,
-    index: crate::relational::RelationalIndex<M>,
-) -> (BTreeMap<String, Vec<(u32, u32)>>, usize) {
-    let map = (0..wcnf.n_nts())
+    strategy: Strategy,
+) -> QueryAnswer {
+    let index = crate::session::GraphIndex::build_where(engine, graph, |name| {
+        wcnf.symbols.get_term(name).is_some()
+    });
+    let mut session = CfpqSession::over(index);
+    let id = session.prepare_query(PreparedQuery::from_wcnf(wcnf.clone()).strategy(strategy));
+    session.evaluate(id)
+}
+
+/// Materializes every `R_A` of a solved index, keyed by nonterminal
+/// name. Shared by the backend dispatch here and the session layer.
+pub(crate) fn relations_map<M: cfpq_matrix::BoolMat>(
+    wcnf: &Wcnf,
+    index: &crate::relational::RelationalIndex<M>,
+) -> BTreeMap<String, Vec<(u32, u32)>> {
+    (0..wcnf.n_nts())
         .map(|i| {
             let nt = Nt(i as u32);
             (wcnf.symbols.nt_name(nt).to_owned(), index.pairs(nt))
         })
-        .collect();
-    (map, index.iterations)
+        .collect()
 }
 
 #[cfg(test)]

@@ -46,11 +46,19 @@
 //!   batch of independent masked kernels, the same shape the paper
 //!   proposes to spread across multiple GPUs.
 //!
-//! The legacy entry points [`solve_on_engine`] (naive),
-//! [`solve_on_engine_batched`] and [`solve_on_engine_delta`] remain as
-//! thin wrappers over [`FixpointSolver`] and serve as ablation
-//! baselines; per-sweep work counters come back in
-//! [`RelationalIndex::stats`].
+//! The legacy entry point [`solve_on_engine`] (naive) remains as the
+//! reference/ablation wrapper; `solve_on_engine_batched` and
+//! `solve_on_engine_delta` are deprecated delegating shims (pick a
+//! [`Strategy`] on the solver instead). Per-sweep work counters come
+//! back in [`RelationalIndex::stats`].
+//!
+//! # Incremental repair
+//!
+//! The fixpoint is a *service*, not just an entry point: a closed
+//! [`RelationalIndex`] can absorb newly-discovered base facts through
+//! [`FixpointSolver::resume`], which seeds the semi-naive Δ loop with
+//! only the new entries. This is what `cfpq_core::session::CfpqSession`
+//! builds on to answer `add_edges` without re-solving from scratch.
 
 use cfpq_grammar::{Nt, Term, Wcnf};
 use cfpq_graph::Graph;
@@ -235,6 +243,12 @@ impl<'e, E: BoolEngine> FixpointSolver<'e, E> {
 
     /// Runs Algorithm 1's fixpoint to completion. Termination: entries
     /// only grow, bounded by `|V|²·|N|` (Theorem 3).
+    ///
+    /// This is the one-shot entry point: it decomposes the graph into
+    /// the per-nonterminal seed matrices (lines 6–7) and hands them to
+    /// [`FixpointSolver::solve_from_matrices`]. Callers that already own
+    /// the decomposition — a `GraphIndex` serving many queries — skip
+    /// straight to the latter.
     pub fn solve(&self, graph: &Graph, grammar: &Wcnf) -> RelationalIndex<E::Matrix> {
         let n = graph.n_nodes();
         let mut init = init_pairs(graph, grammar);
@@ -247,12 +261,93 @@ impl<'e, E: BoolEngine> FixpointSolver<'e, E> {
             .into_iter()
             .map(|pairs| self.engine.from_pairs(n, &pairs))
             .collect();
+        self.solve_from_matrices(matrices, n, grammar)
+    }
+
+    /// Runs the fixpoint from pre-seeded per-nonterminal matrices
+    /// (`matrices[A.index()]` holds the initialization of `T_A`). The
+    /// caller is responsible for the seeding — including the optional
+    /// ε-diagonal; [`SolveOptions::nullable_diagonal`] is not re-applied
+    /// here. This is the service entry point the session layer uses: the
+    /// graph→matrix decomposition lives in the `GraphIndex`, the fixpoint
+    /// is just a function of the seeds.
+    pub fn solve_from_matrices(
+        &self,
+        matrices: Vec<E::Matrix>,
+        n: usize,
+        grammar: &Wcnf,
+    ) -> RelationalIndex<E::Matrix> {
         match self.strategy {
             Strategy::Naive => self.run_naive(matrices, n, grammar),
             Strategy::Batched => self.run_batched(matrices, n, grammar),
             Strategy::Delta => self.run_delta(matrices, n, grammar, false),
             Strategy::MaskedDelta => self.run_delta(matrices, n, grammar, true),
         }
+    }
+
+    /// Incrementally folds newly-discovered base facts into an already
+    /// closed index: `new_pairs[A.index()]` are candidate additions to
+    /// `T_A` (typically the seeds arising from freshly inserted graph
+    /// edges). Entries already present in the closure are filtered out;
+    /// the rest seed the semi-naive Δ loop, so the fixpoint is repaired
+    /// by multiplying **only the new information** instead of re-solving
+    /// from scratch — the distribution property behind semi-naive
+    /// evaluation guarantees the same least fixpoint.
+    ///
+    /// The sweeps are always semi-naive regardless of the configured
+    /// [`Strategy`] (re-running full naive products from a converged
+    /// state would defeat the point); [`Strategy::MaskedDelta`] — and,
+    /// for convenience, the full-product strategies — resume with masked
+    /// kernels, [`Strategy::Delta`] resumes unmasked.
+    ///
+    /// Returns the [`SolveStats`] of the resume portion alone; the
+    /// index's cumulative `stats` and `iterations` are also advanced.
+    pub fn resume(
+        &self,
+        index: &mut RelationalIndex<E::Matrix>,
+        grammar: &Wcnf,
+        new_pairs: &[Vec<(u32, u32)>],
+    ) -> SolveStats {
+        let engine = self.engine;
+        let n_nts = grammar.n_nts();
+        assert_eq!(new_pairs.len(), n_nts, "one pair list per nonterminal");
+        let masked = self.strategy != Strategy::Delta;
+
+        // Δ_A = new seeds not already in the closure; fold them in.
+        let mut delta: Vec<Option<E::Matrix>> = (0..n_nts).map(|_| None).collect();
+        let mut any = false;
+        for (a, pairs) in new_pairs.iter().enumerate() {
+            if pairs.is_empty() {
+                continue;
+            }
+            let fresh =
+                engine.difference(&engine.from_pairs(index.n_nodes, pairs), &index.matrices[a]);
+            if fresh.nnz() == 0 {
+                continue;
+            }
+            engine.union_in_place(&mut index.matrices[a], &fresh);
+            delta[a] = Some(fresh);
+            any = true;
+        }
+        let mut stats = SolveStats::default();
+        if !any {
+            return stats; // nothing new: the closure is already correct
+        }
+        let sweeps = self.delta_sweeps(
+            &mut index.matrices,
+            DeltaSeed::Deltas(delta),
+            grammar,
+            masked,
+            &mut stats,
+        );
+        index.iterations += sweeps;
+        index.stats.products_computed += stats.products_computed;
+        index.stats.products_skipped += stats.products_skipped;
+        index
+            .stats
+            .sweep_nnz
+            .extend(stats.sweep_nnz.iter().copied());
+        stats
     }
 
     /// Algorithm 1 as printed: every rule recomputes its full product on
@@ -345,6 +440,32 @@ impl<'e, E: BoolEngine> FixpointSolver<'e, E> {
         grammar: &Wcnf,
         masked: bool,
     ) -> RelationalIndex<E::Matrix> {
+        let mut stats = SolveStats::default();
+        let iterations = self.delta_sweeps(&mut full, DeltaSeed::Full, grammar, masked, &mut stats);
+        RelationalIndex {
+            matrices: full,
+            iterations,
+            n_nodes: n,
+            stats,
+        }
+    }
+
+    /// The semi-naive sweep loop shared by the cold-solve delta
+    /// strategies and the incremental [`FixpointSolver::resume`] path.
+    /// `seed` selects where the first sweep's Δ comes from:
+    /// [`DeltaSeed::Full`] treats the (freshly initialized) `full`
+    /// matrices themselves as the Δ — the cold-solve case, with no clone
+    /// ever taken — while [`DeltaSeed::Deltas`] starts from explicit Δ
+    /// matrices already folded into `full` — the resume case. Returns
+    /// the number of sweeps run; work counters accumulate into `stats`.
+    fn delta_sweeps(
+        &self,
+        full: &mut [E::Matrix],
+        seed: DeltaSeed<E::Matrix>,
+        grammar: &Wcnf,
+        masked: bool,
+        stats: &mut SolveStats,
+    ) -> usize {
         let engine = self.engine;
         let n_nts = grammar.n_nts();
 
@@ -364,14 +485,19 @@ impl<'e, E: BoolEngine> FixpointSolver<'e, E> {
         // products (ΔB×C and B×ΔC) for every binary rule.
         let per_sweep_potential = 2 * grammar.binary_rules.len();
 
-        let mut stats = SolveStats::default();
         // Δ per nonterminal; `None` means empty (never allocated for
         // nonterminals no rule produces).
-        let mut delta: Vec<Option<E::Matrix>> = (0..n_nts).map(|_| None).collect();
+        let (mut seed_from_full, mut delta): (bool, Vec<Option<E::Matrix>>) = match seed {
+            DeltaSeed::Full => (true, (0..n_nts).map(|_| None).collect()),
+            DeltaSeed::Deltas(d) => {
+                debug_assert_eq!(d.len(), n_nts);
+                (false, d)
+            }
+        };
         let mut iterations = 0;
         loop {
             iterations += 1;
-            let first = iterations == 1;
+            let first = std::mem::take(&mut seed_from_full);
 
             // Assemble this sweep's kernel jobs from the same snapshot.
             let mut jobs: Vec<MaskedJob<'_, E::Matrix>> = Vec::new();
@@ -449,18 +575,23 @@ impl<'e, E: BoolEngine> FixpointSolver<'e, E> {
                 delta[a] = Some(new_entries);
                 changed = true;
             }
-            stats.sweep_nnz.push(total_nnz(&full));
+            stats.sweep_nnz.push(total_nnz(full));
             if !changed {
                 break;
             }
         }
-        RelationalIndex {
-            matrices: full,
-            iterations,
-            n_nodes: n,
-            stats,
-        }
+        iterations
     }
+}
+
+/// Where [`FixpointSolver::delta_sweeps`] takes its first sweep's Δ
+/// from: the freshly-seeded full matrices themselves (cold solve), or
+/// explicit per-nonterminal deltas (incremental resume).
+enum DeltaSeed<M> {
+    /// Δ = T: every seeded matrix is entirely new information.
+    Full,
+    /// Explicit Δ matrices, already folded into the closure.
+    Deltas(Vec<Option<M>>),
 }
 
 /// `Σ_A nnz(T_A)` — one data point of [`SolveStats::sweep_nnz`].
@@ -493,11 +624,15 @@ pub fn solve_on_engine_with<E: BoolEngine>(
         .solve(graph, grammar)
 }
 
-/// [`Strategy::Batched`] wrapper: per fixpoint sweep, the products of
-/// **all** rules are computed from the same snapshot and submitted as
-/// one [`BoolEngine::multiply_batch`]. Jacobi-style sweeps may need a
-/// few more iterations than the sequential (Gauss–Seidel) loop but
-/// reach the same least fixpoint (tested).
+/// Legacy [`Strategy::Batched`] wrapper, superseded by
+/// `FixpointSolver::new(engine).strategy(Strategy::Batched)`. Kept as a
+/// thin delegating shim so old callers keep compiling; new code should
+/// pick a [`Strategy`] on the solver (or go through `session::CfpqSession`
+/// when the same graph serves several queries).
+#[deprecated(
+    since = "0.1.0",
+    note = "use FixpointSolver::new(engine).strategy(Strategy::Batched).solve(..)"
+)]
 pub fn solve_on_engine_batched<E: BoolEngine>(
     engine: &E,
     graph: &Graph,
@@ -508,10 +643,15 @@ pub fn solve_on_engine_batched<E: BoolEngine>(
         .solve(graph, grammar)
 }
 
-/// [`Strategy::Delta`] wrapper: semi-naive evaluation, each rule
-/// multiplies only the *newly discovered* part of its operands,
-/// `T_A |= ΔT_B × T_C ∪ T_B × ΔT_C`. Algorithmically equivalent to the
-/// naive loop (tested); benchmarked as an ablation point.
+/// Legacy [`Strategy::Delta`] wrapper, superseded by
+/// `FixpointSolver::new(engine).strategy(Strategy::Delta)`. Kept as a
+/// thin delegating shim so old callers keep compiling; semi-naive
+/// evaluation multiplies only the newly discovered part of each operand,
+/// `T_A |= ΔT_B × T_C ∪ T_B × ΔT_C` (benchmarked as an ablation point).
+#[deprecated(
+    since = "0.1.0",
+    note = "use FixpointSolver::new(engine).strategy(Strategy::Delta).solve(..)"
+)]
 pub fn solve_on_engine_delta<E: BoolEngine>(
     engine: &E,
     graph: &Graph,
@@ -631,6 +771,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // the shims must stay observationally equivalent
     fn batched_variant_agrees() {
         use cfpq_matrix::{Device, ParSparseEngine};
         let g = wcnf("S -> a S b | a b | S S");
@@ -647,6 +788,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // the shims must stay observationally equivalent
     fn delta_variant_agrees() {
         let g = wcnf("S -> a S b | a b | S S");
         let graph = generators::two_cycles(3, 4);
@@ -656,6 +798,81 @@ mod tests {
             let nt = Nt(nt as u32);
             assert_eq!(naive.pairs(nt), delta.pairs(nt));
         }
+    }
+
+    #[test]
+    fn solve_from_matrices_equals_solve() {
+        let g = wcnf("S -> a S b | a b | S S");
+        let graph = generators::two_cycles(3, 4);
+        let reference = FixpointSolver::new(&SparseEngine).solve(&graph, &g);
+        let seeds: Vec<_> = init_pairs(&graph, &g)
+            .into_iter()
+            .map(|pairs| SparseEngine.from_pairs(graph.n_nodes(), &pairs))
+            .collect();
+        let via_seeds =
+            FixpointSolver::new(&SparseEngine).solve_from_matrices(seeds, graph.n_nodes(), &g);
+        for nt in 0..g.n_nts() {
+            let nt = Nt(nt as u32);
+            assert_eq!(reference.pairs(nt), via_seeds.pairs(nt));
+        }
+        assert_eq!(reference.iterations, via_seeds.iterations);
+        assert_eq!(reference.stats, via_seeds.stats);
+    }
+
+    #[test]
+    fn resume_repairs_closure_after_new_edges() {
+        // Solve a^n b^n on a truncated chain, then feed the final edge in
+        // through resume: the repaired index must equal a from-scratch
+        // solve on the full chain, with strictly less resume work.
+        let g = wcnf("S -> a S b | a b");
+        let full_graph = generators::word_chain(&["a", "a", "b", "b"]);
+        let mut partial = cfpq_graph::Graph::new(5);
+        for e in full_graph.edges().iter().take(3) {
+            partial.add_edge_named(e.from, full_graph.label_name(e.label), e.to);
+        }
+        let solver = FixpointSolver::new(&SparseEngine);
+        let mut idx = solver.solve(&partial, &g);
+        let cold = solver.solve(&full_graph, &g);
+
+        // The last edge (3, b, 4) seeds every nonterminal with a b-rule.
+        let b_term = g.symbols.get_term("b").unwrap();
+        let mut new_pairs = vec![Vec::new(); g.n_nts()];
+        for nt in &g.nts_by_terminal()[b_term.index()] {
+            new_pairs[nt.index()].push((3, 4));
+        }
+        let resume_stats = solver.resume(&mut idx, &g, &new_pairs);
+        for nt in 0..g.n_nts() {
+            let nt = Nt(nt as u32);
+            assert_eq!(idx.pairs(nt), cold.pairs(nt), "repaired == from-scratch");
+        }
+        assert!(
+            resume_stats.products_computed < cold.stats.products_computed,
+            "resume {} vs cold {}",
+            resume_stats.products_computed,
+            cold.stats.products_computed
+        );
+        // Cumulative counters advanced by exactly the resume portion.
+        assert!(idx.stats.products_computed >= resume_stats.products_computed);
+    }
+
+    #[test]
+    fn resume_with_known_pairs_is_a_noop() {
+        let g = wcnf("S -> a S b | a b");
+        let graph = generators::word_chain(&["a", "a", "b", "b"]);
+        let solver = FixpointSolver::new(&DenseEngine);
+        let mut idx = solver.solve(&graph, &g);
+        let before_iterations = idx.iterations;
+        let before = idx.stats.clone();
+        // Re-announce an edge the closure already accounts for.
+        let a_term = g.symbols.get_term("a").unwrap();
+        let mut new_pairs = vec![Vec::new(); g.n_nts()];
+        for nt in &g.nts_by_terminal()[a_term.index()] {
+            new_pairs[nt.index()].push((0, 1));
+        }
+        let stats = solver.resume(&mut idx, &g, &new_pairs);
+        assert_eq!(stats, SolveStats::default(), "no new facts, no sweeps");
+        assert_eq!(idx.iterations, before_iterations);
+        assert_eq!(idx.stats, before);
     }
 
     #[test]

@@ -35,6 +35,15 @@ pub struct Edge {
 /// The structure maintains both a flat edge list (what matrix solvers
 /// consume for initialization, Algorithm 1 lines 6-7) and forward
 /// adjacency per node (what the top-down GLL baseline consumes).
+///
+/// # Invariant: `E` is a set
+///
+/// `E ⊆ V × Σ × V` (§2) is a *set*, and [`Graph::add_edge`] enforces it:
+/// inserting an edge that is already present is a no-op (it returns
+/// `false`), so the edge list, the per-node adjacency and the per-label
+/// views always agree with each other and with the Boolean adjacency
+/// matrices a `GraphIndex` derives from them — no manual
+/// [`Graph::dedup_edges`] pass is ever required.
 #[derive(Clone, Debug, Default)]
 pub struct Graph {
     labels: Interner,
@@ -42,6 +51,8 @@ pub struct Graph {
     edges: Vec<Edge>,
     /// adj[u] = sorted-on-demand list of (label, v).
     adj: Vec<Vec<(Label, NodeId)>>,
+    /// Membership set enforcing edge uniqueness in O(1) per insertion.
+    edge_set: std::collections::HashSet<(NodeId, u32, NodeId)>,
 }
 
 impl Graph {
@@ -52,6 +63,7 @@ impl Graph {
             n_nodes,
             edges: Vec::new(),
             adj: vec![Vec::new(); n_nodes],
+            edge_set: std::collections::HashSet::new(),
         }
     }
 
@@ -100,17 +112,30 @@ impl Graph {
     }
 
     /// Adds the edge `(from, label, to)`, growing the node set if needed.
-    pub fn add_edge(&mut self, from: NodeId, label: Label, to: NodeId) {
+    /// Returns `true` if the edge was new; re-inserting an existing edge
+    /// is a no-op (`E` is a set, see the type-level invariant), so every
+    /// view of the graph stays coherent without a manual
+    /// [`Graph::dedup_edges`] pass.
+    pub fn add_edge(&mut self, from: NodeId, label: Label, to: NodeId) -> bool {
         self.ensure_node(from);
         self.ensure_node(to);
+        if !self.edge_set.insert((from, label.0, to)) {
+            return false;
+        }
         self.edges.push(Edge { from, label, to });
         self.adj[from as usize].push((label, to));
+        true
     }
 
-    /// Adds an edge by label name.
-    pub fn add_edge_named(&mut self, from: NodeId, label: &str, to: NodeId) {
+    /// Adds an edge by label name; returns `true` if the edge was new.
+    pub fn add_edge_named(&mut self, from: NodeId, label: &str, to: NodeId) -> bool {
         let l = self.label(label);
-        self.add_edge(from, l, to);
+        self.add_edge(from, l, to)
+    }
+
+    /// True if the edge `(from, label, to)` is present.
+    pub fn has_edge(&self, from: NodeId, label: Label, to: NodeId) -> bool {
+        self.edge_set.contains(&(from, label.0, to))
     }
 
     /// All edges, in insertion order.
@@ -132,8 +157,11 @@ impl Graph {
     }
 
     /// Removes duplicate `(from, label, to)` edges (keeps first
-    /// occurrence). Duplicates do not affect CFPQ answers but inflate edge
-    /// counts in reports.
+    /// occurrence). Since [`Graph::add_edge`] rejects duplicates at
+    /// insertion time this is now always a no-op; it is kept as a public
+    /// entry point so callers written against the old multigraph
+    /// behaviour keep compiling (and as a self-check: it debug-asserts
+    /// the uniqueness invariant).
     pub fn dedup_edges(&mut self) {
         let mut seen = std::collections::HashSet::with_capacity(self.edges.len());
         let mut kept = Vec::with_capacity(self.edges.len());
@@ -142,6 +170,11 @@ impl Graph {
                 kept.push(e);
             }
         }
+        debug_assert_eq!(
+            kept.len(),
+            self.edges.len(),
+            "add_edge enforces uniqueness; dedup_edges found duplicates"
+        );
         if kept.len() != self.edges.len() {
             self.edges = kept;
             self.rebuild_adjacency();
@@ -170,6 +203,7 @@ impl Graph {
             n_nodes: self.n_nodes * k,
             edges: Vec::with_capacity(self.edges.len() * k),
             adj: vec![Vec::new(); self.n_nodes * k],
+            edge_set: std::collections::HashSet::with_capacity(self.edges.len() * k),
         };
         for c in 0..k as NodeId {
             for &Edge { from, label, to } in &self.edges {
@@ -180,6 +214,7 @@ impl Graph {
                     to: t,
                 });
                 out.adj[f as usize].push((label, t));
+                out.edge_set.insert((f, label.0, t));
             }
         }
         out
@@ -244,15 +279,37 @@ mod tests {
     }
 
     #[test]
-    fn self_loops_and_multi_edges() {
+    fn self_loops_and_duplicates_rejected_at_insertion() {
         let mut g = Graph::new(1);
-        g.add_edge_named(0, "a", 0);
-        g.add_edge_named(0, "b", 0);
-        g.add_edge_named(0, "a", 0);
-        assert_eq!(g.n_edges(), 3);
-        g.dedup_edges();
+        assert!(g.add_edge_named(0, "a", 0));
+        assert!(g.add_edge_named(0, "b", 0));
+        assert!(!g.add_edge_named(0, "a", 0), "duplicate is a no-op");
+        assert_eq!(g.n_edges(), 2);
+        g.dedup_edges(); // now a no-op; the invariant already holds
         assert_eq!(g.n_edges(), 2);
         assert_eq!(g.out_edges(0).len(), 2);
+    }
+
+    #[test]
+    fn duplicate_insertion_keeps_views_coherent() {
+        // Regression test for the old footgun: duplicate add_edge calls
+        // used to leave duplicates in `edges`/`out_edges` until a manual
+        // dedup_edges() call; all views must now stay coherent through
+        // duplicate insertions with no manual pass.
+        let mut g = Graph::new(3);
+        for _ in 0..3 {
+            g.add_edge_named(0, "a", 1);
+            g.add_edge_named(1, "b", 2);
+        }
+        assert_eq!(g.n_edges(), 2);
+        let a = g.get_label("a").unwrap();
+        assert_eq!(g.edges_with_label(a).collect::<Vec<_>>(), vec![(0, 1)]);
+        assert_eq!(g.out_edges(0), &[(a, 1)]);
+        assert!(g.has_edge(0, a, 1));
+        assert!(!g.has_edge(1, a, 0));
+        assert_eq!(g.label_histogram(), vec![("a".into(), 1), ("b".into(), 1)]);
+        // The flat edge list agrees with the membership view.
+        assert_eq!(g.edges().len(), 2);
     }
 
     #[test]

@@ -247,13 +247,22 @@ impl OntologyProfile {
         }
 
         // --- inert padding triples ------------------------------------------
+        // Rejection-sampled distinct (s, p, o): triple sets are sets, so
+        // graphs keep the exact 2-edges-per-triple relationship now that
+        // `Graph::add_edge` enforces edge uniqueness.
         let mut node_pool: Vec<String> = (0..class_pool).map(|i| format!("c{i}")).collect();
         node_pool.extend((0..n_instances).map(|j| format!("i{j}")));
+        let mut padding_seen: HashSet<(usize, usize, usize)> = HashSet::new();
         for k in 0..n_padding {
-            let p = PADDING_PREDICATES[k % PADDING_PREDICATES.len()];
-            let s = node_pool[rng.gen_range(0..node_pool.len())].clone();
-            let o = node_pool[rng.gen_range(0..node_pool.len())].clone();
-            t.add(&s, p, &o);
+            let p_idx = k % PADDING_PREDICATES.len();
+            loop {
+                let si = rng.gen_range(0..node_pool.len());
+                let oi = rng.gen_range(0..node_pool.len());
+                if padding_seen.insert((p_idx, si, oi)) {
+                    t.add(&node_pool[si], PADDING_PREDICATES[p_idx], &node_pool[oi]);
+                    break;
+                }
+            }
         }
 
         debug_assert_eq!(t.len(), self.triples);

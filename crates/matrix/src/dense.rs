@@ -398,6 +398,23 @@ mod tests {
 }
 
 impl DenseBitMatrix {
+    /// Sets every bit of `pairs` in place; returns `true` if any bit was
+    /// newly set. This is the point-update path behind
+    /// `BoolEngine::union_pairs` — a `GraphIndex` absorbing an edge batch
+    /// touches only the addressed words instead of building a whole
+    /// matrix to union.
+    pub fn insert_pairs(&mut self, pairs: &[(u32, u32)]) -> bool {
+        let mut changed = false;
+        for &(i, j) in pairs {
+            debug_assert!((i as usize) < self.n && (j as usize) < self.n);
+            let w = &mut self.bits[i as usize * self.wpr + j as usize / 64];
+            let bit = 1u64 << (j % 64);
+            changed |= *w & bit == 0;
+            *w |= bit;
+        }
+        changed
+    }
+
     /// `self \ other` — bits set in `self` but not `other`. Used by the
     /// semi-naive (delta) closure variant in `cfpq-core`.
     pub fn difference(&self, other: &DenseBitMatrix) -> DenseBitMatrix {
@@ -433,6 +450,16 @@ mod setops_tests {
         assert_eq!(a.intersect(&b).pairs(), vec![(2, 3)]);
         assert!(a.difference(&a).is_zero());
         assert_eq!(a.intersect(&a), a);
+    }
+
+    #[test]
+    fn insert_pairs_in_place() {
+        let mut m = DenseBitMatrix::from_pairs(130, &[(0, 1), (64, 64)]);
+        assert!(m.insert_pairs(&[(0, 1), (2, 100)]), "one new bit");
+        assert_eq!(m.pairs(), vec![(0, 1), (2, 100), (64, 64)]);
+        assert!(!m.insert_pairs(&[(0, 1), (64, 64)]), "all known");
+        assert!(!m.insert_pairs(&[]), "empty batch is a no-op");
+        assert_eq!(m.nnz(), 3);
     }
 
     #[test]

@@ -87,6 +87,20 @@ pub trait BoolEngine: Send + Sync {
     /// Algorithm 1 line 8).
     fn union_in_place(&self, a: &mut Self::Matrix, b: &Self::Matrix) -> bool;
 
+    /// `a |= {pairs}` — merges explicit `(row, col)` pairs into `a` in
+    /// place; returns `true` if `a` changed. This is the edge-update hook
+    /// a persistent `GraphIndex` relies on: absorbing a small batch of
+    /// new edges must not materialize a whole second matrix. The default
+    /// falls back to `from_pairs` + `union_in_place`; both concrete
+    /// representations override it with real point updates.
+    fn union_pairs(&self, a: &mut Self::Matrix, pairs: &[(u32, u32)]) -> bool {
+        if pairs.is_empty() {
+            return false;
+        }
+        let add = self.from_pairs(a.n(), pairs);
+        self.union_in_place(a, &add)
+    }
+
     /// `a \ b` — entries of `a` absent from `b` (semi-naive delta loop).
     fn difference(&self, a: &Self::Matrix, b: &Self::Matrix) -> Self::Matrix;
 
@@ -158,6 +172,9 @@ impl BoolEngine for DenseEngine {
     fn union_in_place(&self, a: &mut DenseBitMatrix, b: &DenseBitMatrix) -> bool {
         a.union_in_place(b)
     }
+    fn union_pairs(&self, a: &mut DenseBitMatrix, pairs: &[(u32, u32)]) -> bool {
+        a.insert_pairs(pairs)
+    }
     fn difference(&self, a: &DenseBitMatrix, b: &DenseBitMatrix) -> DenseBitMatrix {
         a.difference(b)
     }
@@ -205,6 +222,9 @@ impl BoolEngine for ParDenseEngine {
     }
     fn union_in_place(&self, a: &mut DenseBitMatrix, b: &DenseBitMatrix) -> bool {
         a.union_in_place(b)
+    }
+    fn union_pairs(&self, a: &mut DenseBitMatrix, pairs: &[(u32, u32)]) -> bool {
+        a.insert_pairs(pairs)
     }
     fn difference(&self, a: &DenseBitMatrix, b: &DenseBitMatrix) -> DenseBitMatrix {
         a.difference(b)
@@ -255,6 +275,9 @@ impl BoolEngine for SparseEngine {
     fn union_in_place(&self, a: &mut CsrMatrix, b: &CsrMatrix) -> bool {
         a.union_in_place(b)
     }
+    fn union_pairs(&self, a: &mut CsrMatrix, pairs: &[(u32, u32)]) -> bool {
+        a.insert_pairs(pairs)
+    }
     fn difference(&self, a: &CsrMatrix, b: &CsrMatrix) -> CsrMatrix {
         a.difference(b)
     }
@@ -297,6 +320,9 @@ impl BoolEngine for ParSparseEngine {
     }
     fn union_in_place(&self, a: &mut CsrMatrix, b: &CsrMatrix) -> bool {
         a.union_in_place(b)
+    }
+    fn union_pairs(&self, a: &mut CsrMatrix, pairs: &[(u32, u32)]) -> bool {
+        a.insert_pairs(pairs)
     }
     fn difference(&self, a: &CsrMatrix, b: &CsrMatrix) -> CsrMatrix {
         a.difference(b)

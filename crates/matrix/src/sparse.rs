@@ -395,6 +395,14 @@ impl RowAccumulator {
 /// Merges two strictly-ascending slices into a strictly-ascending vector.
 fn merge_sorted(a: &[u32], b: &[u32]) -> Vec<u32> {
     let mut out = Vec::with_capacity(a.len() + b.len());
+    merge_sorted_into(a, b, &mut out);
+    out
+}
+
+/// [`merge_sorted`], appending to an existing buffer (the flat
+/// `insert_pairs` path merges each touched row straight into the new
+/// `cols` storage).
+fn merge_sorted_into(a: &[u32], b: &[u32], out: &mut Vec<u32>) {
     let (mut x, mut y) = (0, 0);
     while x < a.len() && y < b.len() {
         match a[x].cmp(&b[y]) {
@@ -415,7 +423,6 @@ fn merge_sorted(a: &[u32], b: &[u32]) -> Vec<u32> {
     }
     out.extend_from_slice(&a[x..]);
     out.extend_from_slice(&b[y..]);
-    out
 }
 
 #[cfg(test)]
@@ -600,6 +607,57 @@ mod tests {
 }
 
 impl CsrMatrix {
+    /// Merges `pairs` into the matrix in place; returns `true` if any
+    /// entry was newly stored. This is the point-update path behind
+    /// `BoolEngine::union_pairs` (a `GraphIndex` absorbing an edge
+    /// batch): already-present pairs are filtered first — a no-op batch
+    /// costs only the membership probes — and the merge writes straight
+    /// into fresh flat `row_ptr`/`cols` storage (untouched rows are one
+    /// contiguous copy; no per-row `Vec` allocations).
+    pub fn insert_pairs(&mut self, pairs: &[(u32, u32)]) -> bool {
+        if pairs.is_empty() {
+            return false;
+        }
+        // Genuinely new entries, grouped per row, sorted and deduped.
+        let mut by_row: std::collections::BTreeMap<u32, Vec<u32>> =
+            std::collections::BTreeMap::new();
+        for &(i, j) in pairs {
+            debug_assert!((i as usize) < self.n && (j as usize) < self.n);
+            if !self.get(i, j) {
+                by_row.entry(i).or_default().push(j);
+            }
+        }
+        by_row.retain(|_, add| {
+            add.sort_unstable();
+            add.dedup();
+            !add.is_empty()
+        });
+        if by_row.is_empty() {
+            return false;
+        }
+        let added: usize = by_row.values().map(Vec::len).sum();
+        let mut row_ptr = Vec::with_capacity(self.n + 1);
+        let mut cols = Vec::with_capacity(self.cols.len() + added);
+        row_ptr.push(0usize);
+        let mut copied_up_to = 0usize; // index into the old `cols`
+        for i in 0..self.n {
+            let row_end = self.row_ptr[i + 1];
+            if let Some(add) = by_row.get(&(i as u32)) {
+                // Flush the contiguous run of untouched rows, then merge.
+                cols.extend_from_slice(&self.cols[copied_up_to..self.row_ptr[i]]);
+                merge_sorted_into(self.row(i), add, &mut cols);
+                copied_up_to = row_end;
+            }
+            // Untouched rows are flushed lazily; record where row i ends.
+            row_ptr.push(cols.len() + (row_end - copied_up_to));
+        }
+        cols.extend_from_slice(&self.cols[copied_up_to..]);
+        debug_assert_eq!(cols.len(), self.cols.len() + added);
+        self.row_ptr = row_ptr;
+        self.cols = cols;
+        true
+    }
+
     /// `self \ other` — entries of `self` absent from `other` (per-row
     /// sorted difference).
     pub fn difference(&self, other: &CsrMatrix) -> CsrMatrix {
@@ -647,5 +705,16 @@ mod setops_tests {
         assert_eq!(a.intersect(&b).pairs(), vec![(2, 3)]);
         assert!(a.difference(&a).is_zero());
         assert_eq!(a.intersect(&a), a);
+    }
+
+    #[test]
+    fn insert_pairs_in_place() {
+        let mut m = CsrMatrix::from_pairs(5, &[(0, 3), (2, 2)]);
+        assert!(m.insert_pairs(&[(0, 1), (0, 3), (4, 0), (4, 0)]));
+        assert_eq!(m.pairs(), vec![(0, 1), (0, 3), (2, 2), (4, 0)]);
+        assert!(!m.insert_pairs(&[(0, 1), (2, 2)]), "all known");
+        assert!(!m.insert_pairs(&[]), "empty batch is a no-op");
+        // Rows stay strictly ascending after the merge.
+        assert_eq!(m.row(0), &[1, 3]);
     }
 }

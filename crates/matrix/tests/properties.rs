@@ -124,6 +124,29 @@ proptest! {
     }
 
     #[test]
+    fn union_pairs_equals_union_with_from_pairs(a in pairs(N, 60), b in pairs(N, 60)) {
+        // The point-update hook behind GraphIndex edge insertion: on
+        // every engine, `union_pairs(m, ps)` must be observationally
+        // identical to building `from_pairs(ps)` and unioning it, and
+        // its change flag must agree.
+        fn check<E: BoolEngine>(e: &E, a: &[(u32, u32)], b: &[(u32, u32)]) -> Result<(), TestCaseError> {
+            let mut via_pairs = e.from_pairs(N, a);
+            let mut via_union = via_pairs.clone();
+            let changed_pairs = e.union_pairs(&mut via_pairs, b);
+            let changed_union = e.union_in_place(&mut via_union, &e.from_pairs(N, b));
+            prop_assert_eq!(via_pairs.pairs(), via_union.pairs(), "{}", e.name());
+            prop_assert_eq!(changed_pairs, changed_union, "{} change flag", e.name());
+            prop_assert!(!e.union_pairs(&mut via_pairs, b), "{} idempotent", e.name());
+            prop_assert!(!e.union_pairs(&mut via_pairs, &[]), "{} empty batch", e.name());
+            Ok(())
+        }
+        check(&DenseEngine, &a, &b)?;
+        check(&SparseEngine, &a, &b)?;
+        check(&ParDenseEngine::new(Device::new(2)), &a, &b)?;
+        check(&ParSparseEngine::new(Device::new(3)), &a, &b)?;
+    }
+
+    #[test]
     fn masked_product_laws_per_engine(a in pairs(N, 80), b in pairs(N, 80), m in pairs(N, 120)) {
         // The multiply_masked contract on every engine: the output is
         // disjoint from the mask, and together with the masked-out part

@@ -15,7 +15,7 @@
 //! Valiant.
 
 use cfpq::baselines::{gll::GllSolver, hellings::solve_hellings, valiant::valiant_parse};
-use cfpq::core::relational::{solve_on_engine, solve_on_engine_delta, solve_set_matrix};
+use cfpq::core::relational::{solve_on_engine, solve_set_matrix, Strategy};
 use cfpq::grammar::cyk::CykTable;
 use cfpq::grammar::random::{random_wcnf, sample_word, RandomGrammarConfig};
 use cfpq::graph::generators;
@@ -50,7 +50,9 @@ proptest! {
         let sparse = solve_on_engine(&SparseEngine, &graph, &g);
         let dense_par = solve_on_engine(&ParDenseEngine::new(Device::new(3)), &graph, &g);
         let sparse_par = solve_on_engine(&ParSparseEngine::new(Device::new(2)), &graph, &g);
-        let delta = solve_on_engine_delta(&SparseEngine, &graph, &g);
+        let delta = FixpointSolver::new(&SparseEngine)
+            .strategy(Strategy::Delta)
+            .solve(&graph, &g);
         let masked = FixpointSolver::new(&SparseEngine).solve(&graph, &g);
         let masked_par =
             FixpointSolver::new(&ParSparseEngine::new(Device::new(2))).solve(&graph, &g);
