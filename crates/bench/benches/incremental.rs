@@ -15,7 +15,6 @@ use cfpq_core::session::{CfpqSession, PreparedQuery};
 use cfpq_grammar::cnf::CnfOptions;
 use cfpq_grammar::queries;
 use cfpq_graph::ontology::evaluation_suite;
-use cfpq_graph::Graph;
 use cfpq_matrix::SparseEngine;
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::time::Duration;
@@ -48,24 +47,7 @@ fn bench_incremental(c: &mut Criterion) {
 
     for batch in [1usize, 10, 100] {
         // Hold out the last `batch` Q1-relevant edges; pre-solve the rest.
-        let held_idx: std::collections::HashSet<usize> = g3
-            .edges()
-            .iter()
-            .enumerate()
-            .rev()
-            .filter(|(_, e)| alphabet.contains(g3.label_name(e.label)))
-            .take(batch)
-            .map(|(i, _)| i)
-            .collect();
-        let mut base = Graph::new(g3.n_nodes());
-        let mut held: Vec<(u32, &str, u32)> = Vec::with_capacity(batch);
-        for (i, e) in g3.edges().iter().enumerate() {
-            if held_idx.contains(&i) {
-                held.push((e.from, g3.label_name(e.label), e.to));
-            } else {
-                base.add_edge_named(e.from, g3.label_name(e.label), e.to);
-            }
-        }
+        let (base, held) = cfpq_bench::hold_out_edges(g3, batch, |name| alphabet.contains(name));
         let mut template = CfpqSession::new(SparseEngine, &base);
         let id = template.prepare_query(PreparedQuery::from_wcnf(wcnf.clone()));
         template.evaluate(id);

@@ -1,0 +1,76 @@
+//! Single-path (§5) bench: the engine-backed masked semi-naive length
+//! closure vs the seed-era naive `O(n³)` flat-table oracle on the pizza
+//! dataset (Q1), plus a `CfpqSession` single-path repair after a
+//! held-out 10-edge batch — the workload behind `BENCH_pr4.json` (whose
+//! committed numbers come from `reproduce single-path`, which also
+//! covers g3; the oracle's ~10s per g3 solve is too slow to sample
+//! here).
+//!
+//! The repair side clones a pre-solved session per iteration (clone
+//! included in the timed region, as in `benches/incremental.rs`),
+//! inserts the batch and re-evaluates the length closure.
+
+use cfpq_core::relational::SolveOptions;
+use cfpq_core::session::{CfpqSession, PreparedQuery};
+use cfpq_core::single_path::{solve_single_path_oracle, SinglePathSolver};
+use cfpq_grammar::cnf::CnfOptions;
+use cfpq_grammar::queries;
+use cfpq_graph::ontology::evaluation_suite;
+use cfpq_matrix::{DenseEngine, SparseEngine};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench_single_path(c: &mut Criterion) {
+    let wcnf = queries::query1()
+        .to_wcnf(CnfOptions::default())
+        .expect("Q1 normalizes");
+    let suite = evaluation_suite();
+    let pizza = &suite.iter().find(|d| d.name == "pizza").unwrap().graph;
+
+    let mut group = c.benchmark_group("single-path-pizza");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(4));
+
+    group.bench_function("oracle-naive", |b| {
+        b.iter(|| solve_single_path_oracle(pizza, &wcnf, SolveOptions::default()))
+    });
+    group.bench_function("masked-sparse", |b| {
+        b.iter(|| SinglePathSolver::new(&SparseEngine).solve(pizza, &wcnf))
+    });
+    group.bench_function("masked-dense", |b| {
+        b.iter(|| SinglePathSolver::new(&DenseEngine).solve(pizza, &wcnf))
+    });
+
+    // Session repair: hold out the last 10 Q1-relevant edges (the edge
+    // list ends in inert padding predicates, as in the incremental
+    // bench), pre-solve the rest, then time insert + re-evaluate.
+    let alphabet: std::collections::HashSet<&str> =
+        wcnf.symbols.terms().map(|(_, name)| name).collect();
+    let (base, held) = cfpq_bench::hold_out_edges(pizza, 10, |name| alphabet.contains(name));
+    let mut template = CfpqSession::new(SparseEngine, &base);
+    let id = template.prepare_single_path_query(PreparedQuery::from_wcnf(wcnf.clone()));
+    template.evaluate_single_path(id);
+    {
+        let mut probe = template.clone();
+        probe.add_edges(&held);
+        probe.evaluate_single_path(id);
+        let run = probe.last_single_path_run(id).expect("evaluated");
+        assert!(
+            run.incremental && run.stats.products_computed > 0,
+            "held-out batch must trigger a non-trivial length repair"
+        );
+    }
+    group.bench_function("session-repair/10", |b| {
+        b.iter(|| {
+            let mut session = template.clone();
+            session.add_edges(&held);
+            session.evaluate_single_path(id);
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_path);
+criterion_main!(benches);

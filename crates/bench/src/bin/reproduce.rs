@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! cargo run --release -p cfpq-bench --bin reproduce -- \
-//!     [table1|table2|incremental|all] [--workers N] [--json PATH] [--smoke]
+//!     [table1|table2|incremental|single-path|all] [--workers N] [--json PATH] [--smoke]
 //! ```
 //!
 //! Prints each table in the paper's layout and optionally writes the raw
@@ -23,9 +23,18 @@
 //! of the full graph. Full mode runs g3 at 1/10/100-edge batches (the
 //! numbers committed as `BENCH_pr3.json`); smoke mode runs the two
 //! smallest ontologies at 1/10.
+//!
+//! The `single-path` scenario (part of `all`) runs the §5 length
+//! closure: the engine-backed masked semi-naive pipeline vs the naive
+//! `O(n³)` oracle on Q1, plus a session single-path repair after a
+//! held-out batch. Full mode runs pizza and g3 and asserts the engine
+//! beats the oracle on wall time (the numbers committed as
+//! `BENCH_pr4.json`); smoke mode runs the four smallest ontologies,
+//! asserting correctness and the fewer-products repair criterion.
 
 use cfpq_bench::{
-    render_incremental, render_table, run_incremental, run_row, run_table, small_suite, Query,
+    render_incremental, render_single_path, render_table, run_incremental, run_row,
+    run_single_path, run_table, small_suite, Query,
 };
 use cfpq_graph::ontology::evaluation_suite;
 use std::io::Write;
@@ -40,7 +49,7 @@ fn main() {
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
-            "table1" | "table2" | "incremental" | "all" => which = arg,
+            "table1" | "table2" | "incremental" | "single-path" | "all" => which = arg,
             "--workers" => {
                 workers = match it.next().and_then(|v| v.parse().ok()) {
                     Some(n) => n,
@@ -63,7 +72,7 @@ fn main() {
             other => {
                 eprintln!("unknown argument `{other}`");
                 eprintln!(
-                    "usage: reproduce [table1|table2|incremental|all] \
+                    "usage: reproduce [table1|table2|incremental|single-path|all] \
                      [--workers N] [--json PATH] [--smoke]"
                 );
                 std::process::exit(2);
@@ -74,10 +83,11 @@ fn main() {
     let queries: Vec<Query> = match which.as_str() {
         "table1" => vec![Query::Q1],
         "table2" => vec![Query::Q2],
-        "incremental" => vec![],
+        "incremental" | "single-path" => vec![],
         _ => vec![Query::Q1, Query::Q2],
     };
     let run_incremental_scenario = matches!(which.as_str(), "incremental" | "all");
+    let run_single_path_scenario = matches!(which.as_str(), "single-path" | "all");
 
     let mut sections: Vec<serde_json::Value> = Vec::new();
     for q in queries {
@@ -116,6 +126,33 @@ fn main() {
         print!("{}", render_incremental(&rows));
         println!();
         sections.push(serde_json::json!({ "query": "Incremental", "rows": rows }));
+    }
+
+    if run_single_path_scenario {
+        // Smoke: the four smallest ontologies, correctness-only (the CI
+        // guard — a tiny flat loop can win on a 91-node graph). Full:
+        // pizza and g3 with the engine-beats-oracle assertion; these are
+        // the rows committed as BENCH_pr4.json.
+        let rows = if smoke {
+            eprintln!("running single-path scenario over the smoke suite...");
+            small_suite()
+                .iter()
+                .map(|ds| run_single_path(ds, 10, false))
+                .collect::<Vec<_>>()
+        } else {
+            eprintln!("running single-path scenario on pizza and g3 (naive oracle is O(n³) — expect ~10s on g3)...");
+            let suite = evaluation_suite();
+            ["pizza", "g3"]
+                .iter()
+                .map(|name| {
+                    let ds = suite.iter().find(|d| &d.name == name).expect("dataset");
+                    run_single_path(ds, 10, true)
+                })
+                .collect::<Vec<_>>()
+        };
+        print!("{}", render_single_path(&rows));
+        println!();
+        sections.push(serde_json::json!({ "query": "SinglePath", "rows": rows }));
     }
 
     if let Some(path) = json_path {

@@ -25,8 +25,11 @@
 //! future changes to (`BENCH_*.json`).
 
 use cfpq_baselines::gll::GllSolver;
-use cfpq_core::relational::{FixpointSolver, SolveStats, Strategy};
+use cfpq_core::relational::{FixpointSolver, SolveOptions, SolveStats, Strategy};
 use cfpq_core::session::{CfpqSession, PreparedQuery};
+use cfpq_core::single_path::{
+    extract_path, solve_single_path_oracle, validate_witness, SinglePathSolver,
+};
 use cfpq_grammar::cnf::CnfOptions;
 use cfpq_grammar::{queries, Cfg, Wcnf};
 use cfpq_graph::ontology::{evaluation_suite, Dataset};
@@ -299,6 +302,39 @@ pub struct IncrementalRow {
     pub incremental_sweeps: usize,
 }
 
+/// Splits a dataset graph into a truncated base graph plus the last
+/// `batch` *query-relevant* held-out edges (ontology graphs end in
+/// inert padding predicates — holding only those out would make every
+/// repair trivially empty). Shared by the incremental and single-path
+/// scenarios and their Criterion benches, so the hold-out policy cannot
+/// drift between them. Panics if no relevant edge exists.
+pub fn hold_out_edges(
+    graph: &Graph,
+    batch: usize,
+    relevant: impl Fn(&str) -> bool,
+) -> (Graph, Vec<(u32, &str, u32)>) {
+    let held_idx: std::collections::HashSet<usize> = graph
+        .edges()
+        .iter()
+        .enumerate()
+        .rev()
+        .filter(|(_, e)| relevant(graph.label_name(e.label)))
+        .take(batch)
+        .map(|(i, _)| i)
+        .collect();
+    assert!(!held_idx.is_empty(), "dataset has no query-relevant edges");
+    let mut base = Graph::new(graph.n_nodes());
+    let mut held: Vec<(u32, &str, u32)> = Vec::with_capacity(held_idx.len());
+    for (i, e) in graph.edges().iter().enumerate() {
+        if held_idx.contains(&i) {
+            held.push((e.from, graph.label_name(e.label), e.to));
+        } else {
+            base.add_edge_named(e.from, graph.label_name(e.label), e.to);
+        }
+    }
+    (base, held)
+}
+
 /// Runs the incremental scenario on one dataset for several batch sizes:
 /// per batch size, one session serves both evaluation queries (build
 /// index once, run 2 queries, insert the batch, re-query both).
@@ -323,37 +359,17 @@ fn run_incremental_batch(dataset: &Dataset, batch: usize) -> Vec<IncrementalRow>
         })
         .collect();
 
-    // Hold out the last `batch` edges the queries can actually traverse
-    // (ontology graphs end in inert padding edges; holding only those
-    // out would make every repair trivially empty). With the §6 edge
-    // ordering these are type/type_r edges: Q1 performs a real
-    // multi-sweep repair while Q2 — whose alphabet the batch never
-    // touches — repairs for free, demonstrating that a session only
-    // charges the queries an update actually affects.
+    // Hold out the last `batch` edges the queries can actually
+    // traverse. With the §6 edge ordering these are type/type_r edges:
+    // Q1 performs a real multi-sweep repair while Q2 — whose alphabet
+    // the batch never touches — repairs for free, demonstrating that a
+    // session only charges the queries an update actually affects.
     let relevant: std::collections::HashSet<String> = wcnfs
         .iter()
         .flat_map(|(_, w)| w.symbols.terms().map(|(_, name)| name.to_owned()))
         .collect();
-    let held_idx: std::collections::HashSet<usize> = graph
-        .edges()
-        .iter()
-        .enumerate()
-        .rev()
-        .filter(|(_, e)| relevant.contains(graph.label_name(e.label)))
-        .take(batch)
-        .map(|(i, _)| i)
-        .collect();
-    let batch = held_idx.len();
-    assert!(batch >= 1, "dataset has no query-relevant edges");
-    let mut base = Graph::new(graph.n_nodes());
-    let mut held: Vec<(u32, &str, u32)> = Vec::with_capacity(batch);
-    for (i, e) in graph.edges().iter().enumerate() {
-        if held_idx.contains(&i) {
-            held.push((e.from, graph.label_name(e.label), e.to));
-        } else {
-            base.add_edge_named(e.from, graph.label_name(e.label), e.to);
-        }
-    }
+    let (base, held) = hold_out_edges(graph, batch, |name| relevant.contains(name));
+    let batch = held.len();
 
     // Build the index once; prepare and warm both queries against the
     // truncated graph.
@@ -448,6 +464,184 @@ pub fn render_incremental(rows: &[IncrementalRow]) -> String {
     out
 }
 
+/// One row of the single-path (§5) scenario on one dataset: the
+/// engine-backed masked semi-naive length closure vs the seed-era naive
+/// `O(n³)` flat-table oracle on Q1, plus a `CfpqSession` single-path
+/// repair after a held-out edge batch. The row asserts (a) identical
+/// pair sets across the oracle, the engine pipeline and the relational
+/// index, (b) a CYK-validated witness extraction sample, and (c) the
+/// repair launching strictly fewer length-kernel products than the cold
+/// closure — the PR-4 acceptance criteria, re-checked on every
+/// `reproduce` run.
+#[derive(Clone, Debug, Serialize)]
+pub struct SinglePathRow {
+    /// Dataset name.
+    pub dataset: String,
+    /// `#triples` column.
+    pub triples: usize,
+    /// Graph node count.
+    pub nodes: usize,
+    /// `|R_S|` of the single-path index (== relational — asserted).
+    pub results: usize,
+    /// Naive `O(n³)` flat-table oracle, milliseconds.
+    pub oracle_ms: f64,
+    /// Engine-backed masked semi-naive length closure (serial CSR),
+    /// milliseconds.
+    pub masked_ms: f64,
+    /// Work counters of the masked length closure.
+    pub masked: SweepStats,
+    /// Work counters of the oracle run (one "product" per rule-sweep).
+    pub oracle: SweepStats,
+    /// Edges held out of the session build and re-inserted via
+    /// `add_edges`.
+    pub batch: usize,
+    /// Session single-path re-query after `add_edges` (the semi-naive
+    /// length repair), milliseconds.
+    pub sp_repair_ms: f64,
+    /// Length-kernel products launched by the repair (strictly fewer
+    /// than the cold closure — asserted).
+    pub sp_repair_products: usize,
+    /// Length-kernel products of the cold masked closure.
+    pub sp_cold_products: usize,
+    /// Fixpoint sweeps of the repair.
+    pub sp_repair_sweeps: usize,
+}
+
+/// Runs the single-path scenario on one dataset (Q1). With
+/// `check_speed`, additionally asserts the engine-backed closure beats
+/// the oracle on wall time — enforced on the large full-mode datasets,
+/// where the `O(n³)` loop is orders of magnitude behind; tiny smoke
+/// graphs only assert correctness.
+pub fn run_single_path(dataset: &Dataset, batch: usize, check_speed: bool) -> SinglePathRow {
+    let wcnf: Wcnf = queries::query1()
+        .to_wcnf(CnfOptions::default())
+        .expect("Q1 normalizes");
+    let start = wcnf.start;
+    let graph = &dataset.graph;
+
+    // The seed-era naive loop (the test oracle) vs the engine pipeline.
+    let (oracle_idx, oracle_ms) =
+        time_ms(|| solve_single_path_oracle(graph, &wcnf, SolveOptions::default()));
+    let (masked_idx, masked_ms) =
+        time_ms(|| SinglePathSolver::new(&SparseEngine).solve(graph, &wcnf));
+    let results = masked_idx.count(start);
+    assert_eq!(
+        masked_idx.pairs(start),
+        oracle_idx.pairs(start),
+        "engine vs oracle pair-set mismatch on {}",
+        dataset.name
+    );
+    let relational = FixpointSolver::new(&SparseEngine).solve(graph, &wcnf);
+    assert_eq!(
+        masked_idx.pairs(start),
+        relational.pairs(start),
+        "single-path vs relational pair-set mismatch on {}",
+        dataset.name
+    );
+    if check_speed {
+        assert!(
+            masked_ms < oracle_ms,
+            "engine-backed closure must beat the naive oracle on {} ({masked_ms:.1} vs {oracle_ms:.1} ms)",
+            dataset.name
+        );
+    }
+    // Theorem-5 sample: the first recorded witness extracts and
+    // re-validates against the grammar.
+    if let Some((i, j, len)) = masked_idx.pairs_with_lengths(start).first().copied() {
+        let path = extract_path(&masked_idx, graph, &wcnf, start, i, j).expect("witness extracts");
+        assert_eq!(path.len() as u32, len, "witness length on {}", dataset.name);
+        assert!(
+            validate_witness(&path, graph, &wcnf, start, i, j),
+            "witness invalid on {}",
+            dataset.name
+        );
+    }
+
+    // Session repair: hold out the last `batch` Q1-relevant edges,
+    // cold-solve the rest, insert them back, re-evaluate.
+    let alphabet: std::collections::HashSet<&str> =
+        wcnf.symbols.terms().map(|(_, name)| name).collect();
+    let (base, held) = hold_out_edges(graph, batch, |name| alphabet.contains(name));
+    let batch = held.len();
+    let mut session = CfpqSession::new(SparseEngine, &base);
+    let id = session.prepare_single_path_query(PreparedQuery::from_wcnf(wcnf.clone()));
+    session.evaluate_single_path(id);
+    session.add_edges(&held);
+    let (_, sp_repair_ms) = time_ms(|| {
+        session.evaluate_single_path(id);
+    });
+    let run = session
+        .last_single_path_run(id)
+        .expect("query evaluated")
+        .clone();
+    assert!(run.incremental, "re-query must be a repair");
+    assert_eq!(
+        session.single_path_index(id).expect("solved").count(start),
+        results,
+        "repaired vs cold #results mismatch on {}",
+        dataset.name
+    );
+    assert!(
+        run.stats.products_computed < masked_idx.stats.products_computed,
+        "single-path repair must launch fewer length products than a cold solve \
+         ({} vs {}) on {}",
+        run.stats.products_computed,
+        masked_idx.stats.products_computed,
+        dataset.name
+    );
+
+    SinglePathRow {
+        dataset: dataset.name.clone(),
+        triples: dataset.triples,
+        nodes: graph.n_nodes(),
+        results,
+        oracle_ms,
+        masked_ms,
+        masked: SweepStats::of(masked_idx.iterations, &masked_idx.stats),
+        oracle: SweepStats::of(oracle_idx.iterations, &oracle_idx.stats),
+        batch,
+        sp_repair_ms,
+        sp_repair_products: run.stats.products_computed,
+        sp_cold_products: masked_idx.stats.products_computed,
+        sp_repair_sweeps: run.sweeps,
+    }
+}
+
+/// Renders single-path rows as a table.
+pub fn render_single_path(rows: &[SinglePathRow]) -> String {
+    let mut out = String::new();
+    out.push_str("Single-path §5 (engine-backed length closure vs naive oracle, Q1)\n");
+    out.push_str(&format!(
+        "{:<10} {:>8} {:>9} {:>10} {:>10} {:>7} {:>6} {:>9} {:>10} {:>10}\n",
+        "Dataset",
+        "#triples",
+        "#results",
+        "oracle(ms)",
+        "masked(ms)",
+        "#prod",
+        "batch",
+        "repair(ms)",
+        "repair#prod",
+        "cold#prod"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<10} {:>8} {:>9} {:>10.1} {:>10.1} {:>7} {:>6} {:>9.1} {:>10} {:>10}\n",
+            r.dataset,
+            r.triples,
+            r.results,
+            r.oracle_ms,
+            r.masked_ms,
+            r.masked.products_computed,
+            r.batch,
+            r.sp_repair_ms,
+            r.sp_repair_products,
+            r.sp_cold_products,
+        ));
+    }
+    out
+}
+
 /// A smaller suite for unit tests and smoke benches: the four smallest
 /// ontologies.
 pub fn small_suite() -> Vec<Dataset> {
@@ -505,6 +699,23 @@ mod tests {
             let text = render_incremental(&rows);
             assert!(text.contains(&ds.name));
             assert!(text.contains("incr#prod"));
+        }
+    }
+
+    #[test]
+    fn single_path_rows_agree_and_repair_beats_cold() {
+        // run_single_path asserts oracle/engine/relational pair-set
+        // equality, witness validity, and the fewer-products repair
+        // criterion internally; exercise it on the two smallest
+        // ontologies.
+        for ds in small_suite().iter().take(2) {
+            let row = run_single_path(ds, 5, false);
+            assert_eq!(row.batch, 5);
+            assert!(row.sp_repair_products < row.sp_cold_products);
+            assert!(row.results > 0);
+            let text = render_single_path(&[row]);
+            assert!(text.contains(&ds.name));
+            assert!(text.contains("repair#prod"));
         }
     }
 

@@ -7,6 +7,15 @@
 //! practical variant: enumerate all *distinct* witness paths up to a
 //! length bound and a result limit, pruned by the relational index so
 //! only productive splits are explored.
+//!
+//! ε-witnesses are first-class: when the relational index was solved
+//! with `nullable_diagonal` enabled, a nullable `A` at a diagonal pair
+//! `(m, m)` yields the empty path, and binary splits `A → BC` may erase
+//! either side (`B` deriving ε at the source node, or `C` at the target
+//! node) — pruned, like every other split, against the nullable-aware
+//! relations. A recursion guard keeps the ε-splits terminating on rules
+//! like `S → S S` with nullable `S`, where erasing one side leaves the
+//! same enumeration state.
 
 use crate::relational::{label_terminal_map, RelationalIndex};
 use cfpq_grammar::{Nt, Wcnf};
@@ -33,9 +42,11 @@ impl Default for EnumLimits {
 }
 
 /// Enumerates distinct witness paths for `(nt, from, to)` within the
-/// limits, in (length, lexicographic) order. Requires the relational
-/// index for pruning: a split `(B, i, k), (C, k, j)` is only explored if
-/// both pairs are in the relations.
+/// limits, in (length, lexicographic) order — the empty ε-witness first
+/// where it applies. Requires the relational index for pruning: a split
+/// `(B, i, k), (C, k, j)` is only explored if both pairs are in the
+/// relations, so an index solved with `nullable_diagonal` also unlocks
+/// the ε-side splits.
 pub fn enumerate_paths<M: BoolMat>(
     index: &RelationalIndex<M>,
     graph: &Graph,
@@ -58,19 +69,24 @@ pub fn enumerate_paths<M: BoolMat>(
         limits,
     };
     let mut results = Vec::new();
+    // The ε-witness: the empty path, reported only when the relations
+    // are nullable-aware (the pair is in the index) and `nt` can erase.
+    if from == to && grammar.nullable.contains(&nt) {
+        ctx.emit(&[], &mut results, &mut seen);
+    }
     // Iterative deepening so output is ordered by length and the search
     // never wastes budget on long paths before short ones are exhausted.
+    let mut guard = Vec::new();
     for len in 1..=limits.max_len {
-        let mut batch = Vec::new();
         ctx.collect(
             nt,
             from,
             to,
             len,
             &mut Vec::new(),
-            &mut batch,
             &mut results,
             &mut seen,
+            &mut guard,
         );
         if results.len() >= limits.max_paths {
             break;
@@ -88,9 +104,15 @@ struct Ctx<'a, M: BoolMat> {
     limits: EnumLimits,
 }
 
+/// One in-flight enumeration state; re-entering it along the same
+/// recursion path (only possible through ε-side splits, which keep the
+/// length) would loop forever while contributing no new paths.
+type GuardKey = (Nt, NodeId, NodeId, usize);
+
 impl<M: BoolMat> Ctx<'_, M> {
-    /// Collects all paths of *exactly* `len` edges deriving `nt` between
-    /// `from` and `to`, appending new distinct ones to `results`.
+    /// Collects all paths of *exactly* `len ≥ 1` edges deriving `nt`
+    /// between `from` and `to`, appending new distinct ones (with
+    /// `prefix` prepended) to `results`.
     #[allow(clippy::too_many_arguments)]
     fn collect(
         &self,
@@ -99,14 +121,34 @@ impl<M: BoolMat> Ctx<'_, M> {
         to: NodeId,
         len: usize,
         prefix: &mut Vec<Edge>,
-        scratch: &mut Vec<Edge>,
         results: &mut Vec<Vec<Edge>>,
         seen: &mut BTreeSet<Vec<(u32, u32, u32)>>,
+        guard: &mut Vec<GuardKey>,
     ) {
-        let _ = scratch;
         if results.len() >= self.limits.max_paths {
             return;
         }
+        let key = (nt, from, to, len);
+        if guard.contains(&key) {
+            return;
+        }
+        guard.push(key);
+        self.collect_splits(nt, from, to, len, prefix, results, seen, guard);
+        guard.pop();
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn collect_splits(
+        &self,
+        nt: Nt,
+        from: NodeId,
+        to: NodeId,
+        len: usize,
+        prefix: &mut Vec<Edge>,
+        results: &mut Vec<Vec<Edge>>,
+        seen: &mut BTreeSet<Vec<(u32, u32, u32)>>,
+        guard: &mut Vec<GuardKey>,
+    ) {
         if len == 1 {
             for &(label, v) in self.graph.out_edges(from) {
                 if v != to {
@@ -129,11 +171,29 @@ impl<M: BoolMat> Ctx<'_, M> {
                     }
                 }
             }
-            return;
+            // A single-edge path may still come from a binary rule with
+            // one side erased — fall through to the split loop.
         }
         for rule in &self.grammar.binary_rules {
             if rule.lhs != nt {
                 continue;
+            }
+            // ε-side splits: the whole path comes from one side while
+            // the other derives the empty word at the stationary node.
+            // Only explored against nullable-aware relations (the
+            // diagonal pair must be in the index).
+            if self.grammar.nullable.contains(&rule.left)
+                && self.index.contains(rule.left, from, from)
+            {
+                self.collect(rule.right, from, to, len, prefix, results, seen, guard);
+            }
+            if self.grammar.nullable.contains(&rule.right)
+                && self.index.contains(rule.right, to, to)
+            {
+                self.collect(rule.left, from, to, len, prefix, results, seen, guard);
+            }
+            if len == 1 {
+                continue; // no two-sided split of a single edge
             }
             for k in 0..self.index.n_nodes as u32 {
                 if !self.index.contains(rule.left, from, k)
@@ -152,9 +212,9 @@ impl<M: BoolMat> Ctx<'_, M> {
                         k,
                         left_len,
                         &mut Vec::new(),
-                        &mut Vec::new(),
                         &mut left_paths,
                         &mut sub_seen,
+                        guard,
                     );
                     for lp in left_paths {
                         let mut new_prefix = prefix.clone();
@@ -167,9 +227,9 @@ impl<M: BoolMat> Ctx<'_, M> {
                             to,
                             right_len,
                             &mut Vec::new(),
-                            &mut Vec::new(),
                             &mut right_paths,
                             &mut right_seen,
+                            guard,
                         );
                         for rp in right_paths {
                             let mut full = new_prefix.clone();
@@ -201,7 +261,7 @@ impl<M: BoolMat> Ctx<'_, M> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::relational::solve_on_engine;
+    use crate::relational::{solve_on_engine, solve_on_engine_with, SolveOptions};
     use crate::single_path::validate_witness;
     use cfpq_grammar::cnf::CnfOptions;
     use cfpq_grammar::Cfg;
@@ -249,6 +309,65 @@ mod tests {
         // Ordered by length.
         let lens: Vec<usize> = paths.iter().map(Vec::len).collect();
         assert_eq!(lens, vec![2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn nullable_dyck_grammar_surfaces_epsilon_witnesses() {
+        // The PR-4 regression: a Dyck-style grammar with an ε-rule. On a
+        // nullable-aware index the diagonal pair yields the empty path
+        // first, and every nonempty witness is still found — including
+        // through derivations that erase one side of `S -> S S`.
+        let g = wcnf("S -> ( S ) S | eps");
+        let s = g.symbols.get_nt("S").unwrap();
+        let graph = generators::word_chain(&["(", ")", "(", ")"]);
+        let idx = solve_on_engine_with(
+            &DenseEngine,
+            &graph,
+            &g,
+            SolveOptions {
+                nullable_diagonal: true,
+            },
+        );
+        // Diagonal: ε-witness plus nothing else at node 0 of length 0.
+        let at_zero = enumerate_paths(&idx, &graph, &g, s, 0, 0, EnumLimits::default());
+        assert_eq!(at_zero[0], Vec::<Edge>::new(), "ε-witness first");
+        assert!(validate_witness(&at_zero[0], &graph, &g, s, 0, 0));
+        // Full span: the bracket word ( ) ( ) is a witness of length 4.
+        let full = enumerate_paths(&idx, &graph, &g, s, 0, 4, EnumLimits::default());
+        assert!(
+            full.iter().any(|p| p.len() == 4),
+            "full-span witness found, got lengths {:?}",
+            full.iter().map(Vec::len).collect::<Vec<_>>()
+        );
+        for p in &full {
+            assert!(validate_witness(p, &graph, &g, s, 0, 4), "path {p:?}");
+        }
+        // Inner span ( over nodes 2..4 ): a single bracket pair.
+        let inner = enumerate_paths(&idx, &graph, &g, s, 2, 4, EnumLimits::default());
+        assert_eq!(inner.len(), 1);
+        assert_eq!(inner[0].len(), 2);
+    }
+
+    #[test]
+    fn epsilon_witness_requires_nullable_aware_relations() {
+        // Without the diagonal option the index has no (S, m, m) entry,
+        // so no ε-witness is reported — enumeration stays consistent
+        // with the index it prunes against.
+        let g = wcnf("S -> ( S ) | eps");
+        let s = g.symbols.get_nt("S").unwrap();
+        let graph = generators::word_chain(&["(", ")"]);
+        let idx = solve_on_engine(&DenseEngine, &graph, &g);
+        assert!(enumerate_paths(&idx, &graph, &g, s, 1, 1, EnumLimits::default()).is_empty());
+        let aware = solve_on_engine_with(
+            &DenseEngine,
+            &graph,
+            &g,
+            SolveOptions {
+                nullable_diagonal: true,
+            },
+        );
+        let paths = enumerate_paths(&aware, &graph, &g, s, 1, 1, EnumLimits::default());
+        assert_eq!(paths, vec![Vec::new()], "exactly the ε-witness");
     }
 
     #[test]

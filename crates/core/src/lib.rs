@@ -9,8 +9,10 @@
 //!   backend (dense/sparse × serial/device-parallel), plus the
 //!   paper-literal set-matrix solver with per-iteration snapshots
 //!   (Fig. 6–8) and a semi-naive *delta* variant for the ablation benches.
-//! * [`single_path`] — §5: the length-annotated closure and witness-path
-//!   extraction (Theorem 5 machinery).
+//! * [`single_path`] — §5: the length-annotated closure on the
+//!   [`cfpq_matrix::LenEngine`] kernels (masked semi-naive, engine
+//!   generic, with the naive flat-table oracle kept for cross-checking)
+//!   and witness-path extraction (Theorem 5 machinery).
 //! * [`all_paths`] — bounded all-path enumeration, the §7 future-work
 //!   semantics, built on top of the relational index.
 //! * [`conjunctive`] — the §7 conjecture: Algorithm 1 "trivially
@@ -40,5 +42,8 @@ pub use query::{solve, solve_with, Backend, QueryAnswer};
 pub use relational::{
     solve_on_engine, solve_set_matrix, FixpointSolver, RelationalIndex, SolveStats, Strategy,
 };
-pub use session::{CfpqSession, GraphIndex, PreparedQuery, QueryId, RunInfo};
-pub use single_path::{solve_single_path, SinglePathIndex};
+pub use session::{CfpqSession, GraphIndex, PreparedQuery, QueryId, RunInfo, SinglePathId};
+pub use single_path::{
+    solve_single_path, solve_single_path_oracle, solve_single_path_with, SinglePathIndex,
+    SinglePathSolver,
+};

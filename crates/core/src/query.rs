@@ -204,7 +204,7 @@ pub fn solve_wcnf_with(
 /// The index is restricted to the labels this grammar actually mentions
 /// — a one-shot call knows its only grammar up front, so indexing the
 /// rest (e.g. RDF padding predicates) would be pure overhead.
-fn one_shot<E: BoolEngine>(
+fn one_shot<E: BoolEngine + cfpq_matrix::LenEngine>(
     engine: E,
     graph: &Graph,
     wcnf: &Wcnf,

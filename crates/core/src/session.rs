@@ -14,13 +14,23 @@
 //!
 //! The payoff is incremental evaluation: [`CfpqSession::add_edges`]
 //! inserts edges into the label matrices in place (via
-//! [`BoolEngine::union_pairs`]) and, on the next evaluation of a
+//! [`BoolEngine::union_pairs`], growing the node universe when an edge
+//! names an unseen node id) and, on the next evaluation of a
 //! previously-solved query, *repairs* the cached closure through
 //! [`FixpointSolver::resume`] — the semi-naive Δ loop seeded with only
 //! the new entries — instead of re-solving from scratch. On the
 //! evaluation datasets this computes strictly fewer products than a cold
 //! solve (asserted by `reproduce --smoke` and benchmarked in
 //! `benches/incremental.rs`).
+//!
+//! Since PR 4 sessions also serve the paper's **single-path semantics
+//! (§5)**: [`CfpqSession::prepare_single_path`] registers a grammar for
+//! length-annotated evaluation, [`CfpqSession::evaluate_single_path`]
+//! caches its length closure (cold-solved on the
+//! [`cfpq_matrix::LenEngine`] kernels, repaired semi-naively after edge
+//! updates), and witness extraction
+//! ([`crate::single_path::extract_path`]) works unchanged on the cached
+//! index.
 //!
 //! ```
 //! use cfpq_core::session::CfpqSession;
@@ -47,11 +57,12 @@
 
 use crate::query::{relations_map, QueryAnswer};
 use crate::relational::{FixpointSolver, RelationalIndex, SolveOptions, SolveStats, Strategy};
+use crate::single_path::{SinglePathIndex, SinglePathSolver};
 use cfpq_grammar::cnf::CnfOptions;
 use cfpq_grammar::symbol::Interner;
-use cfpq_grammar::{Cfg, GrammarError, Term, Wcnf};
+use cfpq_grammar::{Cfg, GrammarError, Nt, Term, Wcnf};
 use cfpq_graph::{Graph, NodeId};
-use cfpq_matrix::{BoolEngine, BoolMat};
+use cfpq_matrix::{BoolEngine, BoolMat, LenEngine, LenMat};
 use std::collections::BTreeMap;
 
 /// The persistent matrix form of a graph: one Boolean adjacency matrix
@@ -63,10 +74,11 @@ use std::collections::BTreeMap;
 /// [`BoolEngine`]s, so the index inherits the paper's representation ×
 /// device matrix.
 ///
-/// The node set is fixed at build time (`n × n` matrices cannot grow);
-/// [`GraphIndex::add_edges`] accepts new *labels* freely but panics on a
-/// node id `>= n_nodes`. Build the index from a graph sized for the
-/// expected node universe.
+/// The node universe starts at the build graph's size and grows on
+/// demand: [`GraphIndex::add_edges`] accepts new labels *and* new node
+/// ids, widening every label matrix (dense rebuild / CSR row append)
+/// before inserting. Sessions pick the growth up lazily — a cached
+/// closure is widened the same way before its next repair.
 pub struct GraphIndex<E: BoolEngine> {
     engine: E,
     n_nodes: usize,
@@ -179,25 +191,27 @@ impl<E: BoolEngine> GraphIndex<E> {
     }
 
     /// Inserts a batch of edges in place, interning unseen labels on the
-    /// fly. Already-present edges are skipped (the index is a set, like
-    /// [`Graph`]); the returned [`EdgeBatch`] records exactly the new
-    /// entries per label, which is what incremental re-solves seed from.
-    ///
-    /// # Panics
-    ///
-    /// If an endpoint is `>= n_nodes()` — the matrix dimension is fixed
-    /// at build time.
+    /// fly and growing the node universe to cover previously-unseen node
+    /// ids (every label matrix is widened first, so no insertion can go
+    /// out of bounds). Already-present edges are skipped (the index is a
+    /// set, like [`Graph`]); the returned [`EdgeBatch`] records exactly
+    /// the new entries per label, which is what incremental re-solves
+    /// seed from.
     pub fn add_edges(&mut self, edges: &[(NodeId, &str, NodeId)]) -> EdgeBatch {
+        if let Some(max_id) = edges.iter().map(|&(u, _, v)| u.max(v)).max() {
+            let needed = max_id as usize + 1;
+            if needed > self.n_nodes {
+                for m in &mut self.matrices {
+                    self.engine.grow(m, needed);
+                }
+                self.n_nodes = needed;
+            }
+        }
         let mut new_by_label: BTreeMap<u32, Vec<(u32, u32)>> = BTreeMap::new();
         let mut batch_seen: std::collections::HashSet<(u32, u32, u32)> =
             std::collections::HashSet::with_capacity(edges.len());
         let mut duplicates = 0usize;
         for &(u, name, v) in edges {
-            assert!(
-                (u as usize) < self.n_nodes && (v as usize) < self.n_nodes,
-                "edge ({u}, {name}, {v}) out of bounds: GraphIndex is fixed at {} nodes",
-                self.n_nodes
-            );
             let l = self.labels.intern(name);
             while self.matrices.len() <= l as usize {
                 self.matrices.push(self.engine.zeros(self.n_nodes));
@@ -283,9 +297,13 @@ impl PreparedQuery {
     }
 }
 
-/// Handle to a query registered in a [`CfpqSession`].
+/// Handle to a (relational) query registered in a [`CfpqSession`].
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct QueryId(usize);
+
+/// Handle to a single-path query registered in a [`CfpqSession`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SinglePathId(usize);
 
 /// What the most recent evaluation of a query actually did: a cold solve
 /// or an incremental repair, and how much kernel work it launched. This
@@ -317,6 +335,16 @@ struct QueryState<M: Clone> {
     answer: Option<QueryAnswer>,
 }
 
+/// Per-single-path-query cached state: the prepared grammar, the solved
+/// length closure (if any), and the batch-log watermark.
+#[derive(Clone)]
+struct SpQueryState<M: LenMat> {
+    query: PreparedQuery,
+    solved: Option<SinglePathIndex<M>>,
+    watermark: usize,
+    last_run: Option<RunInfo>,
+}
+
 /// A multi-query evaluation session over one [`GraphIndex`]: prepare
 /// grammars once, evaluate them many times, feed edges in between.
 ///
@@ -327,25 +355,52 @@ struct QueryState<M: Clone> {
 /// cached closure is *repaired* semi-naively from exactly the new edges
 /// ([`FixpointSolver::resume`]), which on real workloads launches far
 /// fewer matrix products than a cold solve (see `BENCH_pr3.json`).
-pub struct CfpqSession<E: BoolEngine> {
+pub struct CfpqSession<E: BoolEngine + LenEngine> {
     index: GraphIndex<E>,
     /// Log of accepted edge batches; `QueryState::watermark` points into
     /// this.
     batches: Vec<EdgeBatch>,
     queries: Vec<QueryState<E::Matrix>>,
+    /// Prepared single-path queries with their cached length closures.
+    sp_queries: Vec<SpQueryState<E::LenMatrix>>,
 }
 
-impl<E: BoolEngine + Clone> Clone for CfpqSession<E> {
+impl<E: BoolEngine + LenEngine + Clone> Clone for CfpqSession<E> {
     fn clone(&self) -> Self {
         Self {
             index: self.index.clone(),
             batches: self.batches.clone(),
             queries: self.queries.clone(),
+            sp_queries: self.sp_queries.clone(),
         }
     }
 }
 
-impl<E: BoolEngine> CfpqSession<E> {
+/// Translates pending edge batches into per-nonterminal seed pairs
+/// under the given label→terminal bindings. Shared by the relational
+/// and single-path repair paths, so the two semantics consume an update
+/// log identically and cannot drift after incremental updates.
+fn pending_pairs(
+    batches: &[EdgeBatch],
+    bindings: &[Option<Term>],
+    by_term: &[Vec<Nt>],
+    wcnf: &Wcnf,
+) -> Vec<Vec<(u32, u32)>> {
+    let mut new_pairs: Vec<Vec<(u32, u32)>> = vec![Vec::new(); wcnf.n_nts()];
+    for batch in batches {
+        for (label, pairs) in &batch.new_by_label {
+            let Some(term) = bindings[*label as usize] else {
+                continue;
+            };
+            for nt in &by_term[term.index()] {
+                new_pairs[nt.index()].extend_from_slice(pairs);
+            }
+        }
+    }
+    new_pairs
+}
+
+impl<E: BoolEngine + LenEngine> CfpqSession<E> {
     /// Indexes `graph` on `engine` and opens a session over it.
     pub fn new(engine: E, graph: &Graph) -> Self {
         Self::over(GraphIndex::build(engine, graph))
@@ -357,6 +412,7 @@ impl<E: BoolEngine> CfpqSession<E> {
             index,
             batches: Vec::new(),
             queries: Vec::new(),
+            sp_queries: Vec::new(),
         }
     }
 
@@ -387,22 +443,21 @@ impl<E: BoolEngine> CfpqSession<E> {
         QueryId(self.queries.len() - 1)
     }
 
-    /// Inserts a batch of edges into the index; returns how many were
-    /// genuinely new. Cached query closures are *not* recomputed here —
-    /// each query repairs itself lazily on its next
-    /// [`CfpqSession::evaluate`] call.
-    ///
-    /// # Panics
-    ///
-    /// If an endpoint is `>= index().n_nodes()` (the matrix dimension is
-    /// fixed at build time).
+    /// Inserts a batch of edges into the index (growing the node
+    /// universe if an edge names an unseen node id); returns how many
+    /// were genuinely new. Cached query closures are *not* recomputed
+    /// here — each query repairs itself lazily on its next
+    /// [`CfpqSession::evaluate`] / [`CfpqSession::evaluate_single_path`]
+    /// call.
     pub fn add_edges(&mut self, edges: &[(NodeId, &str, NodeId)]) -> usize {
         let batch = self.index.add_edges(edges);
         let inserted = batch.inserted;
         // The log only exists to repair already-solved closures: with no
         // solved query, cold solves read the index directly, so nothing
         // needs the batch.
-        if inserted > 0 && self.queries.iter().any(|q| q.solved.is_some()) {
+        let any_solved = self.queries.iter().any(|q| q.solved.is_some())
+            || self.sp_queries.iter().any(|q| q.solved.is_some());
+        if inserted > 0 && any_solved {
             self.batches.push(batch);
         }
         inserted
@@ -418,6 +473,12 @@ impl<E: BoolEngine> CfpqSession<E> {
             .iter()
             .filter(|q| q.solved.is_some())
             .map(|q| q.watermark)
+            .chain(
+                self.sp_queries
+                    .iter()
+                    .filter(|q| q.solved.is_some())
+                    .map(|q| q.watermark),
+            )
             .min()
             .unwrap_or(self.batches.len());
         if consumed == 0 {
@@ -425,6 +486,9 @@ impl<E: BoolEngine> CfpqSession<E> {
         }
         self.batches.drain(..consumed);
         for q in &mut self.queries {
+            q.watermark = q.watermark.saturating_sub(consumed);
+        }
+        for q in &mut self.sp_queries {
             q.watermark = q.watermark.saturating_sub(consumed);
         }
     }
@@ -486,16 +550,21 @@ impl<E: BoolEngine> CfpqSession<E> {
             }
             Some(solved) => {
                 if state.watermark < self.batches.len() {
-                    // Translate the pending edge batches into per-
-                    // nonterminal seed pairs and repair the closure.
-                    let mut new_pairs: Vec<Vec<(u32, u32)>> = vec![Vec::new(); wcnf.n_nts()];
-                    for batch in &self.batches[state.watermark..] {
-                        for (label, pairs) in &batch.new_by_label {
-                            let Some(term) = bindings[*label as usize] else {
-                                continue;
-                            };
-                            for nt in &by_term[term.index()] {
-                                new_pairs[nt.index()].extend_from_slice(pairs);
+                    let mut new_pairs =
+                        pending_pairs(&self.batches[state.watermark..], &bindings, &by_term, wcnf);
+                    // A batch may have grown the node universe: widen the
+                    // cached closure first, and seed the ε-diagonal of
+                    // the new nodes where the option asks for it.
+                    if solved.n_nodes < n {
+                        let old_n = solved.n_nodes;
+                        for m in &mut solved.matrices {
+                            self.index.engine.grow(m, n);
+                        }
+                        solved.n_nodes = n;
+                        if state.query.options.nullable_diagonal {
+                            for &nt in &wcnf.nullable {
+                                new_pairs[nt.index()]
+                                    .extend((old_n as u32..n as u32).map(|m| (m, m)));
                             }
                         }
                     }
@@ -538,6 +607,115 @@ impl<E: BoolEngine> CfpqSession<E> {
     /// until the first evaluation.
     pub fn last_run(&self, id: QueryId) -> Option<&RunInfo> {
         self.queries[id.0].last_run.as_ref()
+    }
+
+    /// Normalizes `grammar` and registers it for single-path (§5)
+    /// evaluation: the session will keep a length-annotated closure for
+    /// it, cold-solved once and repaired incrementally after
+    /// [`CfpqSession::add_edges`].
+    pub fn prepare_single_path(&mut self, grammar: &Cfg) -> Result<SinglePathId, GrammarError> {
+        Ok(self.prepare_single_path_query(PreparedQuery::new(grammar)?))
+    }
+
+    /// Registers a fully-configured [`PreparedQuery`] for single-path
+    /// evaluation (the [`Strategy`] knob is ignored — the length closure
+    /// always runs the masked semi-naive pipeline; [`SolveOptions`]
+    /// apply as usual).
+    pub fn prepare_single_path_query(&mut self, query: PreparedQuery) -> SinglePathId {
+        self.sp_queries.push(SpQueryState {
+            query,
+            solved: None,
+            watermark: 0,
+            last_run: None,
+        });
+        SinglePathId(self.sp_queries.len() - 1)
+    }
+
+    /// Evaluates a prepared single-path query: the first call runs a
+    /// cold length closure seeded straight from the label matrices;
+    /// subsequent calls return the cached closure, repairing it through
+    /// [`SinglePathSolver::resume`] when edges arrived in between —
+    /// first-write-wins means entries that survive an update keep their
+    /// recorded witness lengths, so only genuinely new information
+    /// launches length kernels. Witness extraction
+    /// ([`crate::single_path::extract_path`]) works unchanged on the
+    /// returned index.
+    ///
+    /// # Panics
+    ///
+    /// If `id` does not belong to this session.
+    pub fn evaluate_single_path(&mut self, id: SinglePathId) -> &SinglePathIndex<E::LenMatrix> {
+        let state = &mut self.sp_queries[id.0];
+        let wcnf = &state.query.wcnf;
+        let n = self.index.n_nodes;
+        let bindings = self.index.term_bindings(wcnf);
+        let by_term = wcnf.nts_by_terminal();
+        let solver = SinglePathSolver::new(&self.index.engine).options(state.query.options);
+
+        match &mut state.solved {
+            None => {
+                // Cold solve: length-1 seeds straight from the label
+                // matrices.
+                let mut entries: Vec<Vec<(u32, u32, u32)>> = vec![Vec::new(); wcnf.n_nts()];
+                for (label, term) in bindings.iter().enumerate() {
+                    let Some(term) = term else { continue };
+                    let pairs = self.index.matrices[label].pairs();
+                    for nt in &by_term[term.index()] {
+                        entries[nt.index()].extend(pairs.iter().map(|&(i, j)| (i, j, 1)));
+                    }
+                }
+                let matrices: Vec<E::LenMatrix> = entries
+                    .into_iter()
+                    .map(|e| self.index.engine.len_from_entries(n, &e))
+                    .collect();
+                let solved = solver.solve_from_matrices(matrices, n, wcnf);
+                state.last_run = Some(RunInfo {
+                    stats: solved.stats.clone(),
+                    sweeps: solved.iterations,
+                    incremental: false,
+                });
+                state.solved = Some(solved);
+                state.watermark = self.batches.len();
+            }
+            Some(solved) => {
+                if state.watermark < self.batches.len() {
+                    let new_pairs =
+                        pending_pairs(&self.batches[state.watermark..], &bindings, &by_term, wcnf);
+                    // Widen the cached closure if the universe grew; the
+                    // resume's ε-overlay covers the new diagonal cells.
+                    if solved.n_nodes < n {
+                        for m in &mut solved.lengths {
+                            self.index.engine.len_grow(m, n);
+                        }
+                        solved.n_nodes = n;
+                    }
+                    let stats = solver.resume(solved, wcnf, &new_pairs);
+                    state.last_run = Some(RunInfo {
+                        sweeps: stats.sweep_nnz.len(),
+                        stats,
+                        incremental: true,
+                    });
+                    state.watermark = self.batches.len();
+                }
+            }
+        }
+        self.compact_batches();
+        self.sp_queries[id.0]
+            .solved
+            .as_ref()
+            .expect("closure just materialized")
+    }
+
+    /// The solved single-path index of a query, if it has been
+    /// evaluated (without forcing an evaluation).
+    pub fn single_path_index(&self, id: SinglePathId) -> Option<&SinglePathIndex<E::LenMatrix>> {
+        self.sp_queries[id.0].solved.as_ref()
+    }
+
+    /// What the last [`CfpqSession::evaluate_single_path`] of this query
+    /// actually did. `None` until the first evaluation.
+    pub fn last_single_path_run(&self, id: SinglePathId) -> Option<&RunInfo> {
+        self.sp_queries[id.0].last_run.as_ref()
     }
 }
 
@@ -644,7 +822,7 @@ mod tests {
         let chain = generators::word_chain(&["a", "a", "b", "b"]);
         let expect = solve(&chain, &grammar, Backend::Sparse).unwrap();
 
-        fn check<E: BoolEngine>(
+        fn check<E: BoolEngine + LenEngine>(
             engine: E,
             chain: &Graph,
             grammar: &cfpq_grammar::Cfg,
@@ -721,11 +899,170 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "out of bounds")]
-    fn out_of_range_node_panics() {
-        let graph = generators::chain(2, "a");
+    fn unseen_node_ids_grow_the_index() {
+        // The PR-4 regression: an edge naming a node id ≥ n_nodes used to
+        // hit an assert!; it now widens the matrices and participates in
+        // query answers like any other edge.
+        let grammar = cfpq_grammar::Cfg::parse("S -> a S b | a b").unwrap();
+        let chain = generators::word_chain(&["a", "a", "b", "b"]);
+        let mut truncated = Graph::new(4);
+        for e in chain.edges().iter().take(3) {
+            truncated.add_edge_named(e.from, chain.label_name(e.label), e.to);
+        }
+        for engine_run in 0..2 {
+            let mut session = CfpqSession::new(SparseEngine, &truncated);
+            let id = session.prepare(&grammar).unwrap();
+            if engine_run == 1 {
+                // Also exercise the repair path: solve before growing.
+                session.evaluate(id);
+            }
+            assert_eq!(session.index().n_nodes(), 4);
+            // Node 4 is unseen: the final b-edge grows the universe.
+            assert_eq!(session.add_edges(&[(3, "b", 4)]), 1);
+            assert_eq!(session.index().n_nodes(), 5);
+            let answer = session.evaluate(id);
+            assert_eq!(answer.start_pairs(), &[(0, 4), (1, 3)]);
+            assert_eq!(
+                session.last_run(id).unwrap().incremental,
+                engine_run == 1,
+                "growth repairs a solved closure, cold-solves an unsolved one"
+            );
+        }
+        // Dense engines rebuild at the wider word stride.
+        let mut dense = CfpqSession::new(DenseEngine, &truncated);
+        let id = dense.prepare(&grammar).unwrap();
+        dense.evaluate(id);
+        // Grow far enough to change the dense words-per-row.
+        assert_eq!(dense.add_edges(&[(3, "b", 4), (4, "a", 99)]), 2);
+        assert_eq!(dense.index().n_nodes(), 100);
+        assert_eq!(dense.evaluate(id).start_pairs(), &[(0, 4), (1, 3)]);
+    }
+
+    #[test]
+    fn growth_seeds_the_nullable_diagonal_of_new_nodes() {
+        let grammar = cfpq_grammar::Cfg::parse("S -> a S | eps").unwrap();
+        let graph = generators::chain(1, "a");
         let mut session = CfpqSession::new(SparseEngine, &graph);
-        session.add_edges(&[(0, "a", 99)]);
+        let id =
+            session.prepare_query(PreparedQuery::new(&grammar).unwrap().options(SolveOptions {
+                nullable_diagonal: true,
+            }));
+        session.evaluate(id);
+        session.add_edges(&[(1, "a", 2)]);
+        let answer = session.evaluate(id);
+        assert_eq!(
+            answer.start_pairs(),
+            &[(0, 0), (0, 1), (0, 2), (1, 1), (1, 2), (2, 2)],
+            "new node 2 gets its ε-diagonal entry"
+        );
+    }
+
+    #[test]
+    fn single_path_session_matches_one_shot_solver() {
+        use crate::single_path::{extract_path, validate_witness, SinglePathSolver};
+        let grammar = queries::query1();
+        let wcnf = grammar
+            .to_wcnf(cfpq_grammar::cnf::CnfOptions::default())
+            .unwrap();
+        let graph = generators::paper_example();
+        let reference = SinglePathSolver::new(&SparseEngine).solve(&graph, &wcnf);
+        let mut session = CfpqSession::new(SparseEngine, &graph);
+        let id = session.prepare_single_path(&grammar).unwrap();
+        let idx = session.evaluate_single_path(id);
+        for nt in 0..wcnf.n_nts() {
+            let nt = cfpq_grammar::Nt(nt as u32);
+            assert_eq!(idx.pairs(nt), reference.pairs(nt));
+        }
+        // Witness extraction works unchanged on the session's index.
+        let s = wcnf.symbols.get_nt("S").unwrap();
+        for (i, j, len) in idx.pairs_with_lengths(s) {
+            let path = extract_path(idx, &graph, &wcnf, s, i, j).unwrap();
+            assert_eq!(path.len() as u32, len);
+            assert!(validate_witness(&path, &graph, &wcnf, s, i, j));
+        }
+        assert!(!session.last_single_path_run(id).unwrap().incremental);
+    }
+
+    #[test]
+    fn single_path_add_edges_repairs_with_fewer_products() {
+        use crate::single_path::{extract_path, validate_witness, SinglePathSolver};
+        let grammar = cfpq_grammar::Cfg::parse("S -> a S b | a b").unwrap();
+        let wcnf = grammar
+            .to_wcnf(cfpq_grammar::cnf::CnfOptions::default())
+            .unwrap();
+        let chain = generators::word_chain(&["a", "a", "b", "b"]);
+        let mut partial = Graph::new(chain.n_nodes());
+        for e in chain.edges().iter().take(3) {
+            partial.add_edge_named(e.from, chain.label_name(e.label), e.to);
+        }
+        let mut session = CfpqSession::new(SparseEngine, &partial);
+        let id = session.prepare_single_path(&grammar).unwrap();
+        session.evaluate_single_path(id);
+
+        session.add_edges(&[(3, "b", 4)]);
+        let cold = SinglePathSolver::new(&SparseEngine).solve(&chain, &wcnf);
+        let idx = session.evaluate_single_path(id);
+        for nt in 0..wcnf.n_nts() {
+            let nt = cfpq_grammar::Nt(nt as u32);
+            assert_eq!(idx.pairs(nt), cold.pairs(nt), "repaired == from-scratch");
+        }
+        let s = wcnf.symbols.get_nt("S").unwrap();
+        let path = extract_path(idx, &chain, &wcnf, s, 0, 4).unwrap();
+        assert!(validate_witness(&path, &chain, &wcnf, s, 0, 4));
+        let run = session.last_single_path_run(id).unwrap();
+        assert!(run.incremental);
+        assert!(
+            run.stats.products_computed < cold.stats.products_computed,
+            "repair {} vs cold {}",
+            run.stats.products_computed,
+            cold.stats.products_computed
+        );
+    }
+
+    #[test]
+    fn single_path_repair_handles_growth_and_nullable_diagonal() {
+        let grammar = cfpq_grammar::Cfg::parse("S -> a S | eps").unwrap();
+        let graph = generators::chain(1, "a");
+        let mut session = CfpqSession::new(DenseEngine, &graph);
+        let id = session.prepare_single_path_query(PreparedQuery::new(&grammar).unwrap().options(
+            SolveOptions {
+                nullable_diagonal: true,
+            },
+        ));
+        session.evaluate_single_path(id);
+        // Node 2 is unseen: the repair must widen the cached length
+        // matrices and seed the new ε-diagonal cell.
+        session.add_edges(&[(1, "a", 2)]);
+        let idx = session.evaluate_single_path(id);
+        let s = grammar.start.unwrap();
+        assert_eq!(
+            idx.pairs(s),
+            vec![(0, 0), (0, 1), (0, 2), (1, 1), (1, 2), (2, 2)]
+        );
+        assert_eq!(idx.length(s, 2, 2), Some(0), "new node's ε-witness");
+        assert_eq!(idx.length(s, 0, 2), Some(2));
+    }
+
+    #[test]
+    fn relational_and_single_path_queries_share_one_session() {
+        let graph = generators::paper_example();
+        let mut session = CfpqSession::new(SparseEngine, &graph);
+        let rel = session.prepare(&queries::query1()).unwrap();
+        let sp = session.prepare_single_path(&queries::query1()).unwrap();
+        let start = session.sp_queries[sp.0].query.wcnf.start;
+        let answer = session.evaluate(rel);
+        assert_eq!(
+            answer.start_pairs(),
+            session.evaluate_single_path(sp).pairs(start)
+        );
+        // An update repairs both caches lazily; the log drains once both
+        // absorbed it.
+        session.add_edges(&[(1, "subClassOf", 0)]);
+        let answer = session.evaluate(rel);
+        assert_eq!(session.batches.len(), 1, "single-path still pending");
+        let pairs = session.evaluate_single_path(sp).pairs(start);
+        assert_eq!(answer.start_pairs(), pairs);
+        assert!(session.batches.is_empty(), "both absorbed, log drained");
     }
 
     #[test]

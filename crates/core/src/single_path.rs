@@ -1,39 +1,78 @@
-//! Single-path query semantics (§5).
+//! Single-path query semantics (§5), on the engine pipeline.
 //!
-//! The closure computation is modified so that every nonterminal stored in
-//! a cell carries the length of *some* witness path: terminal entries get
-//! length 1, and an entry derived by `A → BC` from `(B, l_B)` at `(i, k)`
-//! and `(C, l_C)` at `(k, j)` gets `l_A = l_B + l_C`. Crucially
+//! The closure computation is modified so that every nonterminal stored
+//! in a cell carries the length of *some* witness path: terminal entries
+//! get length 1, and an entry derived by `A → BC` from `(B, l_B)` at
+//! `(i, k)` and `(C, l_C)` at `(k, j)` gets `l_A = l_B + l_C`. Crucially
 //! (paper: "if some nonterminal A with an associated path length l₁ is in
 //! a⁽ᵖ⁾ᵢⱼ then A is not added … with length l₂ for l₂ ≠ l₁"), lengths are
 //! **first-write-wins** — never updated once set. This makes the witness
 //! extraction of Theorem 5 terminate: both split lengths are strictly
 //! smaller and remain valid forever because matrices only grow.
 //!
+//! That first-write-wins discipline is exactly the masked-kernel contract
+//! of the relational pipeline, so since PR 4 the solver is no longer a
+//! hand-rolled `O(n³)` sweep over flat length tables: [`SinglePathSolver`]
+//! runs the same masked semi-naive fixpoint as
+//! [`crate::relational::FixpointSolver`] — one length matrix
+//! ([`cfpq_matrix::LenMat`]) per nonterminal, per-sweep Δ operands,
+//! shared `(B, C)` products, and [`cfpq_matrix::LenEngine`] masked
+//! kernels that only emit cells the closure does not hold yet — generic
+//! over the paper's four representation × device engines. The original
+//! triple loop survives as [`solve_single_path_oracle`], the reference
+//! the property suite holds the engine pipeline to.
+//!
+//! # ε-witnesses (the nullable-diagonal fix)
+//!
+//! The weak-CNF grammars the solvers consume are ε-eliminated; the
+//! nonterminals that *were* nullable are recorded in `Wcnf::nullable`.
+//! With [`SolveOptions::nullable_diagonal`] set, the relational solver
+//! reports `(A, m, m)` for every nullable `A` — and the single-path
+//! index must agree ([`SinglePathIndex::contains`] is answered from the
+//! same cells). The seed-era table encoded *absent* as `0`, which left
+//! no representation for a present path of length 0; length matrices use
+//! [`cfpq_matrix::NO_PATH`] (`u32::MAX`) as the absent sentinel instead,
+//! and the initializer finishes by seeding `(A, m, m) = 0` for every
+//! nullable `A` wherever the closure recorded no other witness (first
+//! write wins). Because ε-elimination is complete (compensation rules
+//! cover every erased occurrence), these ε-cells never need to act as
+//! product operands — the kernels skip length-0 cells — which keeps every stored
+//! split well-founded: extraction recurses on strictly smaller nonzero
+//! lengths and resolves length 0 to the empty path and length 1 to a
+//! graph edge.
+//!
 //! The extracted witness is re-derivable by construction; tests re-check
 //! every extracted label string with the CYK oracle.
 
 use cfpq_grammar::{Nt, Wcnf};
 use cfpq_graph::{Edge, Graph, NodeId};
+use cfpq_matrix::{DenseEngine, DenseLenMatrix, LenEngine, LenJob, LenMat, NO_PATH};
+use std::collections::BTreeMap;
 
-use crate::relational::{init_pairs, label_terminal_map};
+use crate::relational::{init_pairs, label_terminal_map, SolveOptions, SolveStats};
 
-/// Length-annotated relational index: `lengths[A][i*n + j] = l` means
-/// `(i, j) ∈ R_A` with a witness path of exactly `l` edges; `0` = absent.
+/// Length-annotated relational index: one length matrix per nonterminal;
+/// a present cell `(A, i, j) = l` means `(i, j) ∈ R_A` with a witness
+/// path of exactly `l` edges (`0` = the empty path of a nullable `A`).
 #[derive(Clone, Debug)]
-pub struct SinglePathIndex {
-    n: usize,
-    /// One `n × n` length matrix per nonterminal.
-    lengths: Vec<Vec<u32>>,
-    /// Fixpoint iterations executed.
+pub struct SinglePathIndex<M: LenMat> {
+    /// Graph size |V|.
+    pub n_nodes: usize,
+    /// One `n × n` length matrix per nonterminal (crate-visible so the
+    /// session layer can widen a cached closure when the node universe
+    /// grows).
+    pub(crate) lengths: Vec<M>,
+    /// Fixpoint sweeps executed.
     pub iterations: usize,
+    /// Kernel-work counters of the run (naive oracle runs count one
+    /// product per rule per sweep).
+    pub stats: SolveStats,
 }
 
-impl SinglePathIndex {
+impl<M: LenMat> SinglePathIndex<M> {
     /// The witness length for `(A, i, j)`, if `(i, j) ∈ R_A`.
     pub fn length(&self, nt: Nt, i: u32, j: u32) -> Option<u32> {
-        let l = self.lengths[nt.index()][i as usize * self.n + j as usize];
-        (l != 0).then_some(l)
+        self.lengths[nt.index()].get(i, j)
     }
 
     /// True if `(i, j) ∈ R_A`.
@@ -43,64 +82,338 @@ impl SinglePathIndex {
 
     /// All pairs of `R_A` with their witness lengths, row-major.
     pub fn pairs_with_lengths(&self, nt: Nt) -> Vec<(u32, u32, u32)> {
-        let m = &self.lengths[nt.index()];
-        let mut out = Vec::new();
-        for i in 0..self.n {
-            for j in 0..self.n {
-                let l = m[i * self.n + j];
-                if l != 0 {
-                    out.push((i as u32, j as u32, l));
-                }
-            }
-        }
-        out
+        self.lengths[nt.index()].entries()
+    }
+
+    /// `R_A` as sorted pairs (the shape [`crate::relational::RelationalIndex::pairs`]
+    /// returns, for direct comparison).
+    pub fn pairs(&self, nt: Nt) -> Vec<(u32, u32)> {
+        self.lengths[nt.index()].pairs()
     }
 
     /// `|R_A|`.
     pub fn count(&self, nt: Nt) -> usize {
-        self.lengths[nt.index()].iter().filter(|&&l| l != 0).count()
+        self.lengths[nt.index()].nnz()
     }
 
-    #[inline]
-    fn raw(&self, nt: usize, i: u32, j: u32) -> u32 {
-        self.lengths[nt][i as usize * self.n + j as usize]
+    /// The underlying length matrix of a nonterminal.
+    pub fn matrix(&self, nt: Nt) -> &M {
+        &self.lengths[nt.index()]
     }
 }
 
-/// Runs the §5 length-annotated closure.
-pub fn solve_single_path(graph: &Graph, grammar: &Wcnf) -> SinglePathIndex {
+/// The engine-generic §5 solver: a masked semi-naive fixpoint over
+/// length matrices, mirroring [`crate::relational::FixpointSolver`].
+///
+/// ```
+/// use cfpq_core::single_path::{extract_path, SinglePathSolver};
+/// use cfpq_grammar::{cnf::CnfOptions, Cfg};
+/// use cfpq_graph::generators;
+/// use cfpq_matrix::SparseEngine;
+///
+/// let g = Cfg::parse("S -> a S b | a b").unwrap()
+///     .to_wcnf(CnfOptions::default()).unwrap();
+/// let s = g.symbols.get_nt("S").unwrap();
+/// let graph = generators::word_chain(&["a", "a", "b", "b"]);
+/// let idx = SinglePathSolver::new(&SparseEngine).solve(&graph, &g);
+/// assert_eq!(idx.length(s, 0, 4), Some(4));
+/// let path = extract_path(&idx, &graph, &g, s, 0, 4).unwrap();
+/// assert_eq!(path.len(), 4);
+/// ```
+pub struct SinglePathSolver<'e, E: LenEngine> {
+    engine: &'e E,
+    options: SolveOptions,
+}
+
+impl<'e, E: LenEngine> SinglePathSolver<'e, E> {
+    /// A solver on `engine` with default [`SolveOptions`].
+    pub fn new(engine: &'e E) -> Self {
+        Self {
+            engine,
+            options: SolveOptions::default(),
+        }
+    }
+
+    /// Sets the solve options (ε-diagonal seeding).
+    pub fn options(mut self, options: SolveOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Runs the §5 length-annotated closure: terminal seeds at length 1,
+    /// masked semi-naive sweeps, then the ε-overlay (if enabled).
+    pub fn solve(&self, graph: &Graph, grammar: &Wcnf) -> SinglePathIndex<E::LenMatrix> {
+        let n = graph.n_nodes();
+        let matrices: Vec<E::LenMatrix> = init_pairs(graph, grammar)
+            .into_iter()
+            .map(|pairs| {
+                let entries: Vec<(u32, u32, u32)> =
+                    pairs.into_iter().map(|(i, j)| (i, j, 1)).collect();
+                self.engine.len_from_entries(n, &entries)
+            })
+            .collect();
+        self.solve_from_matrices(matrices, n, grammar)
+    }
+
+    /// Runs the fixpoint from pre-seeded length matrices (the session
+    /// layer seeds straight from its label matrices). The ε-overlay is
+    /// applied here; callers only provide the length-1 base facts.
+    pub fn solve_from_matrices(
+        &self,
+        mut matrices: Vec<E::LenMatrix>,
+        n: usize,
+        grammar: &Wcnf,
+    ) -> SinglePathIndex<E::LenMatrix> {
+        let mut stats = SolveStats::default();
+        let iterations = self.delta_sweeps(&mut matrices, None, grammar, &mut stats);
+        self.apply_epsilon_overlay(&mut matrices, n, grammar);
+        SinglePathIndex {
+            n_nodes: n,
+            lengths: matrices,
+            iterations,
+            stats,
+        }
+    }
+
+    /// Incrementally folds newly-discovered base facts (fresh graph
+    /// edges, as length-1 entries) into a closed index, re-running only
+    /// the semi-naive Δ loop — the single-path analogue of
+    /// [`crate::relational::FixpointSolver::resume`]. Entries already
+    /// present keep their recorded lengths (first-write-wins); the rest
+    /// seed the Δ sweeps. Returns the stats of the resume portion alone;
+    /// the index's cumulative counters are also advanced.
+    pub fn resume(
+        &self,
+        index: &mut SinglePathIndex<E::LenMatrix>,
+        grammar: &Wcnf,
+        new_pairs: &[Vec<(u32, u32)>],
+    ) -> SolveStats {
+        let n_nts = grammar.n_nts();
+        assert_eq!(new_pairs.len(), n_nts, "one pair list per nonterminal");
+        let n = index.n_nodes;
+        let mut delta: Vec<Option<E::LenMatrix>> = (0..n_nts).map(|_| None).collect();
+        let mut any = false;
+        for (a, pairs) in new_pairs.iter().enumerate() {
+            if pairs.is_empty() {
+                continue;
+            }
+            let entries: Vec<(u32, u32, u32)> = pairs.iter().map(|&(i, j)| (i, j, 1)).collect();
+            let fresh = self.engine.len_set_absent(&mut index.lengths[a], &entries);
+            if fresh.is_empty() {
+                continue;
+            }
+            delta[a] = Some(self.engine.len_from_entries(n, &fresh));
+            any = true;
+        }
+        let mut stats = SolveStats::default();
+        if any {
+            let sweeps = self.delta_sweeps(&mut index.lengths, Some(delta), grammar, &mut stats);
+            index.iterations += sweeps;
+            index.stats.products_computed += stats.products_computed;
+            index.stats.products_skipped += stats.products_skipped;
+            index
+                .stats
+                .sweep_nnz
+                .extend(stats.sweep_nnz.iter().copied());
+        }
+        // Re-applied unconditionally: a session that grew the node
+        // universe needs ε-cells on the new diagonal entries too.
+        self.apply_epsilon_overlay(&mut index.lengths, n, grammar);
+        stats
+    }
+
+    /// Seeds `(A, m, m) = 0` for every nullable `A` wherever no witness
+    /// is recorded yet. Runs *after* the fixpoint: ε-elimination is
+    /// complete, so composing through an ε-cell can never reach a pair
+    /// the ε-free closure misses — and keeping ε-cells out of the sweeps
+    /// keeps every stored split well-founded for extraction.
+    fn apply_epsilon_overlay(&self, lengths: &mut [E::LenMatrix], n: usize, grammar: &Wcnf) {
+        if !self.options.nullable_diagonal {
+            return;
+        }
+        let diagonal: Vec<(u32, u32, u32)> = (0..n as u32).map(|m| (m, m, 0)).collect();
+        for &nt in &grammar.nullable {
+            self.engine
+                .len_set_absent(&mut lengths[nt.index()], &diagonal);
+        }
+    }
+
+    /// The masked semi-naive sweep loop, structurally identical to the
+    /// Boolean `FixpointSolver::delta_sweeps`: distinct `(B, C)` operand
+    /// pairs share one product per sweep, kernels with an empty Δ are
+    /// skipped, and a product feeding exactly one LHS `A` runs masked
+    /// against the accumulated `T_A` so it emits only unset cells —
+    /// which under first-write-wins *is* the next Δ. `seed` is `None`
+    /// for a cold solve (the freshly-seeded matrices are the first Δ) or
+    /// explicit per-nonterminal deltas for [`SinglePathSolver::resume`].
+    fn delta_sweeps(
+        &self,
+        full: &mut [E::LenMatrix],
+        seed: Option<Vec<Option<E::LenMatrix>>>,
+        grammar: &Wcnf,
+        stats: &mut SolveStats,
+    ) -> usize {
+        let engine = self.engine;
+        let n_nts = grammar.n_nts();
+
+        // Distinct (B, C) operand pairs → the LHS nonterminals they feed.
+        let mut by_pair: BTreeMap<(u32, u32), Vec<usize>> = BTreeMap::new();
+        for rule in &grammar.binary_rules {
+            let lhss = by_pair.entry((rule.left.0, rule.right.0)).or_default();
+            if !lhss.contains(&rule.lhs.index()) {
+                lhss.push(rule.lhs.index());
+            }
+        }
+        let groups: Vec<((usize, usize), Vec<usize>)> = by_pair
+            .into_iter()
+            .map(|((b, c), lhss)| ((b as usize, c as usize), lhss))
+            .collect();
+        // What a rule-by-rule semi-naive loop launches per sweep.
+        let per_sweep_potential = 2 * grammar.binary_rules.len();
+
+        let (mut seed_from_full, mut delta): (bool, Vec<Option<E::LenMatrix>>) = match seed {
+            None => (true, (0..n_nts).map(|_| None).collect()),
+            Some(d) => {
+                debug_assert_eq!(d.len(), n_nts);
+                (false, d)
+            }
+        };
+        let mut iterations = 0;
+        loop {
+            iterations += 1;
+            let first = std::mem::take(&mut seed_from_full);
+
+            let mut jobs: Vec<LenJob<'_, E::LenMatrix>> = Vec::new();
+            let mut job_group: Vec<usize> = Vec::new();
+            for (gi, ((b, c), lhss)) in groups.iter().enumerate() {
+                let mask = match &lhss[..] {
+                    &[a] => Some(&full[a]),
+                    _ => None,
+                };
+                if first {
+                    // Δ = T initially, so ΔB×C and B×ΔC coincide.
+                    jobs.push((&full[*b], &full[*c], mask));
+                    job_group.push(gi);
+                } else {
+                    if let Some(db) = &delta[*b] {
+                        jobs.push((db, &full[*c], mask));
+                        job_group.push(gi);
+                    }
+                    if let Some(dc) = &delta[*c] {
+                        jobs.push((&full[*b], dc, mask));
+                        job_group.push(gi);
+                    }
+                }
+            }
+            let products = engine.len_multiply_masked_batch(&jobs);
+            stats.products_computed += jobs.len();
+            stats.products_skipped += per_sweep_potential - jobs.len();
+
+            // First-write-wins accumulation of each product into the
+            // fresh candidates of every LHS of its group.
+            let mut fresh: Vec<Option<E::LenMatrix>> = (0..n_nts).map(|_| None).collect();
+            for (product, &gi) in products.into_iter().zip(&job_group) {
+                for &a in &groups[gi].1 {
+                    match &mut fresh[a] {
+                        Some(acc) => {
+                            engine.len_merge_absent(acc, &product);
+                        }
+                        None => fresh[a] = Some(product.clone()),
+                    }
+                }
+            }
+
+            // Fold fresh cells into the closure; the genuinely-new cells
+            // (with their lengths) are the next Δ.
+            let mut changed = false;
+            for a in 0..n_nts {
+                let Some(f) = fresh[a].take() else {
+                    delta[a] = None;
+                    continue;
+                };
+                let new_entries = engine.len_merge_absent(&mut full[a], &f);
+                if new_entries.nnz() == 0 {
+                    delta[a] = None;
+                    continue;
+                }
+                delta[a] = Some(new_entries);
+                changed = true;
+            }
+            stats
+                .sweep_nnz
+                .push(full.iter().map(LenMat::nnz).sum::<usize>());
+            if !changed {
+                break;
+            }
+        }
+        iterations
+    }
+}
+
+/// Runs the §5 length-annotated closure with default options on the
+/// serial dense engine (back-compat entry point; pick a
+/// [`SinglePathSolver`] for other engines or ε-diagonal seeding).
+pub fn solve_single_path(graph: &Graph, grammar: &Wcnf) -> SinglePathIndex<DenseLenMatrix> {
+    SinglePathSolver::new(&DenseEngine).solve(graph, grammar)
+}
+
+/// [`solve_single_path`] with explicit [`SolveOptions`].
+pub fn solve_single_path_with(
+    graph: &Graph,
+    grammar: &Wcnf,
+    options: SolveOptions,
+) -> SinglePathIndex<DenseLenMatrix> {
+    SinglePathSolver::new(&DenseEngine)
+        .options(options)
+        .solve(graph, grammar)
+}
+
+/// The seed-era naive `O(n³)` sweep over flat length tables, kept as the
+/// reference oracle the engine pipeline is property-tested against (and
+/// the ablation baseline of `benches/single_path.rs`). Fixed relative to
+/// its original form: absent is [`NO_PATH`] (not `0`), so the ε-overlay
+/// can store genuine length-0 witnesses.
+pub fn solve_single_path_oracle(
+    graph: &Graph,
+    grammar: &Wcnf,
+    options: SolveOptions,
+) -> SinglePathIndex<DenseLenMatrix> {
     let n = graph.n_nodes();
     let n_nts = grammar.n_nts();
-    let mut lengths: Vec<Vec<u32>> = vec![vec![0u32; n * n]; n_nts];
+    let mut tabs: Vec<Vec<u32>> = vec![vec![NO_PATH; n * n]; n_nts];
 
     // Initialization: all terminal-rule entries have length 1.
     for (nt_index, pairs) in init_pairs(graph, grammar).into_iter().enumerate() {
         for (i, j) in pairs {
-            lengths[nt_index][i as usize * n + j as usize] = 1;
+            tabs[nt_index][i as usize * n + j as usize] = 1;
         }
     }
 
     // Fixpoint sweeps. For each rule A -> BC and each (i, k) ∈ R_B,
-    // (k, j) ∈ R_C: set l_A(i, j) = l_B + l_C if unset (first write wins).
+    // (k, j) ∈ R_C: set l_A(i, j) = l_B + l_C if unset (first write
+    // wins). ε-cells (length 0) are skipped as operands, exactly like
+    // the engine kernels.
+    let mut stats = SolveStats::default();
     let mut iterations = 0;
     loop {
         iterations += 1;
         let mut changed = false;
         for rule in &grammar.binary_rules {
             let (a, b, c) = (rule.lhs.index(), rule.left.index(), rule.right.index());
+            stats.products_computed += 1;
             for i in 0..n {
                 for k in 0..n {
-                    let lb = lengths[b][i * n + k];
-                    if lb == 0 {
+                    let lb = tabs[b][i * n + k];
+                    if lb == NO_PATH || lb == 0 {
                         continue;
                     }
                     for j in 0..n {
-                        let lc = lengths[c][k * n + j];
-                        if lc == 0 {
+                        let lc = tabs[c][k * n + j];
+                        if lc == NO_PATH || lc == 0 {
                             continue;
                         }
-                        let cell = &mut lengths[a][i * n + j];
-                        if *cell == 0 {
+                        let cell = &mut tabs[a][i * n + j];
+                        if *cell == NO_PATH {
                             *cell = lb + lc;
                             changed = true;
                         }
@@ -108,15 +421,37 @@ pub fn solve_single_path(graph: &Graph, grammar: &Wcnf) -> SinglePathIndex {
                 }
             }
         }
+        stats.sweep_nnz.push(
+            tabs.iter()
+                .map(|t| t.iter().filter(|&&l| l != NO_PATH).count())
+                .sum(),
+        );
         if !changed {
             break;
         }
     }
 
+    // ε-overlay, identical to the engine pipeline's initializer.
+    if options.nullable_diagonal {
+        for &nt in &grammar.nullable {
+            let tab = &mut tabs[nt.index()];
+            for m in 0..n {
+                let cell = &mut tab[m * n + m];
+                if *cell == NO_PATH {
+                    *cell = 0;
+                }
+            }
+        }
+    }
+
     SinglePathIndex {
-        n,
-        lengths,
+        n_nodes: n,
+        lengths: tabs
+            .into_iter()
+            .map(|vals| DenseLenMatrix::from_flat(n, vals))
+            .collect(),
         iterations,
+        stats,
     }
 }
 
@@ -159,11 +494,15 @@ impl std::fmt::Display for ExtractError {
 impl std::error::Error for ExtractError {}
 
 /// Extracts a witness path for `(A, i, j)` from the single-path index by
-/// the "simple search" of §5: a length-1 entry is resolved to a matching
-/// edge; a longer entry is split at any `k` with a rule `A → BC` such
-/// that `l_B + l_C = l_A`, recursing on strictly smaller lengths.
-pub fn extract_path(
-    index: &SinglePathIndex,
+/// the "simple search" of §5: a length-0 entry is the empty path of a
+/// nullable `A`; a length-1 entry is resolved to a matching edge; a
+/// longer entry is split at any `k` with a rule `A → BC` such that
+/// `l_B + l_C = l_A` with both parts nonzero, recursing on strictly
+/// smaller lengths. (Stored nonzero cells always admit such a split:
+/// kernels never compose through ε-cells, so every product cell was
+/// written from two nonzero parts that remain valid forever.)
+pub fn extract_path<M: LenMat>(
+    index: &SinglePathIndex<M>,
     graph: &Graph,
     grammar: &Wcnf,
     nt: Nt,
@@ -182,8 +521,8 @@ pub fn extract_path(
 }
 
 #[allow(clippy::too_many_arguments)]
-fn extract_into(
-    index: &SinglePathIndex,
+fn extract_into<M: LenMat>(
+    index: &SinglePathIndex<M>,
     graph: &Graph,
     grammar: &Wcnf,
     term_of: &[Option<cfpq_grammar::Term>],
@@ -193,6 +532,11 @@ fn extract_into(
     length: u32,
     out: &mut Vec<Edge>,
 ) -> Result<(), ExtractError> {
+    if length == 0 {
+        // The ε-witness: only ever stored at (m, m) for nullable A.
+        debug_assert!(from == to && grammar.nullable.contains(&nt));
+        return Ok(());
+    }
     if length == 1 {
         // Find an edge (from, x, to) with A -> x.
         for &(label, v) in graph.out_edges(from) {
@@ -218,18 +562,21 @@ fn extract_into(
             length,
         });
     }
-    // Split via some rule A -> BC and midpoint k with l_B + l_C = l_A.
+    // Split via some rule A -> BC and midpoint k with l_B + l_C = l_A,
+    // both parts nonzero (ε-cells never participate in splits).
     for rule in &grammar.binary_rules {
         if rule.lhs != nt {
             continue;
         }
-        for k in 0..index.n as u32 {
-            let lb = index.raw(rule.left.index(), from, k);
+        for k in 0..index.n_nodes as u32 {
+            let Some(lb) = index.length(rule.left, from, k) else {
+                continue;
+            };
             if lb == 0 || lb >= length {
                 continue;
             }
-            let lc = index.raw(rule.right.index(), k, to);
-            if lc == 0 || lb + lc != length {
+            let lc = length - lb;
+            if index.length(rule.right, k, to) != Some(lc) {
                 continue;
             }
             extract_into(index, graph, grammar, term_of, rule.left, from, k, lb, out)?;
@@ -255,7 +602,9 @@ pub fn path_word(path: &[Edge], graph: &Graph, grammar: &Wcnf) -> Option<Vec<cfp
 
 /// Validates that `path` is a well-formed graph path from `from` to `to`
 /// and that its label word derives from `nt`. The Theorem-5 soundness
-/// check, used pervasively in tests.
+/// check, used pervasively in tests. The empty path is a valid witness
+/// exactly for a nullable `nt` at a diagonal pair (`from == to`) — the
+/// ε-match the `nullable_diagonal` option reports.
 pub fn validate_witness(
     path: &[Edge],
     graph: &Graph,
@@ -265,7 +614,7 @@ pub fn validate_witness(
     to: NodeId,
 ) -> bool {
     if path.is_empty() {
-        return false;
+        return from == to && grammar.nullable.contains(&nt);
     }
     if path[0].from != from || path[path.len() - 1].to != to {
         return false;
@@ -294,10 +643,11 @@ pub fn validate_witness(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::relational::solve_on_engine_with;
     use cfpq_grammar::cnf::CnfOptions;
     use cfpq_grammar::Cfg;
     use cfpq_graph::generators;
-    use cfpq_matrix::DenseEngine;
+    use cfpq_matrix::{Device, ParDenseEngine, ParSparseEngine, SparseEngine};
 
     fn wcnf(src: &str) -> Wcnf {
         Cfg::parse(src)
@@ -325,13 +675,139 @@ mod tests {
         let rel = crate::relational::solve_on_engine(&DenseEngine, &graph, &g);
         for nt in 0..g.n_nts() {
             let nt = Nt(nt as u32);
-            let sp_pairs: Vec<(u32, u32)> = sp
-                .pairs_with_lengths(nt)
-                .into_iter()
-                .map(|(i, j, _)| (i, j))
-                .collect();
-            assert_eq!(sp_pairs, rel.pairs(nt), "nt {nt:?}");
+            assert_eq!(sp.pairs(nt), rel.pairs(nt), "nt {nt:?}");
         }
+    }
+
+    #[test]
+    fn engine_pipeline_matches_oracle_on_every_engine() {
+        let g = wcnf("S -> a S b | a b | S S");
+        let graph = generators::two_cycles(3, 2);
+        let oracle = solve_single_path_oracle(&graph, &g, SolveOptions::default());
+        fn pairs_of<E: LenEngine>(e: &E, graph: &Graph, g: &Wcnf) -> Vec<Vec<(u32, u32)>> {
+            let idx = SinglePathSolver::new(e).solve(graph, g);
+            (0..g.n_nts()).map(|a| idx.pairs(Nt(a as u32))).collect()
+        }
+        let expect: Vec<Vec<(u32, u32)>> =
+            (0..g.n_nts()).map(|a| oracle.pairs(Nt(a as u32))).collect();
+        assert_eq!(pairs_of(&DenseEngine, &graph, &g), expect);
+        assert_eq!(pairs_of(&SparseEngine, &graph, &g), expect);
+        assert_eq!(
+            pairs_of(&ParDenseEngine::new(Device::new(2)), &graph, &g),
+            expect
+        );
+        assert_eq!(
+            pairs_of(&ParSparseEngine::new(Device::new(3)), &graph, &g),
+            expect
+        );
+    }
+
+    #[test]
+    fn nullable_diagonal_matches_relational_index() {
+        // The PR-4 regression: on a grammar with erasable nonterminals,
+        // the single-path index must agree with the relational index
+        // solved under the same option — including the ε-diagonal.
+        let g = wcnf("S -> a S b | eps");
+        let graph = generators::two_cycles(2, 3);
+        let options = SolveOptions {
+            nullable_diagonal: true,
+        };
+        let rel = solve_on_engine_with(&SparseEngine, &graph, &g, options);
+        for engine_pairs in [
+            {
+                let idx = SinglePathSolver::new(&SparseEngine)
+                    .options(options)
+                    .solve(&graph, &g);
+                (0..g.n_nts())
+                    .map(|a| idx.pairs(Nt(a as u32)))
+                    .collect::<Vec<_>>()
+            },
+            {
+                let idx = solve_single_path_oracle(&graph, &g, options);
+                (0..g.n_nts())
+                    .map(|a| idx.pairs(Nt(a as u32)))
+                    .collect::<Vec<_>>()
+            },
+        ] {
+            for nt in 0..g.n_nts() {
+                let nt = Nt(nt as u32);
+                assert_eq!(engine_pairs[nt.index()], rel.pairs(nt), "nt {nt:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn epsilon_witness_extracts_to_the_empty_path() {
+        // Acyclic graph: the only diagonal matches are the ε-witnesses.
+        let g = wcnf("S -> a S | eps");
+        let s = g.symbols.get_nt("S").unwrap();
+        let graph = generators::chain(2, "a");
+        let idx = SinglePathSolver::new(&DenseEngine)
+            .options(SolveOptions {
+                nullable_diagonal: true,
+            })
+            .solve(&graph, &g);
+        for m in 0..graph.n_nodes() as u32 {
+            assert_eq!(idx.length(s, m, m), Some(0), "ε-witness at ({m},{m})");
+            let path = extract_path(&idx, &graph, &g, s, m, m).unwrap();
+            assert!(path.is_empty(), "the ε-witness is the empty path");
+            assert!(validate_witness(&path, &graph, &g, s, m, m));
+        }
+        // Non-diagonal entries keep real witnesses under the option.
+        let path = extract_path(&idx, &graph, &g, s, 0, 2).unwrap();
+        assert_eq!(path.len(), 2);
+        assert!(validate_witness(&path, &graph, &g, s, 0, 2));
+
+        // On a cyclic graph a diagonal cell may instead keep a real
+        // (first-written) witness; either way it extracts validly.
+        let g2 = wcnf("S -> a S b | eps");
+        let s2 = g2.symbols.get_nt("S").unwrap();
+        let cyclic = generators::two_cycles(2, 3);
+        let idx2 = SinglePathSolver::new(&DenseEngine)
+            .options(SolveOptions {
+                nullable_diagonal: true,
+            })
+            .solve(&cyclic, &g2);
+        for m in 0..cyclic.n_nodes() as u32 {
+            let len = idx2.length(s2, m, m).expect("diagonal present");
+            let path = extract_path(&idx2, &cyclic, &g2, s2, m, m).unwrap();
+            assert_eq!(path.len() as u32, len);
+            assert!(validate_witness(&path, &cyclic, &g2, s2, m, m));
+        }
+    }
+
+    #[test]
+    fn resume_matches_cold_solve() {
+        let g = wcnf("S -> a S b | a b");
+        let full_graph = generators::word_chain(&["a", "a", "b", "b"]);
+        let mut partial = cfpq_graph::Graph::new(5);
+        for e in full_graph.edges().iter().take(3) {
+            partial.add_edge_named(e.from, full_graph.label_name(e.label), e.to);
+        }
+        let solver = SinglePathSolver::new(&SparseEngine);
+        let mut idx = solver.solve(&partial, &g);
+        let cold = solver.solve(&full_graph, &g);
+
+        let b_term = g.symbols.get_term("b").unwrap();
+        let mut new_pairs = vec![Vec::new(); g.n_nts()];
+        for nt in &g.nts_by_terminal()[b_term.index()] {
+            new_pairs[nt.index()].push((3, 4));
+        }
+        let resume_stats = solver.resume(&mut idx, &g, &new_pairs);
+        for nt in 0..g.n_nts() {
+            let nt = Nt(nt as u32);
+            assert_eq!(idx.pairs(nt), cold.pairs(nt), "repaired == from-scratch");
+        }
+        assert!(
+            resume_stats.products_computed < cold.stats.products_computed,
+            "resume {} vs cold {}",
+            resume_stats.products_computed,
+            cold.stats.products_computed
+        );
+        // Repaired witnesses are still extractable and valid.
+        let s = g.symbols.get_nt("S").unwrap();
+        let path = extract_path(&idx, &full_graph, &g, s, 0, 4).unwrap();
+        assert!(validate_witness(&path, &full_graph, &g, s, 0, 4));
     }
 
     #[test]
@@ -440,7 +916,12 @@ mod tests {
         ];
         assert!(validate_witness(&good, &graph, &g, s, 0, 2));
         assert!(!validate_witness(&good, &graph, &g, s, 0, 1));
-        // Empty path never validates (no ε-rules in weak CNF).
+        // An empty path only validates for a nullable nonterminal on a
+        // diagonal pair; S here is not nullable.
         assert!(!validate_witness(&[], &graph, &g, s, 0, 0));
+        let nullable = wcnf("S -> a S | eps");
+        let ns = nullable.symbols.get_nt("S").unwrap();
+        assert!(validate_witness(&[], &graph, &nullable, ns, 0, 0));
+        assert!(!validate_witness(&[], &graph, &nullable, ns, 0, 1));
     }
 }

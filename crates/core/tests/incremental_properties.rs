@@ -14,7 +14,9 @@ use cfpq_core::session::{CfpqSession, PreparedQuery};
 use cfpq_grammar::cnf::CnfOptions;
 use cfpq_grammar::{Cfg, Wcnf};
 use cfpq_graph::{generators, Graph};
-use cfpq_matrix::{BoolEngine, DenseEngine, Device, ParDenseEngine, ParSparseEngine, SparseEngine};
+use cfpq_matrix::{
+    BoolEngine, DenseEngine, Device, LenEngine, ParDenseEngine, ParSparseEngine, SparseEngine,
+};
 use proptest::prelude::*;
 
 /// Base RNG seed: CI must replay the exact same cases on every run (see
@@ -41,7 +43,11 @@ fn grammars() -> Vec<Wcnf> {
 /// the session answer against a from-scratch solve after every single
 /// insertion (not just at the end: intermediate prefixes are exactly
 /// where a wrong Δ seeding would hide).
-fn check_engine<E: BoolEngine>(engine: E, graph: &Graph, wcnf: &Wcnf) -> Result<(), TestCaseError> {
+fn check_engine<E: BoolEngine + LenEngine>(
+    engine: E,
+    graph: &Graph,
+    wcnf: &Wcnf,
+) -> Result<(), TestCaseError> {
     let empty = Graph::new(graph.n_nodes());
     let mut session = CfpqSession::over(cfpq_core::session::GraphIndex::build(engine, &empty));
     let id = session.prepare_query(PreparedQuery::from_wcnf(wcnf.clone()));

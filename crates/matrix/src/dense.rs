@@ -217,6 +217,26 @@ impl DenseBitMatrix {
         c
     }
 
+    /// Grows the matrix to `n × n`, keeping existing bits (new rows and
+    /// columns are zero). `n` must not shrink the matrix. This is the
+    /// node-growth hook behind `BoolEngine::grow`: a `GraphIndex` whose
+    /// universe expands rebuilds each label matrix at the new word
+    /// stride.
+    pub fn grow(&mut self, n: usize) {
+        assert!(n >= self.n, "Boolean matrices only grow");
+        if n == self.n {
+            return;
+        }
+        let wpr = n.div_ceil(64).max(1);
+        let mut bits = vec![0u64; n * wpr];
+        for i in 0..self.n {
+            bits[i * wpr..i * wpr + self.wpr].copy_from_slice(self.row(i));
+        }
+        self.n = n;
+        self.wpr = wpr;
+        self.bits = bits;
+    }
+
     /// Transposed copy.
     pub fn transpose(&self) -> DenseBitMatrix {
         let mut t = DenseBitMatrix::zeros(self.n);

@@ -101,6 +101,11 @@ pub trait BoolEngine: Send + Sync {
         self.union_in_place(a, &add)
     }
 
+    /// Grows `a` to `n × n` in place (new cells unset). `n` must not
+    /// shrink the matrix. This is the node-universe hook behind
+    /// `GraphIndex::add_edges` accepting previously-unseen node ids.
+    fn grow(&self, a: &mut Self::Matrix, n: usize);
+
     /// `a \ b` — entries of `a` absent from `b` (semi-naive delta loop).
     fn difference(&self, a: &Self::Matrix, b: &Self::Matrix) -> Self::Matrix;
 
@@ -175,6 +180,9 @@ impl BoolEngine for DenseEngine {
     fn union_pairs(&self, a: &mut DenseBitMatrix, pairs: &[(u32, u32)]) -> bool {
         a.insert_pairs(pairs)
     }
+    fn grow(&self, a: &mut DenseBitMatrix, n: usize) {
+        a.grow(n)
+    }
     fn difference(&self, a: &DenseBitMatrix, b: &DenseBitMatrix) -> DenseBitMatrix {
         a.difference(b)
     }
@@ -225,6 +233,9 @@ impl BoolEngine for ParDenseEngine {
     }
     fn union_pairs(&self, a: &mut DenseBitMatrix, pairs: &[(u32, u32)]) -> bool {
         a.insert_pairs(pairs)
+    }
+    fn grow(&self, a: &mut DenseBitMatrix, n: usize) {
+        a.grow(n)
     }
     fn difference(&self, a: &DenseBitMatrix, b: &DenseBitMatrix) -> DenseBitMatrix {
         a.difference(b)
@@ -278,6 +289,9 @@ impl BoolEngine for SparseEngine {
     fn union_pairs(&self, a: &mut CsrMatrix, pairs: &[(u32, u32)]) -> bool {
         a.insert_pairs(pairs)
     }
+    fn grow(&self, a: &mut CsrMatrix, n: usize) {
+        a.grow(n)
+    }
     fn difference(&self, a: &CsrMatrix, b: &CsrMatrix) -> CsrMatrix {
         a.difference(b)
     }
@@ -323,6 +337,9 @@ impl BoolEngine for ParSparseEngine {
     }
     fn union_pairs(&self, a: &mut CsrMatrix, pairs: &[(u32, u32)]) -> bool {
         a.insert_pairs(pairs)
+    }
+    fn grow(&self, a: &mut CsrMatrix, n: usize) {
+        a.grow(n)
     }
     fn difference(&self, a: &CsrMatrix, b: &CsrMatrix) -> CsrMatrix {
         a.difference(b)

@@ -1,0 +1,927 @@
+//! Length-annotated Boolean matrices — the kernel layer of the paper's
+//! single-path semantics (§5).
+//!
+//! §5 modifies the closure so that every stored cell carries the length
+//! of *some* witness path, with a **first-write-wins** discipline ("if
+//! some nonterminal A with an associated path length l₁ is in a⁽ᵖ⁾ᵢⱼ
+//! then A is not added … with length l₂ for l₂ ≠ l₁"): once a cell is
+//! set it is never updated, so the recorded split lengths stay valid
+//! forever and Theorem 5's witness extraction terminates. On the matrix
+//! level that discipline *is* the masked-kernel contract of the
+//! relational pipeline — a product must only ever emit cells the
+//! accumulator does not hold yet — so the same dense/CSR × serial/device
+//! engine matrix the Boolean kernels live on carries over verbatim:
+//!
+//! * [`DenseLenMatrix`] — row-major `u32` lengths (the dGPU-style
+//!   representation),
+//! * [`CsrLenMatrix`] — CSR with a parallel value array (the sCPU/sGPU
+//!   representation),
+//! * [`LenEngine`] — the backend abstraction, implemented by the same
+//!   four engine types as [`crate::BoolEngine`].
+//!
+//! # The absent sentinel
+//!
+//! A cell value of [`NO_PATH`] (`u32::MAX`) means *absent*. `0` is a
+//! **present** value: the ε-witness of a nullable nonterminal at a
+//! diagonal cell `(m, m)` (the empty path `mπm`). Because the weak-CNF
+//! grammars the solvers consume are ε-eliminated, every nonempty witness
+//! has an ε-free derivation — so the kernels skip length-0 cells as
+//! *operands* (composing through an ε-entry can never produce a pair the
+//! ε-free closure misses, and skipping keeps every stored split
+//! well-founded: a product cell always decomposes into two strictly
+//! shorter *nonzero* parts, and a length-1 cell is always a direct
+//! edge).
+
+use crate::engine::{DenseEngine, ParDenseEngine, ParSparseEngine, SparseEngine};
+
+/// The *absent* sentinel of length matrices. Any other value — including
+/// `0`, the ε-witness — is a present path length.
+pub const NO_PATH: u32 = u32::MAX;
+
+/// Ceiling for stored lengths: additions saturate here so a pathological
+/// closure cannot wrap around into [`NO_PATH`].
+const MAX_LEN: u32 = u32::MAX - 1;
+
+/// Minimal interface of a length-annotated matrix, mirroring
+/// [`crate::BoolMat`] with `Option<u32>` cells.
+pub trait LenMat: Clone + PartialEq + Send + Sync {
+    /// Matrix dimension `n`.
+    fn n(&self) -> usize;
+    /// The stored length at `(i, j)`, if the cell is present.
+    fn get(&self, i: u32, j: u32) -> Option<u32>;
+    /// Number of present cells.
+    fn nnz(&self) -> usize;
+    /// All present `(row, col)` pairs in row-major order.
+    fn pairs(&self) -> Vec<(u32, u32)>;
+    /// All present `(row, col, length)` entries in row-major order.
+    fn entries(&self) -> Vec<(u32, u32, u32)>;
+}
+
+/// One job of a [`LenEngine::len_multiply_masked_batch`]: operands
+/// `(a, b)` plus an optional complement mask.
+pub type LenJob<'a, M> = (&'a M, &'a M, Option<&'a M>);
+
+/// A length-matrix backend: representation + execution strategy for the
+/// §5 kernels. Implemented by the same four engine types as
+/// [`crate::BoolEngine`], so a single generic single-path solver covers
+/// the paper's representation × device matrix. Method names carry a
+/// `len_` prefix to keep call sites unambiguous on types implementing
+/// both traits.
+pub trait LenEngine: Send + Sync {
+    /// The length-matrix type this engine operates on.
+    type LenMatrix: LenMat;
+
+    /// The all-absent matrix of size `n × n`.
+    fn len_empty(&self, n: usize) -> Self::LenMatrix;
+
+    /// Builds a matrix from `(row, col, length)` entries;
+    /// first-write-wins on duplicate cells.
+    fn len_from_entries(&self, n: usize, entries: &[(u32, u32, u32)]) -> Self::LenMatrix;
+
+    /// Writes each entry only where the cell is absent (first-write-wins)
+    /// and returns the entries genuinely written.
+    fn len_set_absent(
+        &self,
+        a: &mut Self::LenMatrix,
+        entries: &[(u32, u32, u32)],
+    ) -> Vec<(u32, u32, u32)>;
+
+    /// The §5 length product: for every present `(i, k, l₁)` of `a` and
+    /// `(k, j, l₂)` of `b` with `l₁, l₂ ≥ 1`, the output holds
+    /// `(i, j, l₁ + l₂)` — first-write-wins per output cell. Length-0
+    /// cells (ε-witnesses) do not act as operands (see the module docs).
+    fn len_multiply(&self, a: &Self::LenMatrix, b: &Self::LenMatrix) -> Self::LenMatrix {
+        self.len_multiply_masked(a, b, None)
+    }
+
+    /// [`LenEngine::len_multiply`] with a complement mask: cells present
+    /// in `mask` are never emitted, so with the accumulated closure as
+    /// the mask the product materializes exactly the *new* information —
+    /// the first-write-wins discipline executed at kernel level.
+    fn len_multiply_masked(
+        &self,
+        a: &Self::LenMatrix,
+        b: &Self::LenMatrix,
+        mask: Option<&Self::LenMatrix>,
+    ) -> Self::LenMatrix;
+
+    /// Computes several independent (optionally masked) products. The
+    /// default runs them sequentially; device-backed engines dispatch one
+    /// serial kernel per job to the pool, mirroring
+    /// [`crate::BoolEngine::multiply_masked_batch`].
+    fn len_multiply_masked_batch(
+        &self,
+        jobs: &[LenJob<'_, Self::LenMatrix>],
+    ) -> Vec<Self::LenMatrix> {
+        jobs.iter()
+            .map(|&(a, b, m)| self.len_multiply_masked(a, b, m))
+            .collect()
+    }
+
+    /// Merges `add` into `acc` where `acc` is absent (first-write-wins)
+    /// and returns the matrix of genuinely-new cells — the Δ of the
+    /// semi-naive length closure.
+    fn len_merge_absent(&self, acc: &mut Self::LenMatrix, add: &Self::LenMatrix)
+        -> Self::LenMatrix;
+
+    /// Grows the matrix to `n × n` (new cells absent). `n` must not
+    /// shrink the matrix.
+    fn len_grow(&self, a: &mut Self::LenMatrix, n: usize);
+}
+
+/// Saturating witness-length addition, kept strictly below [`NO_PATH`].
+#[inline]
+fn add_len(a: u32, b: u32) -> u32 {
+    a.saturating_add(b).min(MAX_LEN)
+}
+
+// ---------------------------------------------------------------------------
+// Dense representation
+// ---------------------------------------------------------------------------
+
+/// A dense `n × n` length matrix stored row-major; [`NO_PATH`] = absent.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct DenseLenMatrix {
+    n: usize,
+    vals: Vec<u32>,
+}
+
+impl DenseLenMatrix {
+    /// Creates the all-absent matrix of size `n × n`.
+    pub fn empty(n: usize) -> Self {
+        Self {
+            n,
+            vals: vec![NO_PATH; n * n],
+        }
+    }
+
+    /// Builds from `(row, col, length)` entries, first-write-wins.
+    pub fn from_entries(n: usize, entries: &[(u32, u32, u32)]) -> Self {
+        let mut m = Self::empty(n);
+        for &(i, j, l) in entries {
+            m.set_if_absent(i, j, l);
+        }
+        m
+    }
+
+    /// Wraps a raw row-major value table (cells holding [`NO_PATH`] are
+    /// absent). `vals.len()` must be `n × n`. This is the bridge from
+    /// flat-table code — e.g. the naive single-path oracle — into the
+    /// engine world.
+    pub fn from_flat(n: usize, vals: Vec<u32>) -> Self {
+        assert_eq!(vals.len(), n * n, "flat table must be n × n");
+        Self { n, vals }
+    }
+
+    /// Matrix dimension `n`.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Raw cell value ([`NO_PATH`] = absent).
+    #[inline]
+    pub fn raw(&self, i: u32, j: u32) -> u32 {
+        self.vals[i as usize * self.n + j as usize]
+    }
+
+    /// The stored length at `(i, j)`, if present.
+    #[inline]
+    pub fn get(&self, i: u32, j: u32) -> Option<u32> {
+        let l = self.raw(i, j);
+        (l != NO_PATH).then_some(l)
+    }
+
+    /// Writes `(i, j) = l` only if the cell is absent; returns `true` if
+    /// it was written.
+    #[inline]
+    pub fn set_if_absent(&mut self, i: u32, j: u32, l: u32) -> bool {
+        debug_assert!((i as usize) < self.n && (j as usize) < self.n);
+        debug_assert!(l != NO_PATH, "NO_PATH is the absent sentinel");
+        let cell = &mut self.vals[i as usize * self.n + j as usize];
+        if *cell == NO_PATH {
+            *cell = l;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The values of row `i`.
+    #[inline]
+    fn row(&self, i: usize) -> &[u32] {
+        &self.vals[i * self.n..(i + 1) * self.n]
+    }
+
+    /// Number of present cells.
+    pub fn nnz(&self) -> usize {
+        self.vals.iter().filter(|&&l| l != NO_PATH).count()
+    }
+
+    /// Grows to `n × n`, keeping existing cells.
+    pub fn grow(&mut self, n: usize) {
+        assert!(n >= self.n, "length matrices only grow");
+        if n == self.n {
+            return;
+        }
+        let mut vals = vec![NO_PATH; n * n];
+        for i in 0..self.n {
+            vals[i * n..i * n + self.n].copy_from_slice(self.row(i));
+        }
+        self.n = n;
+        self.vals = vals;
+    }
+}
+
+impl LenMat for DenseLenMatrix {
+    fn n(&self) -> usize {
+        self.n
+    }
+    fn get(&self, i: u32, j: u32) -> Option<u32> {
+        DenseLenMatrix::get(self, i, j)
+    }
+    fn nnz(&self) -> usize {
+        DenseLenMatrix::nnz(self)
+    }
+    fn pairs(&self) -> Vec<(u32, u32)> {
+        self.entries().into_iter().map(|(i, j, _)| (i, j)).collect()
+    }
+    fn entries(&self) -> Vec<(u32, u32, u32)> {
+        let mut out = Vec::new();
+        for i in 0..self.n {
+            for (j, &l) in self.row(i).iter().enumerate() {
+                if l != NO_PATH {
+                    out.push((i as u32, j as u32, l));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Serial dense masked length product (shared by [`DenseEngine`] and, as
+/// the per-job kernel, by [`ParDenseEngine`]).
+fn dense_multiply_masked(
+    a: &DenseLenMatrix,
+    b: &DenseLenMatrix,
+    mask: Option<&DenseLenMatrix>,
+) -> DenseLenMatrix {
+    assert_eq!(a.n, b.n, "dimension mismatch");
+    if let Some(m) = mask {
+        assert_eq!(a.n, m.n, "mask dimension mismatch");
+    }
+    let n = a.n;
+    let mut out = DenseLenMatrix::empty(n);
+    for i in 0..n {
+        let arow = a.row(i);
+        for (k, &la) in arow.iter().enumerate() {
+            if la == NO_PATH || la == 0 {
+                continue;
+            }
+            let brow = b.row(k);
+            let orow = &mut out.vals[i * n..(i + 1) * n];
+            match mask {
+                Some(m) => {
+                    let mrow = m.row(i);
+                    for j in 0..n {
+                        let lb = brow[j];
+                        if lb == NO_PATH || lb == 0 || mrow[j] != NO_PATH || orow[j] != NO_PATH {
+                            continue;
+                        }
+                        orow[j] = add_len(la, lb);
+                    }
+                }
+                None => {
+                    for j in 0..n {
+                        let lb = brow[j];
+                        if lb == NO_PATH || lb == 0 || orow[j] != NO_PATH {
+                            continue;
+                        }
+                        orow[j] = add_len(la, lb);
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+fn dense_merge_absent(acc: &mut DenseLenMatrix, add: &DenseLenMatrix) -> DenseLenMatrix {
+    assert_eq!(acc.n, add.n, "dimension mismatch");
+    let mut fresh = DenseLenMatrix::empty(acc.n);
+    for ((dst, &src), out) in acc
+        .vals
+        .iter_mut()
+        .zip(add.vals.iter())
+        .zip(fresh.vals.iter_mut())
+    {
+        if src != NO_PATH && *dst == NO_PATH {
+            *dst = src;
+            *out = src;
+        }
+    }
+    fresh
+}
+
+/// Shared `len_set_absent` for the dense representation.
+fn dense_set_absent(a: &mut DenseLenMatrix, entries: &[(u32, u32, u32)]) -> Vec<(u32, u32, u32)> {
+    entries
+        .iter()
+        .filter(|&&(i, j, l)| a.set_if_absent(i, j, l))
+        .copied()
+        .collect()
+}
+
+impl LenEngine for DenseEngine {
+    type LenMatrix = DenseLenMatrix;
+
+    fn len_empty(&self, n: usize) -> DenseLenMatrix {
+        DenseLenMatrix::empty(n)
+    }
+    fn len_from_entries(&self, n: usize, entries: &[(u32, u32, u32)]) -> DenseLenMatrix {
+        DenseLenMatrix::from_entries(n, entries)
+    }
+    fn len_set_absent(
+        &self,
+        a: &mut DenseLenMatrix,
+        entries: &[(u32, u32, u32)],
+    ) -> Vec<(u32, u32, u32)> {
+        dense_set_absent(a, entries)
+    }
+    fn len_multiply_masked(
+        &self,
+        a: &DenseLenMatrix,
+        b: &DenseLenMatrix,
+        mask: Option<&DenseLenMatrix>,
+    ) -> DenseLenMatrix {
+        dense_multiply_masked(a, b, mask)
+    }
+    fn len_merge_absent(&self, acc: &mut DenseLenMatrix, add: &DenseLenMatrix) -> DenseLenMatrix {
+        dense_merge_absent(acc, add)
+    }
+    fn len_grow(&self, a: &mut DenseLenMatrix, n: usize) {
+        a.grow(n)
+    }
+}
+
+impl LenEngine for ParDenseEngine {
+    type LenMatrix = DenseLenMatrix;
+
+    fn len_empty(&self, n: usize) -> DenseLenMatrix {
+        DenseLenMatrix::empty(n)
+    }
+    fn len_from_entries(&self, n: usize, entries: &[(u32, u32, u32)]) -> DenseLenMatrix {
+        DenseLenMatrix::from_entries(n, entries)
+    }
+    fn len_set_absent(
+        &self,
+        a: &mut DenseLenMatrix,
+        entries: &[(u32, u32, u32)],
+    ) -> Vec<(u32, u32, u32)> {
+        dense_set_absent(a, entries)
+    }
+    fn len_multiply_masked(
+        &self,
+        a: &DenseLenMatrix,
+        b: &DenseLenMatrix,
+        mask: Option<&DenseLenMatrix>,
+    ) -> DenseLenMatrix {
+        dense_multiply_masked(a, b, mask)
+    }
+    fn len_multiply_masked_batch(
+        &self,
+        jobs: &[LenJob<'_, DenseLenMatrix>],
+    ) -> Vec<DenseLenMatrix> {
+        // One serial kernel per job; no nested offload (see Device docs).
+        self.device
+            .par_map(jobs.to_vec(), |(a, b, m)| dense_multiply_masked(a, b, m))
+    }
+    fn len_merge_absent(&self, acc: &mut DenseLenMatrix, add: &DenseLenMatrix) -> DenseLenMatrix {
+        dense_merge_absent(acc, add)
+    }
+    fn len_grow(&self, a: &mut DenseLenMatrix, n: usize) {
+        a.grow(n)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CSR representation
+// ---------------------------------------------------------------------------
+
+/// An `n × n` length matrix in CSR format: per row, strictly-ascending
+/// column indices with a parallel value array.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CsrLenMatrix {
+    n: usize,
+    row_ptr: Vec<usize>,
+    cols: Vec<u32>,
+    vals: Vec<u32>,
+}
+
+impl CsrLenMatrix {
+    /// Creates the all-absent matrix of size `n × n`.
+    pub fn empty(n: usize) -> Self {
+        Self {
+            n,
+            row_ptr: vec![0; n + 1],
+            cols: Vec::new(),
+            vals: Vec::new(),
+        }
+    }
+
+    /// Builds from `(row, col, length)` entries, first-write-wins on
+    /// duplicate cells (the first occurrence in `entries` is kept).
+    pub fn from_entries(n: usize, entries: &[(u32, u32, u32)]) -> Self {
+        let mut rows: Vec<Vec<(u32, u32)>> = vec![Vec::new(); n];
+        for &(i, j, l) in entries {
+            debug_assert!((i as usize) < n && (j as usize) < n);
+            debug_assert!(l != NO_PATH, "NO_PATH is the absent sentinel");
+            rows[i as usize].push((j, l));
+        }
+        for r in &mut rows {
+            // Stable sort keeps the first-written value of a duplicate
+            // column adjacent and first.
+            r.sort_by_key(|&(j, _)| j);
+            r.dedup_by_key(|&mut (j, _)| j);
+        }
+        Self::from_rows(rows)
+    }
+
+    /// Assembles from per-row sorted, column-deduplicated `(col, len)`
+    /// lists.
+    fn from_rows(rows: Vec<Vec<(u32, u32)>>) -> Self {
+        let n = rows.len();
+        let mut row_ptr = Vec::with_capacity(n + 1);
+        row_ptr.push(0usize);
+        let nnz: usize = rows.iter().map(Vec::len).sum();
+        let mut cols = Vec::with_capacity(nnz);
+        let mut vals = Vec::with_capacity(nnz);
+        for r in rows {
+            debug_assert!(r.windows(2).all(|w| w[0].0 < w[1].0), "rows must be sorted");
+            for (j, l) in r {
+                cols.push(j);
+                vals.push(l);
+            }
+            row_ptr.push(cols.len());
+        }
+        Self {
+            n,
+            row_ptr,
+            cols,
+            vals,
+        }
+    }
+
+    /// Matrix dimension `n`.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// `(columns, lengths)` of row `i` (columns ascending).
+    #[inline]
+    pub fn row(&self, i: usize) -> (&[u32], &[u32]) {
+        let r = self.row_ptr[i]..self.row_ptr[i + 1];
+        (&self.cols[r.clone()], &self.vals[r])
+    }
+
+    /// The stored length at `(i, j)`, if present.
+    pub fn get(&self, i: u32, j: u32) -> Option<u32> {
+        let (cols, vals) = self.row(i as usize);
+        cols.binary_search(&j).ok().map(|p| vals[p])
+    }
+
+    /// Number of present cells.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Grows to `n × n`, keeping existing cells (a pure row append).
+    pub fn grow(&mut self, n: usize) {
+        assert!(n >= self.n, "length matrices only grow");
+        let last = *self.row_ptr.last().expect("row_ptr nonempty");
+        self.row_ptr.resize(n + 1, last);
+        self.n = n;
+    }
+}
+
+impl LenMat for CsrLenMatrix {
+    fn n(&self) -> usize {
+        self.n
+    }
+    fn get(&self, i: u32, j: u32) -> Option<u32> {
+        CsrLenMatrix::get(self, i, j)
+    }
+    fn nnz(&self) -> usize {
+        CsrLenMatrix::nnz(self)
+    }
+    fn pairs(&self) -> Vec<(u32, u32)> {
+        let mut out = Vec::with_capacity(self.nnz());
+        for i in 0..self.n {
+            for &j in self.row(i).0 {
+                out.push((i as u32, j));
+            }
+        }
+        out
+    }
+    fn entries(&self) -> Vec<(u32, u32, u32)> {
+        let mut out = Vec::with_capacity(self.nnz());
+        for i in 0..self.n {
+            let (cols, vals) = self.row(i);
+            for (&j, &l) in cols.iter().zip(vals) {
+                out.push((i as u32, j, l));
+            }
+        }
+        out
+    }
+}
+
+/// A reusable accumulator for one output row of the CSR length product:
+/// a dense value buffer ([`NO_PATH`]-initialized) with a sparse touched
+/// list, plus a blocked set seeded from the complement-mask row.
+struct LenRowAccumulator {
+    vals: Vec<u32>,
+    touched: Vec<u32>,
+    blocked: Vec<u64>,
+    blocked_touched: Vec<u32>,
+}
+
+impl LenRowAccumulator {
+    fn new(n: usize) -> Self {
+        Self {
+            vals: vec![NO_PATH; n],
+            touched: Vec::new(),
+            blocked: vec![0; n.div_ceil(64).max(1)],
+            blocked_touched: Vec::new(),
+        }
+    }
+
+    /// Marks the mask row's columns as never-emit.
+    fn seed_mask(&mut self, cols: &[u32]) {
+        for &j in cols {
+            let w = (j / 64) as usize;
+            if self.blocked[w] == 0 {
+                self.blocked_touched.push(w as u32);
+            }
+            self.blocked[w] |= 1u64 << (j % 64);
+        }
+    }
+
+    fn clear_mask(&mut self) {
+        for &wi in &self.blocked_touched {
+            self.blocked[wi as usize] = 0;
+        }
+        self.blocked_touched.clear();
+    }
+
+    /// First-write-wins store of `l` at column `j`, unless blocked.
+    #[inline]
+    fn set(&mut self, j: u32, l: u32) {
+        if self.blocked[(j / 64) as usize] >> (j % 64) & 1 == 1 {
+            return;
+        }
+        let cell = &mut self.vals[j as usize];
+        if *cell == NO_PATH {
+            *cell = l;
+            self.touched.push(j);
+        }
+    }
+
+    /// Drains the touched cells in ascending column order.
+    fn drain_into(&mut self, cols: &mut Vec<u32>, vals: &mut Vec<u32>) {
+        self.touched.sort_unstable();
+        for &j in &self.touched {
+            cols.push(j);
+            vals.push(self.vals[j as usize]);
+            self.vals[j as usize] = NO_PATH;
+        }
+        self.touched.clear();
+    }
+}
+
+/// Serial CSR masked length product (shared by [`SparseEngine`] and, as
+/// the per-job kernel, by [`ParSparseEngine`]).
+fn csr_multiply_masked(
+    a: &CsrLenMatrix,
+    b: &CsrLenMatrix,
+    mask: Option<&CsrLenMatrix>,
+) -> CsrLenMatrix {
+    assert_eq!(a.n, b.n, "dimension mismatch");
+    if let Some(m) = mask {
+        assert_eq!(a.n, m.n, "mask dimension mismatch");
+    }
+    let n = a.n;
+    let mut acc = LenRowAccumulator::new(n);
+    let mut row_ptr = Vec::with_capacity(n + 1);
+    row_ptr.push(0usize);
+    let mut cols = Vec::new();
+    let mut vals = Vec::new();
+    for i in 0..n {
+        let (acols, avals) = a.row(i);
+        if acols.is_empty() {
+            row_ptr.push(cols.len());
+            continue;
+        }
+        if let Some(m) = mask {
+            acc.seed_mask(m.row(i).0);
+        }
+        for (&k, &la) in acols.iter().zip(avals) {
+            if la == 0 {
+                continue;
+            }
+            let (bcols, bvals) = b.row(k as usize);
+            for (&j, &lb) in bcols.iter().zip(bvals) {
+                if lb == 0 {
+                    continue;
+                }
+                acc.set(j, add_len(la, lb));
+            }
+        }
+        if mask.is_some() {
+            acc.clear_mask();
+        }
+        acc.drain_into(&mut cols, &mut vals);
+        row_ptr.push(cols.len());
+    }
+    CsrLenMatrix {
+        n,
+        row_ptr,
+        cols,
+        vals,
+    }
+}
+
+fn csr_merge_absent(acc: &mut CsrLenMatrix, add: &CsrLenMatrix) -> CsrLenMatrix {
+    assert_eq!(acc.n, add.n, "dimension mismatch");
+    let n = acc.n;
+    let mut merged: Vec<Vec<(u32, u32)>> = Vec::with_capacity(n);
+    let mut fresh: Vec<Vec<(u32, u32)>> = Vec::with_capacity(n);
+    for i in 0..n {
+        let (acols, avals) = acc.row(i);
+        let (bcols, bvals) = add.row(i);
+        let mut row: Vec<(u32, u32)> = Vec::with_capacity(acols.len() + bcols.len());
+        let mut new_row: Vec<(u32, u32)> = Vec::new();
+        let (mut x, mut y) = (0, 0);
+        while x < acols.len() && y < bcols.len() {
+            match acols[x].cmp(&bcols[y]) {
+                std::cmp::Ordering::Less => {
+                    row.push((acols[x], avals[x]));
+                    x += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    row.push((bcols[y], bvals[y]));
+                    new_row.push((bcols[y], bvals[y]));
+                    y += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    // First write wins: the accumulator's value stays.
+                    row.push((acols[x], avals[x]));
+                    x += 1;
+                    y += 1;
+                }
+            }
+        }
+        for p in x..acols.len() {
+            row.push((acols[p], avals[p]));
+        }
+        for p in y..bcols.len() {
+            row.push((bcols[p], bvals[p]));
+            new_row.push((bcols[p], bvals[p]));
+        }
+        merged.push(row);
+        fresh.push(new_row);
+    }
+    *acc = CsrLenMatrix::from_rows(merged);
+    CsrLenMatrix::from_rows(fresh)
+}
+
+/// Shared `len_set_absent` for the CSR representation: filters to
+/// genuinely-new cells (first occurrence wins within the batch), then
+/// merges them in one pass.
+fn csr_set_absent(a: &mut CsrLenMatrix, entries: &[(u32, u32, u32)]) -> Vec<(u32, u32, u32)> {
+    let mut seen = std::collections::BTreeSet::new();
+    let fresh: Vec<(u32, u32, u32)> = entries
+        .iter()
+        .filter(|&&(i, j, _)| a.get(i, j).is_none() && seen.insert((i, j)))
+        .copied()
+        .collect();
+    if !fresh.is_empty() {
+        csr_merge_absent(a, &CsrLenMatrix::from_entries(a.n, &fresh));
+    }
+    fresh
+}
+
+impl LenEngine for SparseEngine {
+    type LenMatrix = CsrLenMatrix;
+
+    fn len_empty(&self, n: usize) -> CsrLenMatrix {
+        CsrLenMatrix::empty(n)
+    }
+    fn len_from_entries(&self, n: usize, entries: &[(u32, u32, u32)]) -> CsrLenMatrix {
+        CsrLenMatrix::from_entries(n, entries)
+    }
+    fn len_set_absent(
+        &self,
+        a: &mut CsrLenMatrix,
+        entries: &[(u32, u32, u32)],
+    ) -> Vec<(u32, u32, u32)> {
+        csr_set_absent(a, entries)
+    }
+    fn len_multiply_masked(
+        &self,
+        a: &CsrLenMatrix,
+        b: &CsrLenMatrix,
+        mask: Option<&CsrLenMatrix>,
+    ) -> CsrLenMatrix {
+        csr_multiply_masked(a, b, mask)
+    }
+    fn len_merge_absent(&self, acc: &mut CsrLenMatrix, add: &CsrLenMatrix) -> CsrLenMatrix {
+        csr_merge_absent(acc, add)
+    }
+    fn len_grow(&self, a: &mut CsrLenMatrix, n: usize) {
+        a.grow(n)
+    }
+}
+
+impl LenEngine for ParSparseEngine {
+    type LenMatrix = CsrLenMatrix;
+
+    fn len_empty(&self, n: usize) -> CsrLenMatrix {
+        CsrLenMatrix::empty(n)
+    }
+    fn len_from_entries(&self, n: usize, entries: &[(u32, u32, u32)]) -> CsrLenMatrix {
+        CsrLenMatrix::from_entries(n, entries)
+    }
+    fn len_set_absent(
+        &self,
+        a: &mut CsrLenMatrix,
+        entries: &[(u32, u32, u32)],
+    ) -> Vec<(u32, u32, u32)> {
+        csr_set_absent(a, entries)
+    }
+    fn len_multiply_masked(
+        &self,
+        a: &CsrLenMatrix,
+        b: &CsrLenMatrix,
+        mask: Option<&CsrLenMatrix>,
+    ) -> CsrLenMatrix {
+        csr_multiply_masked(a, b, mask)
+    }
+    fn len_multiply_masked_batch(&self, jobs: &[LenJob<'_, CsrLenMatrix>]) -> Vec<CsrLenMatrix> {
+        // One serial kernel per job; no nested offload (see Device docs).
+        self.device
+            .par_map(jobs.to_vec(), |(a, b, m)| csr_multiply_masked(a, b, m))
+    }
+    fn len_merge_absent(&self, acc: &mut CsrLenMatrix, add: &CsrLenMatrix) -> CsrLenMatrix {
+        csr_merge_absent(acc, add)
+    }
+    fn len_grow(&self, a: &mut CsrLenMatrix, n: usize) {
+        a.grow(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Device;
+
+    fn dense(entries: &[(u32, u32, u32)], n: usize) -> DenseLenMatrix {
+        DenseLenMatrix::from_entries(n, entries)
+    }
+    fn csr(entries: &[(u32, u32, u32)], n: usize) -> CsrLenMatrix {
+        CsrLenMatrix::from_entries(n, entries)
+    }
+
+    #[test]
+    fn zero_is_present_and_max_is_absent() {
+        let d = dense(&[(0, 0, 0), (1, 2, 5)], 3);
+        assert_eq!(d.get(0, 0), Some(0));
+        assert_eq!(d.get(1, 2), Some(5));
+        assert_eq!(d.get(2, 2), None);
+        assert_eq!(d.nnz(), 2);
+        let s = csr(&[(0, 0, 0), (1, 2, 5)], 3);
+        assert_eq!(s.get(0, 0), Some(0));
+        assert_eq!(s.get(1, 2), Some(5));
+        assert_eq!(s.get(2, 2), None);
+        assert_eq!(LenMat::entries(&d), LenMat::entries(&s));
+    }
+
+    #[test]
+    fn from_entries_is_first_write_wins() {
+        let d = dense(&[(1, 1, 3), (1, 1, 9)], 2);
+        assert_eq!(d.get(1, 1), Some(3));
+        let s = csr(&[(1, 1, 3), (1, 1, 9)], 2);
+        assert_eq!(s.get(1, 1), Some(3));
+    }
+
+    fn check_engine<E: LenEngine>(e: &E) {
+        // Path composition: (0,1,2) · (1,2,3) → (0,2,5).
+        let a = e.len_from_entries(4, &[(0, 1, 2), (3, 3, 1)]);
+        let b = e.len_from_entries(4, &[(1, 2, 3), (3, 3, 1)]);
+        let c = e.len_multiply(&a, &b);
+        assert_eq!(c.entries(), vec![(0, 2, 5), (3, 3, 2)]);
+
+        // ε-operands (length 0) never compose.
+        let eps = e.len_from_entries(4, &[(0, 0, 0), (1, 1, 0)]);
+        assert_eq!(e.len_multiply(&eps, &b).nnz(), 0);
+        assert_eq!(e.len_multiply(&a, &eps).nnz(), 0);
+
+        // Masking suppresses known cells.
+        let mask = e.len_from_entries(4, &[(0, 2, 7)]);
+        let masked = e.len_multiply_masked(&a, &b, Some(&mask));
+        assert_eq!(masked.entries(), vec![(3, 3, 2)]);
+
+        // merge_absent: first write wins, fresh cells reported.
+        let mut acc = e.len_from_entries(4, &[(0, 2, 7)]);
+        let fresh = e.len_merge_absent(&mut acc, &c);
+        assert_eq!(fresh.entries(), vec![(3, 3, 2)]);
+        assert_eq!(acc.get(0, 2), Some(7), "existing length is never updated");
+        assert_eq!(acc.get(3, 3), Some(2));
+        let none = e.len_merge_absent(&mut acc, &c);
+        assert_eq!(none.nnz(), 0, "second merge adds nothing");
+
+        // set_absent mirrors merge_absent for explicit entries.
+        let written = e.len_set_absent(&mut acc, &[(0, 2, 1), (2, 0, 4), (2, 0, 9)]);
+        assert_eq!(written, vec![(2, 0, 4)]);
+        assert_eq!(acc.get(0, 2), Some(7));
+        assert_eq!(acc.get(2, 0), Some(4));
+
+        // grow keeps cells and extends the universe.
+        let mut g = e.len_from_entries(2, &[(0, 1, 1), (1, 1, 2)]);
+        e.len_grow(&mut g, 5);
+        assert_eq!(g.n(), 5);
+        assert_eq!(g.get(0, 1), Some(1));
+        assert_eq!(g.get(4, 4), None);
+        let grown_b = e.len_from_entries(5, &[(1, 4, 3)]);
+        assert_eq!(
+            e.len_multiply(&g, &grown_b).entries(),
+            vec![(0, 4, 4), (1, 4, 5)]
+        );
+
+        // Batch == per-job results.
+        let batch = e.len_multiply_masked_batch(&[(&a, &b, Some(&mask)), (&a, &b, None)]);
+        assert_eq!(batch.len(), 2);
+        assert_eq!(batch[0].entries(), masked.entries());
+        assert_eq!(batch[1].entries(), c.entries());
+    }
+
+    #[test]
+    fn all_engines_behave_identically() {
+        check_engine(&DenseEngine);
+        check_engine(&SparseEngine);
+        check_engine(&ParDenseEngine::new(Device::new(3)));
+        check_engine(&ParSparseEngine::new(Device::new(2)));
+    }
+
+    #[test]
+    fn dense_and_csr_products_agree_on_random_matrices() {
+        let n = 60usize;
+        let mut state = 0x5EED_0123u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 33) as u32
+        };
+        let mut entries_a = Vec::new();
+        let mut entries_b = Vec::new();
+        let mut entries_m = Vec::new();
+        for _ in 0..300 {
+            entries_a.push((next() % n as u32, next() % n as u32, 1 + next() % 9));
+            entries_b.push((next() % n as u32, next() % n as u32, 1 + next() % 9));
+            entries_m.push((next() % n as u32, next() % n as u32, 1 + next() % 9));
+        }
+        let (da, db, dm) = (
+            dense(&entries_a, n),
+            dense(&entries_b, n),
+            dense(&entries_m, n),
+        );
+        let (sa, sb, sm) = (csr(&entries_a, n), csr(&entries_b, n), csr(&entries_m, n));
+        // Both kernels scan k in ascending order (dense scans the full
+        // row, CSR scans the stored columns), so even the chosen lengths
+        // coincide — assert full entry equality, not just pair sets.
+        let dp = dense_multiply_masked(&da, &db, Some(&dm));
+        let sp = csr_multiply_masked(&sa, &sb, Some(&sm));
+        assert_eq!(LenMat::entries(&dp), LenMat::entries(&sp));
+        let dp = dense_multiply_masked(&da, &db, None);
+        let sp = csr_multiply_masked(&sa, &sb, None);
+        assert_eq!(LenMat::entries(&dp), LenMat::entries(&sp));
+    }
+
+    #[test]
+    fn lengths_saturate_instead_of_wrapping_into_the_sentinel() {
+        let a = dense(&[(0, 1, MAX_LEN)], 2);
+        let b = dense(&[(1, 0, MAX_LEN)], 2);
+        let c = dense_multiply_masked(&a, &b, None);
+        assert_eq!(c.get(0, 0), Some(MAX_LEN), "saturated, still present");
+    }
+
+    #[test]
+    fn grow_is_a_row_append_for_csr() {
+        let mut m = csr(&[(0, 1, 2), (2, 0, 1)], 3);
+        m.grow(6);
+        assert_eq!(m.n(), 6);
+        assert_eq!(m.get(2, 0), Some(1));
+        assert_eq!(m.get(5, 5), None);
+        assert_eq!(m.nnz(), 2);
+    }
+}

@@ -23,6 +23,7 @@ pub mod closure;
 pub mod dense;
 pub mod device;
 pub mod engine;
+pub mod length;
 pub mod setmatrix;
 pub mod sparse;
 
@@ -31,5 +32,6 @@ pub use device::Device;
 pub use engine::{
     BoolEngine, BoolMat, DenseEngine, MaskedJob, ParDenseEngine, ParSparseEngine, SparseEngine,
 };
+pub use length::{CsrLenMatrix, DenseLenMatrix, LenEngine, LenJob, LenMat, NO_PATH};
 pub use setmatrix::SetMatrix;
 pub use sparse::CsrMatrix;

@@ -240,6 +240,17 @@ impl CsrMatrix {
         CsrMatrix::from_flat(self.n, row_ends, cols)
     }
 
+    /// Grows the matrix to `n × n`, keeping existing entries (a pure
+    /// row-pointer append — new rows are empty, and existing column
+    /// indices stay valid in the wider universe). `n` must not shrink
+    /// the matrix.
+    pub fn grow(&mut self, n: usize) {
+        assert!(n >= self.n, "Boolean matrices only grow");
+        let last = *self.row_ptr.last().expect("row_ptr nonempty");
+        self.row_ptr.resize(n + 1, last);
+        self.n = n;
+    }
+
     /// Transposed copy.
     pub fn transpose(&self) -> CsrMatrix {
         let mut rows: Vec<Vec<u32>> = vec![Vec::new(); self.n];

@@ -41,11 +41,13 @@ pub mod prelude {
     pub use cfpq_core::relational::{
         solve_on_engine, solve_set_matrix, FixpointSolver, SolveStats, Strategy,
     };
-    pub use cfpq_core::session::{CfpqSession, GraphIndex, PreparedQuery, QueryId};
-    pub use cfpq_core::single_path::{extract_path, solve_single_path};
+    pub use cfpq_core::session::{CfpqSession, GraphIndex, PreparedQuery, QueryId, SinglePathId};
+    pub use cfpq_core::single_path::{
+        extract_path, solve_single_path, validate_witness, SinglePathSolver,
+    };
     pub use cfpq_grammar::{Cfg, Nt, Term, Wcnf};
     pub use cfpq_graph::{Graph, TripleSet};
     pub use cfpq_matrix::{
-        BoolEngine, DenseEngine, Device, ParDenseEngine, ParSparseEngine, SparseEngine,
+        BoolEngine, DenseEngine, Device, LenEngine, ParDenseEngine, ParSparseEngine, SparseEngine,
     };
 }
