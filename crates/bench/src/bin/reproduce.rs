@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! cargo run --release -p cfpq-bench --bin reproduce -- \
-//!     [table1|table2|incremental|single-path|all] [--workers N] [--json PATH] [--smoke]
+//!     [table1|table2|incremental|single-path|service|all] [--workers N] [--json PATH] [--smoke]
 //! ```
 //!
 //! Prints each table in the paper's layout and optionally writes the raw
@@ -31,10 +31,19 @@
 //! beats the oracle on wall time (the numbers committed as
 //! `BENCH_pr4.json`); smoke mode runs the four smallest ontologies,
 //! asserting correctness and the fewer-products repair criterion.
+//!
+//! The `service` scenario (part of `all`) runs the concurrent query
+//! service: a two-wave request workload (an `add_edges` batch between
+//! the waves) served by a `CfpqService` with its multi-queue scheduler,
+//! against the serial one-shot-solve-per-request loop. Byte-identical
+//! per-request answer sets are asserted everywhere; full mode runs g3 at
+//! 4 workers and additionally asserts the ≥2× throughput criterion (the
+//! numbers committed as `BENCH_pr5.json`), while smoke mode runs the two
+//! smallest ontologies without the throughput assertion.
 
 use cfpq_bench::{
-    render_incremental, render_single_path, render_table, run_incremental, run_row,
-    run_single_path, run_table, small_suite, Query,
+    render_incremental, render_service, render_single_path, render_table, run_incremental, run_row,
+    run_service, run_single_path, run_table, small_suite, Query,
 };
 use cfpq_graph::ontology::evaluation_suite;
 use std::io::Write;
@@ -49,7 +58,7 @@ fn main() {
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
-            "table1" | "table2" | "incremental" | "single-path" | "all" => which = arg,
+            "table1" | "table2" | "incremental" | "single-path" | "service" | "all" => which = arg,
             "--workers" => {
                 workers = match it.next().and_then(|v| v.parse().ok()) {
                     Some(n) => n,
@@ -72,7 +81,7 @@ fn main() {
             other => {
                 eprintln!("unknown argument `{other}`");
                 eprintln!(
-                    "usage: reproduce [table1|table2|incremental|single-path|all] \
+                    "usage: reproduce [table1|table2|incremental|single-path|service|all] \
                      [--workers N] [--json PATH] [--smoke]"
                 );
                 std::process::exit(2);
@@ -83,11 +92,12 @@ fn main() {
     let queries: Vec<Query> = match which.as_str() {
         "table1" => vec![Query::Q1],
         "table2" => vec![Query::Q2],
-        "incremental" | "single-path" => vec![],
+        "incremental" | "single-path" | "service" => vec![],
         _ => vec![Query::Q1, Query::Q2],
     };
     let run_incremental_scenario = matches!(which.as_str(), "incremental" | "all");
     let run_single_path_scenario = matches!(which.as_str(), "single-path" | "all");
+    let run_service_scenario = matches!(which.as_str(), "service" | "all");
 
     let mut sections: Vec<serde_json::Value> = Vec::new();
     for q in queries {
@@ -153,6 +163,30 @@ fn main() {
         print!("{}", render_single_path(&rows));
         println!();
         sections.push(serde_json::json!({ "query": "SinglePath", "rows": rows }));
+    }
+
+    if run_service_scenario {
+        // Smoke: the two smallest ontologies, byte-identical answers and
+        // the repair-beats-cold invariant only (tiny graphs cannot
+        // amortize thread overhead, so no throughput assertion). Full:
+        // g3 at 4 workers with the ≥2× speedup acceptance criterion;
+        // these are the rows committed as BENCH_pr5.json.
+        let rows = if smoke {
+            eprintln!("running service scenario over the smoke suite...");
+            small_suite()
+                .iter()
+                .take(2)
+                .map(|ds| run_service(ds, 4, 3, 5, false))
+                .collect::<Vec<_>>()
+        } else {
+            eprintln!("running service scenario on g3 (4 workers, 2 waves of 8 requests/query)...");
+            let suite = evaluation_suite();
+            let g3 = suite.iter().find(|d| d.name == "g3").expect("g3 present");
+            vec![run_service(g3, 4, 8, 10, true)]
+        };
+        print!("{}", render_service(&rows));
+        println!();
+        sections.push(serde_json::json!({ "query": "Service", "rows": rows }));
     }
 
     if let Some(path) = json_path {

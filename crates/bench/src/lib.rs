@@ -642,6 +642,239 @@ pub fn render_single_path(rows: &[SinglePathRow]) -> String {
     out
 }
 
+/// One row of the concurrent-service scenario on one dataset: a request
+/// workload (two waves of `per_query` requests per evaluation query,
+/// separated by a held-out `add_edges` batch) served two ways and
+/// compared end to end.
+///
+/// * **Serial loop** — the pre-service status quo: requests arrive from
+///   independent callers and each one runs the one-shot solve path
+///   (`CfpqSession` is `&mut self` and not shareable across request
+///   handlers, so without the service layer every request pays its own
+///   closure).
+/// * **Service** — one [`cfpq_service::CfpqService`]: requests are enqueued as
+///   tickets, the multi-queue scheduler batches the ones sharing a
+///   grammar so each batch reuses a single cached closure, and the
+///   update publishes one repaired epoch instead of invalidating
+///   anything.
+///
+/// The row asserts the two paths produce **byte-identical per-request
+/// answer sets** and records the service's per-epoch counters; with
+/// `check_speedup` (full mode, g3 at 4 workers) it also asserts the
+/// service throughput is at least 2× the serial loop — the PR's
+/// acceptance criterion, re-checked on every `reproduce` run.
+#[derive(Clone, Debug, Serialize)]
+pub struct ServiceRow {
+    /// Dataset name.
+    pub dataset: String,
+    /// Scheduler worker threads.
+    pub workers: usize,
+    /// Total requests served (2 queries × 2 waves × `per_query`).
+    pub requests: usize,
+    /// Edges held out of the build and inserted between the waves.
+    pub batch: usize,
+    /// `|R_S|` of Q1 on the full graph.
+    pub results: usize,
+    /// Serial query loop (one-shot solve per request), milliseconds.
+    pub serial_ms: f64,
+    /// Service wall time for the same workload, milliseconds.
+    pub service_ms: f64,
+    /// `serial_ms / service_ms`.
+    pub speedup: f64,
+    /// Epochs the service published (build + one per update batch).
+    pub epochs: usize,
+    /// Publish latency of the update epoch, milliseconds (readers of the
+    /// previous epoch were never blocked during this window).
+    pub publish_ms: f64,
+    /// Requests answered across all epochs.
+    pub queries_served: u64,
+    /// Requests answered from an already-solved closure.
+    pub cache_hits: u64,
+    /// Closures cold-solved across all epochs.
+    pub cold_solves: u64,
+    /// Products launched by the cold solves.
+    pub cold_products: u64,
+    /// Closures repaired at epoch publish.
+    pub repairs: u64,
+    /// Products launched by the repairs (strictly fewer than
+    /// `cold_products` — asserted).
+    pub repair_products: u64,
+}
+
+/// Runs the service scenario on one dataset. See [`ServiceRow`] for the
+/// workload shape and what is asserted.
+pub fn run_service(
+    dataset: &Dataset,
+    workers: usize,
+    per_query: usize,
+    batch: usize,
+    check_speedup: bool,
+) -> ServiceRow {
+    use cfpq_service::{CfpqService, ServiceConfig, Ticket};
+
+    let graph = &dataset.graph;
+    let wcnfs: Vec<Wcnf> = [Query::Q1, Query::Q2]
+        .into_iter()
+        .map(|q| {
+            q.grammar()
+                .to_wcnf(CnfOptions::default())
+                .expect("query normalizes")
+        })
+        .collect();
+    let relevant: std::collections::HashSet<String> = wcnfs
+        .iter()
+        .flat_map(|w| w.symbols.terms().map(|(_, name)| name.to_owned()))
+        .collect();
+    let (base, held) = hold_out_edges(graph, batch, |name| relevant.contains(name));
+    let batch = held.len();
+
+    // Warmup (untimed): one solve per query so first-touch effects
+    // (page cache, allocator growth) don't land on either timed path.
+    for wcnf in &wcnfs {
+        let _ = FixpointSolver::new(&SparseEngine).solve(&base, wcnf);
+    }
+
+    // The serial loop: every request pays its own one-shot solve, wave 1
+    // against the truncated graph, wave 2 against the full graph.
+    let (serial_answers, serial_ms) = time_ms(|| {
+        let mut answers: Vec<Vec<(u32, u32)>> = Vec::new();
+        for wave_graph in [&base, graph] {
+            for wcnf in &wcnfs {
+                for _ in 0..per_query {
+                    let idx = FixpointSolver::new(&SparseEngine).solve(wave_graph, wcnf);
+                    answers.push(idx.pairs(wcnf.start));
+                }
+            }
+        }
+        answers
+    });
+
+    // The same workload through the service: enqueue each wave, wait for
+    // the tickets, publish the update in between.
+    let service = CfpqService::with_config(SparseEngine, &base, ServiceConfig::new(workers));
+    let ids: Vec<cfpq_service::QueryId> = wcnfs
+        .iter()
+        .map(|w| service.prepare_query(PreparedQuery::from_wcnf(w.clone())))
+        .collect();
+    let (service_answers, service_ms) = time_ms(|| {
+        let mut answers: Vec<Vec<(u32, u32)>> = Vec::new();
+        for wave in 0..2 {
+            if wave == 1 {
+                let inserted = service.add_edges(&held);
+                assert_eq!(inserted, batch, "held-out edges are new by construction");
+            }
+            let mut tickets: Vec<Ticket> = Vec::with_capacity(ids.len() * per_query);
+            for &id in &ids {
+                for _ in 0..per_query {
+                    tickets.push(service.enqueue(id, vec![]));
+                }
+            }
+            answers.extend(tickets.into_iter().map(|t| t.wait().pairs));
+        }
+        answers
+    });
+
+    assert_eq!(
+        service_answers, serial_answers,
+        "service vs serial answer sets must be byte-identical on {}",
+        dataset.name
+    );
+    let results = serial_answers[per_query * wcnfs.len()].len();
+
+    let stats = service.stats();
+    let epochs = stats.len();
+    assert_eq!(epochs, 2, "build epoch + one update epoch");
+    let publish_ms = stats[1].publish_ms;
+    let sum = |f: fn(&cfpq_service::ServiceStats) -> u64| stats.iter().map(f).sum::<u64>();
+    let queries_served = sum(|s| s.queries_served);
+    let cache_hits = sum(|s| s.cache_hits);
+    let cold_solves = sum(|s| s.cold_solves);
+    let cold_products = sum(|s| s.cold_products);
+    let repairs = sum(|s| s.repairs);
+    let repair_products = sum(|s| s.repair_products);
+    assert_eq!(queries_served as usize, serial_answers.len());
+    assert_eq!(
+        repairs,
+        wcnfs.len() as u64,
+        "every wave-1 closure is repaired at publish, not re-solved"
+    );
+    assert!(
+        repair_products < cold_products,
+        "epoch publish must cost less kernel work than the cold solves \
+         ({repair_products} vs {cold_products}) on {}",
+        dataset.name
+    );
+    assert!(
+        cache_hits > 0,
+        "batched requests must share cached closures"
+    );
+
+    let speedup = serial_ms / service_ms;
+    if check_speedup {
+        assert!(
+            speedup >= 2.0,
+            "service must be ≥2× the serial loop on {} ({serial_ms:.1}ms vs {service_ms:.1}ms)",
+            dataset.name
+        );
+    }
+
+    ServiceRow {
+        dataset: dataset.name.clone(),
+        workers,
+        requests: serial_answers.len(),
+        batch,
+        results,
+        serial_ms,
+        service_ms,
+        speedup,
+        epochs,
+        publish_ms,
+        queries_served,
+        cache_hits,
+        cold_solves,
+        cold_products,
+        repairs,
+        repair_products,
+    }
+}
+
+/// Renders service rows as a table.
+pub fn render_service(rows: &[ServiceRow]) -> String {
+    let mut out = String::new();
+    out.push_str("Concurrent service (multi-queue scheduler vs serial query loop)\n");
+    out.push_str(&format!(
+        "{:<10} {:>7} {:>8} {:>10} {:>11} {:>8} {:>7} {:>6} {:>10} {:>10} {:>11}\n",
+        "Dataset",
+        "workers",
+        "#req",
+        "serial(ms)",
+        "service(ms)",
+        "speedup",
+        "#hits",
+        "epochs",
+        "pub(ms)",
+        "cold#prod",
+        "repair#prod"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<10} {:>7} {:>8} {:>10.1} {:>11.1} {:>7.1}x {:>7} {:>6} {:>10.1} {:>10} {:>11}\n",
+            r.dataset,
+            r.workers,
+            r.requests,
+            r.serial_ms,
+            r.service_ms,
+            r.speedup,
+            r.cache_hits,
+            r.epochs,
+            r.publish_ms,
+            r.cold_products,
+            r.repair_products,
+        ));
+    }
+    out
+}
+
 /// A smaller suite for unit tests and smoke benches: the four smallest
 /// ontologies.
 pub fn small_suite() -> Vec<Dataset> {
@@ -714,6 +947,24 @@ mod tests {
             assert!(row.sp_repair_products < row.sp_cold_products);
             assert!(row.results > 0);
             let text = render_single_path(&[row]);
+            assert!(text.contains(&ds.name));
+            assert!(text.contains("repair#prod"));
+        }
+    }
+
+    #[test]
+    fn service_rows_are_byte_identical_to_serial() {
+        // run_service asserts byte-identical answers, the repairs-at-
+        // publish invariant and cache-hit sharing internally; exercise
+        // it on the two smallest ontologies (no speedup assertion —
+        // tiny graphs cannot amortize thread overhead).
+        for ds in small_suite().iter().take(2) {
+            let row = run_service(ds, 4, 3, 5, false);
+            assert_eq!(row.workers, 4);
+            assert_eq!(row.requests, 12, "2 queries × 2 waves × 3");
+            assert_eq!(row.epochs, 2);
+            assert!(row.repair_products < row.cold_products);
+            let text = render_service(&[row]);
             assert!(text.contains(&ds.name));
             assert!(text.contains("repair#prod"));
         }

@@ -42,7 +42,9 @@ pub use query::{solve, solve_with, Backend, QueryAnswer};
 pub use relational::{
     solve_on_engine, solve_set_matrix, FixpointSolver, RelationalIndex, SolveStats, Strategy,
 };
-pub use session::{CfpqSession, GraphIndex, PreparedQuery, QueryId, RunInfo, SinglePathId};
+pub use session::{
+    CfpqSession, EdgeBatch, GraphIndex, PreparedQuery, QueryId, RunInfo, SinglePathId,
+};
 pub use single_path::{
     solve_single_path, solve_single_path_oracle, solve_single_path_with, SinglePathIndex,
     SinglePathSolver,

@@ -106,6 +106,25 @@ impl QueryAnswer {
             .map(|(k, v)| (k.as_str(), v.as_slice()))
     }
 
+    /// Materializes an answer from a solved relational index. This is
+    /// the constructor layers above the session use (the `cfpq-service`
+    /// snapshot cache builds one answer per cached
+    /// [`crate::relational::RelationalIndex`] and hands it out by `Arc`
+    /// refcount bump).
+    pub fn from_index<M: cfpq_matrix::BoolMat>(
+        backend: &'static str,
+        wcnf: &Wcnf,
+        index: &crate::relational::RelationalIndex<M>,
+    ) -> Self {
+        Self::from_parts(
+            backend,
+            index.n_nodes,
+            index.iterations,
+            wcnf.symbols.nt_name(wcnf.start).to_owned(),
+            relations_map(wcnf, index),
+        )
+    }
+
     /// Assembles an answer from already-collected relations (the session
     /// layer materializes these straight from a [`RelationalIndex`]).
     pub(crate) fn from_parts(

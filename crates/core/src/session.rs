@@ -113,6 +113,16 @@ pub struct EdgeBatch {
     pub duplicates: usize,
 }
 
+impl EdgeBatch {
+    /// The genuinely-new `(from, to)` pairs this batch inserted, grouped
+    /// by index-local label id (only labels that gained entries appear)
+    /// — the update-log record that [`batch_seed_pairs`] translates into
+    /// per-nonterminal repair seeds.
+    pub fn new_by_label(&self) -> &[(u32, Vec<(u32, u32)>)] {
+        &self.new_by_label
+    }
+}
+
 impl<E: BoolEngine> GraphIndex<E> {
     /// Decomposes `graph` into per-label adjacency matrices on `engine`.
     pub fn build(engine: E, graph: &Graph) -> Self {
@@ -163,7 +173,10 @@ impl<E: BoolEngine> GraphIndex<E> {
         &self.engine
     }
 
-    /// Matrix dimension `|V|` (fixed at build time).
+    /// Matrix dimension `|V|`. Starts at the build graph's node count
+    /// and **grows** when [`GraphIndex::add_edges`] receives an edge
+    /// naming an unseen node id (it never shrinks) — the same implicit
+    /// growth contract as [`Graph::add_edge`]'s `ensure_node` behaviour.
     pub fn n_nodes(&self) -> usize {
         self.n_nodes
     }
@@ -193,10 +206,15 @@ impl<E: BoolEngine> GraphIndex<E> {
     /// Inserts a batch of edges in place, interning unseen labels on the
     /// fly and growing the node universe to cover previously-unseen node
     /// ids (every label matrix is widened first, so no insertion can go
-    /// out of bounds). Already-present edges are skipped (the index is a
-    /// set, like [`Graph`]); the returned [`EdgeBatch`] records exactly
-    /// the new entries per label, which is what incremental re-solves
-    /// seed from.
+    /// out of bounds).
+    ///
+    /// Duplicate-edge semantics match [`Graph::add_edge`] exactly: the
+    /// edge set is a *set* keyed on `(from, label, to)`, so re-inserting
+    /// a present edge is a no-op — where `add_edge` reports this by
+    /// returning `false`, a batch insert reports it in
+    /// [`EdgeBatch::duplicates`] (which also counts repeats *within* the
+    /// same batch). The returned [`EdgeBatch`] records exactly the new
+    /// entries per label, which is what incremental re-solves seed from.
     pub fn add_edges(&mut self, edges: &[(NodeId, &str, NodeId)]) -> EdgeBatch {
         if let Some(max_id) = edges.iter().map(|&(u, _, v)| u.max(v)).max() {
             let needed = max_id as usize + 1;
@@ -238,11 +256,73 @@ impl<E: BoolEngine> GraphIndex<E> {
     }
 
     /// `label index → grammar terminal` binding by name (labels the
-    /// grammar never mentions bind to `None` and are ignored).
-    fn term_bindings(&self, wcnf: &Wcnf) -> Vec<Option<Term>> {
+    /// grammar never mentions bind to `None` and are ignored). Public so
+    /// layers above the session — the `cfpq-service` snapshot cache —
+    /// can translate [`EdgeBatch`] logs into repair seeds themselves.
+    pub fn term_bindings(&self, wcnf: &Wcnf) -> Vec<Option<Term>> {
         self.labels
             .iter()
             .map(|(_, name)| wcnf.symbols.get_term(name))
+            .collect()
+    }
+
+    /// The per-nonterminal seed matrices of a cold solve: every label
+    /// matrix union-ed into the `T_A` of each nonterminal with a rule
+    /// `A → label`, plus the ε-diagonal when `options` ask for it. This
+    /// is Algorithm 1's initialization (lines 6–7) read straight off the
+    /// index instead of the edge list.
+    pub fn seed_matrices(&self, wcnf: &Wcnf, options: SolveOptions) -> Vec<E::Matrix> {
+        let n = self.n_nodes;
+        let bindings = self.term_bindings(wcnf);
+        let by_term = wcnf.nts_by_terminal();
+        let mut seeds: Vec<Option<E::Matrix>> = (0..wcnf.n_nts()).map(|_| None).collect();
+        for (label, term) in bindings.iter().enumerate() {
+            let Some(term) = term else { continue };
+            for nt in &by_term[term.index()] {
+                let m = &self.matrices[label];
+                match &mut seeds[nt.index()] {
+                    Some(acc) => {
+                        self.engine.union_in_place(acc, m);
+                    }
+                    None => seeds[nt.index()] = Some(m.clone()),
+                }
+            }
+        }
+        let mut matrices: Vec<E::Matrix> = seeds
+            .into_iter()
+            .map(|m| m.unwrap_or_else(|| self.engine.zeros(n)))
+            .collect();
+        if options.nullable_diagonal {
+            let diagonal: Vec<(u32, u32)> = (0..n as u32).map(|m| (m, m)).collect();
+            for &nt in &wcnf.nullable {
+                self.engine
+                    .union_pairs(&mut matrices[nt.index()], &diagonal);
+            }
+        }
+        matrices
+    }
+
+    /// The per-nonterminal length-1 seed matrices of a cold single-path
+    /// solve (the §5 analogue of [`GraphIndex::seed_matrices`]; the
+    /// ε-overlay is applied by the solver, not here).
+    pub fn seed_length_matrices(&self, wcnf: &Wcnf) -> Vec<<E as LenEngine>::LenMatrix>
+    where
+        E: LenEngine,
+    {
+        let n = self.n_nodes;
+        let bindings = self.term_bindings(wcnf);
+        let by_term = wcnf.nts_by_terminal();
+        let mut entries: Vec<Vec<(u32, u32, u32)>> = vec![Vec::new(); wcnf.n_nts()];
+        for (label, term) in bindings.iter().enumerate() {
+            let Some(term) = term else { continue };
+            let pairs = self.matrices[label].pairs();
+            for nt in &by_term[term.index()] {
+                entries[nt.index()].extend(pairs.iter().map(|&(i, j)| (i, j, 1)));
+            }
+        }
+        entries
+            .into_iter()
+            .map(|e| self.engine.len_from_entries(n, &e))
             .collect()
     }
 }
@@ -377,10 +457,12 @@ impl<E: BoolEngine + LenEngine + Clone> Clone for CfpqSession<E> {
 }
 
 /// Translates pending edge batches into per-nonterminal seed pairs
-/// under the given label→terminal bindings. Shared by the relational
-/// and single-path repair paths, so the two semantics consume an update
-/// log identically and cannot drift after incremental updates.
-fn pending_pairs(
+/// under the given label→terminal bindings (`bindings[label] = term`,
+/// `by_term[term] = nonterminals with a rule A → term`). Shared by the
+/// relational and single-path repair paths — in sessions *and* in the
+/// `cfpq-service` epoch builder — so every consumer of an update log
+/// derives identical repair seeds and the semantics cannot drift.
+pub fn batch_seed_pairs(
     batches: &[EdgeBatch],
     bindings: &[Option<Term>],
     by_term: &[Vec<Nt>],
@@ -398,6 +480,94 @@ fn pending_pairs(
         }
     }
     new_pairs
+}
+
+/// Cold-solves a prepared (relational) query against an index: seed
+/// matrices straight from the label matrices, then the configured
+/// fixpoint strategy. This is the one code path behind
+/// [`CfpqSession::evaluate`]'s first call *and* every `cfpq-service`
+/// epoch-cache miss.
+pub fn solve_prepared<E: BoolEngine>(
+    index: &GraphIndex<E>,
+    query: &PreparedQuery,
+) -> RelationalIndex<E::Matrix> {
+    let wcnf = query.wcnf();
+    let matrices = index.seed_matrices(wcnf, query.options);
+    FixpointSolver::new(&index.engine)
+        .strategy(query.strategy)
+        .options(query.options)
+        .solve_from_matrices(matrices, index.n_nodes, wcnf)
+}
+
+/// Repairs a closed relational closure in place for freshly-inserted
+/// seed pairs: widens the cached matrices if the node universe grew to
+/// `n` (seeding the new ε-diagonal cells when the query asks for the
+/// nullable diagonal), then resumes the semi-naive Δ loop. Returns the
+/// stats of the repair alone. Shared by [`CfpqSession::evaluate`] and
+/// the `cfpq-service` epoch builder.
+pub fn repair_prepared<E: BoolEngine>(
+    engine: &E,
+    query: &PreparedQuery,
+    solved: &mut RelationalIndex<E::Matrix>,
+    mut new_pairs: Vec<Vec<(u32, u32)>>,
+    n: usize,
+) -> SolveStats {
+    let wcnf = query.wcnf();
+    if solved.n_nodes < n {
+        let old_n = solved.n_nodes;
+        for m in &mut solved.matrices {
+            engine.grow(m, n);
+        }
+        solved.n_nodes = n;
+        if query.options.nullable_diagonal {
+            for &nt in &wcnf.nullable {
+                new_pairs[nt.index()].extend((old_n as u32..n as u32).map(|m| (m, m)));
+            }
+        }
+    }
+    FixpointSolver::new(engine)
+        .strategy(query.strategy)
+        .options(query.options)
+        .resume(solved, wcnf, &new_pairs)
+}
+
+/// Cold-solves a prepared query under single-path (§5) semantics: the
+/// length-1 seeds come straight from the label matrices, the masked
+/// semi-naive length closure does the rest. The single code path behind
+/// session and service single-path cache misses.
+pub fn solve_prepared_single_path<E: BoolEngine + LenEngine>(
+    index: &GraphIndex<E>,
+    query: &PreparedQuery,
+) -> SinglePathIndex<E::LenMatrix> {
+    let wcnf = query.wcnf();
+    let matrices = index.seed_length_matrices(wcnf);
+    SinglePathSolver::new(&index.engine)
+        .options(query.options)
+        .solve_from_matrices(matrices, index.n_nodes, wcnf)
+}
+
+/// Repairs a closed single-path closure in place for freshly-inserted
+/// seed pairs — the §5 analogue of [`repair_prepared`]: widen the
+/// cached length matrices if the universe grew to `n` (the resume's
+/// ε-overlay covers the new diagonal cells), then resume the length Δ
+/// loop. First-write-wins means entries that survive keep their
+/// recorded witness lengths.
+pub fn repair_prepared_single_path<E: BoolEngine + LenEngine>(
+    engine: &E,
+    query: &PreparedQuery,
+    solved: &mut SinglePathIndex<E::LenMatrix>,
+    new_pairs: Vec<Vec<(u32, u32)>>,
+    n: usize,
+) -> SolveStats {
+    if solved.n_nodes < n {
+        for m in &mut solved.lengths {
+            engine.len_grow(m, n);
+        }
+        solved.n_nodes = n;
+    }
+    SinglePathSolver::new(engine)
+        .options(query.options)
+        .resume(solved, query.wcnf(), &new_pairs)
 }
 
 impl<E: BoolEngine + LenEngine> CfpqSession<E> {
@@ -504,41 +674,11 @@ impl<E: BoolEngine + LenEngine> CfpqSession<E> {
         let state = &mut self.queries[id.0];
         let wcnf = &state.query.wcnf;
         let n = self.index.n_nodes;
-        let bindings = self.index.term_bindings(wcnf);
-        let by_term = wcnf.nts_by_terminal();
-        let solver = FixpointSolver::new(&self.index.engine)
-            .strategy(state.query.strategy)
-            .options(state.query.options);
 
         match &mut state.solved {
             None => {
                 // Cold solve, seeded straight from the label matrices.
-                let mut seeds: Vec<Option<E::Matrix>> = (0..wcnf.n_nts()).map(|_| None).collect();
-                for (label, term) in bindings.iter().enumerate() {
-                    let Some(term) = term else { continue };
-                    for nt in &by_term[term.index()] {
-                        let m = &self.index.matrices[label];
-                        match &mut seeds[nt.index()] {
-                            Some(acc) => {
-                                self.index.engine.union_in_place(acc, m);
-                            }
-                            None => seeds[nt.index()] = Some(m.clone()),
-                        }
-                    }
-                }
-                let mut matrices: Vec<E::Matrix> = seeds
-                    .into_iter()
-                    .map(|m| m.unwrap_or_else(|| self.index.engine.zeros(n)))
-                    .collect();
-                if state.query.options.nullable_diagonal {
-                    let diagonal: Vec<(u32, u32)> = (0..n as u32).map(|m| (m, m)).collect();
-                    for &nt in &wcnf.nullable {
-                        self.index
-                            .engine
-                            .union_pairs(&mut matrices[nt.index()], &diagonal);
-                    }
-                }
-                let solved = solver.solve_from_matrices(matrices, n, wcnf);
+                let solved = solve_prepared(&self.index, &state.query);
                 state.last_run = Some(RunInfo {
                     stats: solved.stats.clone(),
                     sweeps: solved.iterations,
@@ -550,25 +690,16 @@ impl<E: BoolEngine + LenEngine> CfpqSession<E> {
             }
             Some(solved) => {
                 if state.watermark < self.batches.len() {
-                    let mut new_pairs =
-                        pending_pairs(&self.batches[state.watermark..], &bindings, &by_term, wcnf);
-                    // A batch may have grown the node universe: widen the
-                    // cached closure first, and seed the ε-diagonal of
-                    // the new nodes where the option asks for it.
-                    if solved.n_nodes < n {
-                        let old_n = solved.n_nodes;
-                        for m in &mut solved.matrices {
-                            self.index.engine.grow(m, n);
-                        }
-                        solved.n_nodes = n;
-                        if state.query.options.nullable_diagonal {
-                            for &nt in &wcnf.nullable {
-                                new_pairs[nt.index()]
-                                    .extend((old_n as u32..n as u32).map(|m| (m, m)));
-                            }
-                        }
-                    }
-                    let stats = solver.resume(solved, wcnf, &new_pairs);
+                    let bindings = self.index.term_bindings(wcnf);
+                    let by_term = wcnf.nts_by_terminal();
+                    let new_pairs = batch_seed_pairs(
+                        &self.batches[state.watermark..],
+                        &bindings,
+                        &by_term,
+                        wcnf,
+                    );
+                    let stats =
+                        repair_prepared(&self.index.engine, &state.query, solved, new_pairs, n);
                     state.last_run = Some(RunInfo {
                         sweeps: stats.sweep_nnz.len(),
                         stats,
@@ -648,27 +779,12 @@ impl<E: BoolEngine + LenEngine> CfpqSession<E> {
         let state = &mut self.sp_queries[id.0];
         let wcnf = &state.query.wcnf;
         let n = self.index.n_nodes;
-        let bindings = self.index.term_bindings(wcnf);
-        let by_term = wcnf.nts_by_terminal();
-        let solver = SinglePathSolver::new(&self.index.engine).options(state.query.options);
 
         match &mut state.solved {
             None => {
                 // Cold solve: length-1 seeds straight from the label
                 // matrices.
-                let mut entries: Vec<Vec<(u32, u32, u32)>> = vec![Vec::new(); wcnf.n_nts()];
-                for (label, term) in bindings.iter().enumerate() {
-                    let Some(term) = term else { continue };
-                    let pairs = self.index.matrices[label].pairs();
-                    for nt in &by_term[term.index()] {
-                        entries[nt.index()].extend(pairs.iter().map(|&(i, j)| (i, j, 1)));
-                    }
-                }
-                let matrices: Vec<E::LenMatrix> = entries
-                    .into_iter()
-                    .map(|e| self.index.engine.len_from_entries(n, &e))
-                    .collect();
-                let solved = solver.solve_from_matrices(matrices, n, wcnf);
+                let solved = solve_prepared_single_path(&self.index, &state.query);
                 state.last_run = Some(RunInfo {
                     stats: solved.stats.clone(),
                     sweeps: solved.iterations,
@@ -679,17 +795,21 @@ impl<E: BoolEngine + LenEngine> CfpqSession<E> {
             }
             Some(solved) => {
                 if state.watermark < self.batches.len() {
-                    let new_pairs =
-                        pending_pairs(&self.batches[state.watermark..], &bindings, &by_term, wcnf);
-                    // Widen the cached closure if the universe grew; the
-                    // resume's ε-overlay covers the new diagonal cells.
-                    if solved.n_nodes < n {
-                        for m in &mut solved.lengths {
-                            self.index.engine.len_grow(m, n);
-                        }
-                        solved.n_nodes = n;
-                    }
-                    let stats = solver.resume(solved, wcnf, &new_pairs);
+                    let bindings = self.index.term_bindings(wcnf);
+                    let by_term = wcnf.nts_by_terminal();
+                    let new_pairs = batch_seed_pairs(
+                        &self.batches[state.watermark..],
+                        &bindings,
+                        &by_term,
+                        wcnf,
+                    );
+                    let stats = repair_prepared_single_path(
+                        &self.index.engine,
+                        &state.query,
+                        solved,
+                        new_pairs,
+                        n,
+                    );
                     state.last_run = Some(RunInfo {
                         sweeps: stats.sweep_nnz.len(),
                         stats,

@@ -115,7 +115,10 @@ impl Graph {
     /// Returns `true` if the edge was new; re-inserting an existing edge
     /// is a no-op (`E` is a set, see the type-level invariant), so every
     /// view of the graph stays coherent without a manual
-    /// [`Graph::dedup_edges`] pass.
+    /// [`Graph::dedup_edges`] pass. The matrix side mirrors both
+    /// contracts: a `GraphIndex`'s `add_edges` skips duplicates the same
+    /// way (reporting a count instead of a `bool`) and grows its node
+    /// universe on unseen ids just like this method does.
     pub fn add_edge(&mut self, from: NodeId, label: Label, to: NodeId) -> bool {
         self.ensure_node(from);
         self.ensure_node(to);

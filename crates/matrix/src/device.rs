@@ -308,6 +308,88 @@ impl Device {
     }
 }
 
+/// One thread budget for every pool in the process.
+///
+/// Two layers of this workspace spawn threads: the [`Device`] kernel
+/// pool (the paper's GPU stand-in) and, since the `cfpq-service` crate,
+/// a query-scheduler worker pool. Sizing each to
+/// `available_parallelism` independently — which
+/// [`Device::host_parallel`] does when used naively — oversubscribes
+/// the machine as soon as both exist: `W` service workers each driving
+/// an `N`-worker device ask for `W × N` runnable threads on `N` cores.
+///
+/// `Parallelism` is the coordination point: construct one budget for
+/// the process (`--threads` on the CLIs) and [`Parallelism::split`] it
+/// between the two layers, so `service workers + device workers` never
+/// exceeds the budget.
+///
+/// ```
+/// use cfpq_matrix::Parallelism;
+///
+/// let budget = Parallelism::new(4);
+/// let (workers, device) = budget.split(3);
+/// assert_eq!(workers, 3);
+/// assert_eq!(workers + device.n_workers(), 4);
+/// // Asking for the whole budget leaves the device inline (1 worker
+/// // means "run kernels on the caller", adding no thread).
+/// let (workers, device) = budget.split(8);
+/// assert_eq!((workers, device.n_workers()), (4, 1));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Parallelism {
+    total: usize,
+}
+
+impl Parallelism {
+    /// A budget of `total` threads (clamped to at least 1; `0` means
+    /// "whatever the machine has", like [`Parallelism::auto`]).
+    pub fn new(total: usize) -> Self {
+        if total == 0 {
+            Self::auto()
+        } else {
+            Self { total }
+        }
+    }
+
+    /// A budget sized to the machine's available parallelism.
+    pub fn auto() -> Self {
+        let total = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
+        Self { total }
+    }
+
+    /// The total thread budget.
+    pub fn total(self) -> usize {
+        self.total
+    }
+
+    /// A [`Device`] consuming the whole budget — what a single-caller
+    /// workload (no service pool) should use instead of
+    /// [`Device::host_parallel`].
+    pub fn device(self) -> Device {
+        Device::new(self.total)
+    }
+
+    /// Splits the budget between `service_workers` scheduler threads and
+    /// the kernel pool: the workers are clamped to the budget, and the
+    /// device gets whatever remains (minimum 1, i.e. inline execution on
+    /// the calling worker — no extra thread). The invariant is
+    /// `workers + device.n_workers() <= max(total, workers + 1)`, so the
+    /// two pools never oversubscribe the budget.
+    pub fn split(self, service_workers: usize) -> (usize, Device) {
+        let workers = service_workers.clamp(1, self.total);
+        let device = Device::new((self.total - workers).max(1));
+        (workers, device)
+    }
+}
+
+impl Default for Parallelism {
+    fn default() -> Self {
+        Self::auto()
+    }
+}
+
 /// Splits `0..n_items` into at most `n_parts` near-equal contiguous
 /// ranges; never returns empty ranges.
 pub fn partition(n_items: usize, n_parts: usize) -> Vec<Range<usize>> {
@@ -332,6 +414,34 @@ pub fn partition(n_items: usize, n_parts: usize) -> Vec<Range<usize>> {
 mod tests {
     use super::*;
     use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn parallelism_budget_is_never_oversubscribed() {
+        for total in [1usize, 2, 4, 7] {
+            let p = Parallelism::new(total);
+            assert_eq!(p.total(), total);
+            assert_eq!(p.device().n_workers(), total);
+            for req in [1usize, 2, 4, 16] {
+                let (workers, device) = p.split(req);
+                assert!(workers >= 1 && workers <= total);
+                assert_eq!(workers, req.min(total));
+                // The device only gets threads the workers left over
+                // (an inline device contributes no extra thread).
+                let device_threads = if device.n_workers() > 1 {
+                    device.n_workers()
+                } else {
+                    0
+                };
+                assert!(
+                    workers + device_threads <= total,
+                    "total {total} req {req}: {workers} + {device_threads}"
+                );
+            }
+        }
+        // 0 = auto: at least one thread.
+        assert!(Parallelism::new(0).total() >= 1);
+        assert_eq!(Parallelism::default().total(), Parallelism::auto().total());
+    }
 
     #[test]
     fn partition_covers_everything() {

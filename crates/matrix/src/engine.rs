@@ -18,7 +18,12 @@ use crate::device::Device;
 use crate::sparse::CsrMatrix;
 
 /// Minimal Boolean-matrix interface required by the solvers.
-pub trait BoolMat: Clone + PartialEq + Send + Sync {
+///
+/// `Send + Sync + 'static` because matrices cross thread boundaries in
+/// two places: the [`Device`] kernel pool borrows them for row-block
+/// tasks, and the `cfpq-service` snapshot layer shares whole closed
+/// indexes between reader threads behind `Arc`s.
+pub trait BoolMat: Clone + PartialEq + Send + Sync + 'static {
     /// Matrix dimension `n`.
     fn n(&self) -> usize;
     /// Reads bit `(i, j)`.

@@ -43,8 +43,10 @@ pub const NO_PATH: u32 = u32::MAX;
 const MAX_LEN: u32 = u32::MAX - 1;
 
 /// Minimal interface of a length-annotated matrix, mirroring
-/// [`crate::BoolMat`] with `Option<u32>` cells.
-pub trait LenMat: Clone + PartialEq + Send + Sync {
+/// [`crate::BoolMat`] with `Option<u32>` cells (and the same
+/// `Send + Sync + 'static` bound — length closures are shared between
+/// reader threads by the `cfpq-service` snapshot layer).
+pub trait LenMat: Clone + PartialEq + Send + Sync + 'static {
     /// Matrix dimension `n`.
     fn n(&self) -> usize;
     /// The stored length at `(i, j)`, if the cell is present.

@@ -28,7 +28,7 @@ pub mod setmatrix;
 pub mod sparse;
 
 pub use dense::DenseBitMatrix;
-pub use device::Device;
+pub use device::{Device, Parallelism};
 pub use engine::{
     BoolEngine, BoolMat, DenseEngine, MaskedJob, ParDenseEngine, ParSparseEngine, SparseEngine,
 };

@@ -1,0 +1,1072 @@
+//! # cfpq-service
+//!
+//! The concurrent serving layer over the session engine: many reader
+//! threads evaluating prepared queries against one evolving graph,
+//! without a global lock around the solver.
+//!
+//! The paper frames CFPQ as a graph-database primitive, and follow-up
+//! work (Medeiros et al., "An Algorithm for Context-Free Path Queries
+//! over Graph Databases") evaluates it explicitly in a serving context —
+//! but `cfpq_core::session::CfpqSession` is strictly single-threaded:
+//! one caller, one mutable session, queries and edge updates fully
+//! serialized. This crate adds the missing subsystem:
+//!
+//! * **Snapshot isolation.** The graph lives in immutable epoch-tagged
+//!   [`Snapshot`]s: an `Arc`-shared [`GraphIndex`] plus a per-epoch
+//!   closure cache. Readers grab the current snapshot and keep using it
+//!   for as long as they like; [`CfpqService::add_edges`] clones the
+//!   index *off to the side*, repairs every cached closure through the
+//!   session layer's semi-naive resume paths
+//!   ([`cfpq_core::session::repair_prepared`] /
+//!   [`cfpq_core::session::repair_prepared_single_path`]), and publishes
+//!   the next epoch atomically. A reader never blocks on a writer and
+//!   never observes a half-applied batch.
+//! * **Shared closure caching.** Within an epoch, each prepared query's
+//!   solved closure is computed exactly once (a `OnceLock` cell:
+//!   concurrent readers of the same cold query block on one solve
+//!   instead of racing N solves) and then served by `Arc` refcount bump.
+//!   Publishing an epoch *repairs* the previous epoch's solved closures
+//!   instead of discarding them, so an update costs incremental kernel
+//!   work, not N cold re-solves.
+//! * **A multi-queue scheduler.** [`CfpqService::enqueue`] accepts
+//!   `(query, pairs)` requests and returns a [`Ticket`]; worker threads
+//!   drain one query's whole queue as a batch, evaluate that query's
+//!   closure once, and answer every request in the batch from it. Per
+//!   epoch, [`ServiceStats`] reports queries served, cache hits, repair
+//!   vs cold products, and the epoch publish latency.
+//!
+//! Thread-pool sizing composes with the kernel pool through
+//! [`cfpq_matrix::Parallelism`]: split one budget between scheduler
+//! workers and the [`cfpq_matrix::Device`] so the two layers never
+//! oversubscribe the machine.
+//!
+//! ```
+//! use cfpq_core::session::PreparedQuery;
+//! use cfpq_grammar::Cfg;
+//! use cfpq_graph::Graph;
+//! use cfpq_matrix::SparseEngine;
+//! use cfpq_service::{CfpqService, ServiceConfig};
+//!
+//! let mut graph = Graph::new(5);
+//! graph.add_edge_named(0, "a", 1);
+//! graph.add_edge_named(1, "a", 2);
+//! graph.add_edge_named(2, "b", 3);
+//! let service = CfpqService::with_config(SparseEngine, &graph, ServiceConfig::new(2));
+//! let q = service.prepare(&Cfg::parse("S -> a S b | a b").unwrap()).unwrap();
+//!
+//! // Scheduler path: enqueue returns immediately; wait() blocks until a
+//! // worker served the request (batched with others on the same query).
+//! let t1 = service.enqueue(q, vec![]);
+//! let t2 = service.enqueue(q, vec![(1, 3), (0, 4)]);
+//! assert_eq!(t1.wait().pairs, vec![(1, 3)]);
+//! assert_eq!(t2.wait().pairs, vec![(1, 3)]); // (0, 4) not yet related
+//!
+//! // Readers pin an epoch; updates publish the next one off to the side.
+//! let before = service.snapshot();
+//! service.add_edges(&[(3, "b", 4)]);
+//! assert_eq!(before.evaluate(q).start_pairs(), &[(1, 3)]); // isolated
+//! assert_eq!(
+//!     service.snapshot().evaluate(q).start_pairs(),
+//!     &[(0, 4), (1, 3)] // repaired, not re-solved
+//! );
+//! ```
+
+use cfpq_core::query::QueryAnswer;
+use cfpq_core::relational::RelationalIndex;
+use cfpq_core::session::{
+    batch_seed_pairs, repair_prepared, repair_prepared_single_path, solve_prepared,
+    solve_prepared_single_path, GraphIndex, PreparedQuery,
+};
+use cfpq_core::single_path::SinglePathIndex;
+use cfpq_grammar::{Cfg, GrammarError};
+use cfpq_graph::{Graph, NodeId};
+use cfpq_matrix::{BoolEngine, BoolMat, LenEngine, Parallelism};
+use std::cell::Cell;
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock, RwLock};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// The engine bound the service needs: both kernel families (relational
+/// Boolean closures and §5 length closures), cheap cloning (snapshots
+/// clone the engine handle, not the pool), and `'static` so worker
+/// threads can own it. Blanket-implemented — all four paper engines
+/// qualify.
+pub trait ServiceEngine: BoolEngine + LenEngine + Clone + 'static {}
+
+impl<E: BoolEngine + LenEngine + Clone + 'static> ServiceEngine for E {}
+
+/// Handle to a relational query registered in a [`CfpqService`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct QueryId(usize);
+
+/// Handle to a single-path (§5) query registered in a [`CfpqService`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SinglePathId(usize);
+
+/// Scheduler/worker-pool configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ServiceConfig {
+    /// Scheduler worker threads (clamped to at least 1).
+    pub workers: usize,
+}
+
+impl ServiceConfig {
+    /// A config with `workers` scheduler threads.
+    pub fn new(workers: usize) -> Self {
+        Self {
+            workers: workers.max(1),
+        }
+    }
+
+    /// Derives the config *and* the kernel device from one
+    /// [`Parallelism`] budget, so the scheduler pool and the `Device`
+    /// pool cannot oversubscribe the machine between them. Pass the
+    /// returned device into the engine (for the `-par` backends).
+    pub fn from_parallelism(
+        budget: Parallelism,
+        requested_workers: usize,
+    ) -> (Self, cfpq_matrix::Device) {
+        let (workers, device) = budget.split(requested_workers);
+        (Self::new(workers), device)
+    }
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self::new(2)
+    }
+}
+
+/// Per-epoch service counters (see [`CfpqService::stats`]).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ServiceStats {
+    /// Epoch number (0 = the build epoch).
+    pub epoch: u64,
+    /// Wall time to build and publish this epoch, milliseconds: index
+    /// build for epoch 0, clone + closure repairs + atomic swap for
+    /// every later epoch. Readers of the previous epoch were never
+    /// blocked during this window.
+    pub publish_ms: f64,
+    /// Requests answered against this epoch (scheduler requests plus
+    /// direct snapshot evaluations).
+    pub queries_served: u64,
+    /// Scheduler batches served (each batch shares one closure lookup).
+    pub batches: u64,
+    /// Evaluations answered from an already-solved closure (an `Arc`
+    /// bump, no kernel work).
+    pub cache_hits: u64,
+    /// Closures cold-solved in this epoch.
+    pub cold_solves: u64,
+    /// Matrix products launched by those cold solves.
+    pub cold_products: u64,
+    /// Closures repaired from the previous epoch at publish time.
+    pub repairs: u64,
+    /// Matrix products launched by those repairs (the incremental cost
+    /// of the update; compare with `cold_products`).
+    pub repair_products: u64,
+}
+
+#[derive(Default)]
+struct EpochCounters {
+    queries_served: AtomicU64,
+    batches: AtomicU64,
+    cache_hits: AtomicU64,
+    cold_solves: AtomicU64,
+    cold_products: AtomicU64,
+    repairs: AtomicU64,
+    repair_products: AtomicU64,
+}
+
+/// A per-epoch cache of lazily-solved values: one `OnceLock` cell per
+/// query, so concurrent readers of the same unsolved query block on a
+/// single solve instead of racing duplicates.
+struct CacheMap<V> {
+    cells: Mutex<HashMap<usize, Arc<OnceLock<Arc<V>>>>>,
+}
+
+impl<V> CacheMap<V> {
+    fn new() -> Self {
+        Self {
+            cells: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The cell of query `k` (created empty on first touch). The map
+    /// lock is only held for the lookup; solving happens on the cell.
+    fn cell(&self, k: usize) -> Arc<OnceLock<Arc<V>>> {
+        self.cells
+            .lock()
+            .expect("cache map poisoned")
+            .entry(k)
+            .or_default()
+            .clone()
+    }
+
+    /// Pre-fills query `k` (the epoch builder installing a repaired
+    /// closure).
+    fn preset(&self, k: usize, v: Arc<V>) {
+        let cell = self.cell(k);
+        let _ = cell.set(v);
+    }
+
+    /// Every solved entry at this moment (cells still solving are
+    /// skipped; their result stays usable on the epoch that owns them).
+    fn filled(&self) -> Vec<(usize, Arc<V>)> {
+        self.cells
+            .lock()
+            .expect("cache map poisoned")
+            .iter()
+            .filter_map(|(&k, cell)| cell.get().map(|v| (k, v.clone())))
+            .collect()
+    }
+}
+
+/// A solved relational closure plus its materialized answer, shared by
+/// refcount bump.
+struct SolvedRel<M> {
+    index: RelationalIndex<M>,
+    answer: QueryAnswer,
+}
+
+/// One immutable version of the graph: the index, the per-query closure
+/// caches, and the counters charged to this epoch.
+struct Epoch<E: ServiceEngine> {
+    epoch: u64,
+    index: GraphIndex<E>,
+    rel: CacheMap<SolvedRel<E::Matrix>>,
+    sp: CacheMap<SinglePathIndex<<E as LenEngine>::LenMatrix>>,
+    counters: Arc<EpochCounters>,
+}
+
+struct EpochRecord {
+    epoch: u64,
+    publish_ms: f64,
+    counters: Arc<EpochCounters>,
+}
+
+/// One queue per registered query: requests for the same grammar batch
+/// together and share a single closure lookup.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+enum QueueKey {
+    Rel(usize),
+    Sp(usize),
+}
+
+struct Request {
+    pairs: Vec<(u32, u32)>,
+    ticket: Arc<TicketState>,
+}
+
+struct SchedState {
+    queues: BTreeMap<QueueKey, VecDeque<Request>>,
+    /// Keys with pending requests, in arrival order (a key appears here
+    /// iff its queue exists and is non-empty).
+    round_robin: VecDeque<QueueKey>,
+    shutdown: bool,
+}
+
+struct SchedShared {
+    state: Mutex<SchedState>,
+    available: Condvar,
+}
+
+struct Inner<E: ServiceEngine> {
+    queries: RwLock<Vec<Arc<PreparedQuery>>>,
+    sp_queries: RwLock<Vec<Arc<PreparedQuery>>>,
+    current: RwLock<Arc<Epoch<E>>>,
+    /// Serializes writers: epochs are built one at a time, off to the
+    /// side, while readers keep using the published one.
+    writer: Mutex<()>,
+    epochs: Mutex<Vec<EpochRecord>>,
+    sched: SchedShared,
+}
+
+/// The result a [`Ticket`] resolves to.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TicketAnswer {
+    /// The epoch the request was answered against — the request's
+    /// linearization point in the epoch order.
+    pub epoch: u64,
+    /// If the request named pairs: the subset of them in `R_S` (sorted).
+    /// If it named none: all of `R_S`.
+    pub pairs: Vec<(u32, u32)>,
+}
+
+#[derive(Default)]
+struct TicketState {
+    slot: Mutex<Option<TicketAnswer>>,
+    ready: Condvar,
+}
+
+impl TicketState {
+    fn fulfill(&self, answer: TicketAnswer) {
+        let mut slot = self.slot.lock().expect("ticket poisoned");
+        *slot = Some(answer);
+        self.ready.notify_all();
+    }
+}
+
+/// A claim on an enqueued request; [`Ticket::wait`] blocks until a
+/// scheduler worker has served it.
+pub struct Ticket {
+    state: Arc<TicketState>,
+}
+
+impl Ticket {
+    /// Blocks until the request is served and returns the answer
+    /// (consuming the ticket — the answer is moved out, not copied,
+    /// which matters for relation-sized results).
+    pub fn wait(self) -> TicketAnswer {
+        let mut slot = self.state.slot.lock().expect("ticket poisoned");
+        loop {
+            if let Some(answer) = slot.take() {
+                return answer;
+            }
+            slot = self.state.ready.wait(slot).expect("ticket poisoned");
+        }
+    }
+
+    /// The answer, if already served (never blocks; leaves the ticket
+    /// waitable).
+    pub fn try_peek(&self) -> Option<TicketAnswer> {
+        self.state.slot.lock().expect("ticket poisoned").clone()
+    }
+}
+
+/// A thread-safe, snapshot-isolated CFPQ query service over one evolving
+/// graph. See the crate docs for the architecture; in short: readers
+/// evaluate against immutable epochs ([`CfpqService::snapshot`]),
+/// requests batch per query through a worker pool
+/// ([`CfpqService::enqueue`]), and [`CfpqService::add_edges`] publishes
+/// the next epoch with every cached closure repaired incrementally.
+pub struct CfpqService<E: ServiceEngine> {
+    inner: Arc<Inner<E>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+/// An immutable view of one epoch: evaluations against a snapshot are
+/// repeatable — later [`CfpqService::add_edges`] calls publish *new*
+/// epochs and never mutate this one.
+pub struct Snapshot<E: ServiceEngine> {
+    inner: Arc<Inner<E>>,
+    epoch: Arc<Epoch<E>>,
+}
+
+impl<E: ServiceEngine> Clone for Snapshot<E> {
+    fn clone(&self) -> Self {
+        Self {
+            inner: Arc::clone(&self.inner),
+            epoch: Arc::clone(&self.epoch),
+        }
+    }
+}
+
+impl<E: ServiceEngine> Snapshot<E> {
+    /// The epoch this snapshot pins.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.epoch
+    }
+
+    /// `|V|` of the pinned epoch.
+    pub fn n_nodes(&self) -> usize {
+        self.epoch.index.n_nodes()
+    }
+
+    /// Stored edges of the pinned epoch.
+    pub fn n_edges(&self) -> usize {
+        self.epoch.index.n_edges()
+    }
+
+    /// Evaluates a prepared relational query against this epoch. The
+    /// first evaluation of a query in an epoch solves (or inherits the
+    /// repaired) closure; every later one is an `Arc` bump.
+    pub fn evaluate(&self, id: QueryId) -> QueryAnswer {
+        let solved = solve_rel(&self.inner, &self.epoch, id.0);
+        self.epoch
+            .counters
+            .queries_served
+            .fetch_add(1, Ordering::Relaxed);
+        solved.answer.clone()
+    }
+
+    /// Evaluates a prepared single-path query against this epoch; the
+    /// returned index supports witness extraction
+    /// ([`cfpq_core::single_path::extract_path`]) as usual.
+    pub fn evaluate_single_path(
+        &self,
+        id: SinglePathId,
+    ) -> Arc<SinglePathIndex<<E as LenEngine>::LenMatrix>> {
+        let solved = solve_sp(&self.inner, &self.epoch, id.0);
+        self.epoch
+            .counters
+            .queries_served
+            .fetch_add(1, Ordering::Relaxed);
+        solved
+    }
+}
+
+/// Solves (or fetches) the relational closure of query `q` on `epoch`.
+fn solve_rel<E: ServiceEngine>(
+    inner: &Inner<E>,
+    epoch: &Epoch<E>,
+    q: usize,
+) -> Arc<SolvedRel<E::Matrix>> {
+    let prepared = inner.queries.read().expect("queries poisoned")[q].clone();
+    let cell = epoch.rel.cell(q);
+    let cold = Cell::new(false);
+    let solved = cell
+        .get_or_init(|| {
+            cold.set(true);
+            let index = solve_prepared(&epoch.index, &prepared);
+            epoch.counters.cold_solves.fetch_add(1, Ordering::Relaxed);
+            epoch
+                .counters
+                .cold_products
+                .fetch_add(index.stats.products_computed as u64, Ordering::Relaxed);
+            let answer =
+                QueryAnswer::from_index(epoch.index.engine().name(), prepared.wcnf(), &index);
+            Arc::new(SolvedRel { index, answer })
+        })
+        .clone();
+    if !cold.get() {
+        epoch.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+    solved
+}
+
+/// Solves (or fetches) the single-path closure of query `q` on `epoch`.
+fn solve_sp<E: ServiceEngine>(
+    inner: &Inner<E>,
+    epoch: &Epoch<E>,
+    q: usize,
+) -> Arc<SinglePathIndex<<E as LenEngine>::LenMatrix>> {
+    let prepared = inner.sp_queries.read().expect("queries poisoned")[q].clone();
+    let cell = epoch.sp.cell(q);
+    let cold = Cell::new(false);
+    let solved = cell
+        .get_or_init(|| {
+            cold.set(true);
+            let index = solve_prepared_single_path(&epoch.index, &prepared);
+            epoch.counters.cold_solves.fetch_add(1, Ordering::Relaxed);
+            epoch
+                .counters
+                .cold_products
+                .fetch_add(index.stats.products_computed as u64, Ordering::Relaxed);
+            Arc::new(index)
+        })
+        .clone();
+    if !cold.get() {
+        epoch.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+    solved
+}
+
+/// Restricts a sorted full relation to the requested pairs (empty
+/// request = the full relation).
+fn filter_pairs(full: &[(u32, u32)], wanted: &[(u32, u32)]) -> Vec<(u32, u32)> {
+    if wanted.is_empty() {
+        return full.to_vec();
+    }
+    let mut out: Vec<(u32, u32)> = wanted
+        .iter()
+        .copied()
+        .filter(|p| full.binary_search(p).is_ok())
+        .collect();
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// One scheduler worker: drain a query's whole queue, evaluate that
+/// query once against the current epoch, answer every request from it.
+fn worker_loop<E: ServiceEngine>(inner: &Inner<E>) {
+    loop {
+        let (key, batch) = {
+            let mut st = inner.sched.state.lock().expect("scheduler poisoned");
+            loop {
+                if let Some(key) = st.round_robin.pop_front() {
+                    let queue = st.queues.remove(&key).expect("round-robin key has a queue");
+                    break (key, queue);
+                }
+                if st.shutdown {
+                    return;
+                }
+                st = inner.sched.available.wait(st).expect("scheduler poisoned");
+            }
+        };
+        serve_batch(inner, key, batch);
+    }
+}
+
+fn serve_batch<E: ServiceEngine>(inner: &Inner<E>, key: QueueKey, batch: VecDeque<Request>) {
+    let epoch = inner.current.read().expect("current poisoned").clone();
+    let counters = &epoch.counters;
+    counters.batches.fetch_add(1, Ordering::Relaxed);
+    counters
+        .queries_served
+        .fetch_add(batch.len() as u64, Ordering::Relaxed);
+    match key {
+        QueueKey::Rel(q) => {
+            let solved = solve_rel(inner, &epoch, q);
+            let full = solved.answer.start_pairs();
+            for req in batch {
+                req.ticket.fulfill(TicketAnswer {
+                    epoch: epoch.epoch,
+                    pairs: filter_pairs(full, &req.pairs),
+                });
+            }
+        }
+        QueueKey::Sp(q) => {
+            let solved = solve_sp(inner, &epoch, q);
+            let start = inner.sp_queries.read().expect("queries poisoned")[q]
+                .wcnf()
+                .start;
+            let full = solved.pairs(start);
+            for req in batch {
+                req.ticket.fulfill(TicketAnswer {
+                    epoch: epoch.epoch,
+                    pairs: filter_pairs(&full, &req.pairs),
+                });
+            }
+        }
+    }
+}
+
+impl<E: ServiceEngine> CfpqService<E> {
+    /// Indexes `graph` on `engine` and starts a service over it with the
+    /// default config.
+    pub fn new(engine: E, graph: &Graph) -> Self {
+        Self::with_config(engine, graph, ServiceConfig::default())
+    }
+
+    /// [`CfpqService::new`] with an explicit worker-pool config.
+    pub fn with_config(engine: E, graph: &Graph, config: ServiceConfig) -> Self {
+        let started = Instant::now();
+        let index = GraphIndex::build(engine, graph);
+        Self::over_with_build_ms(index, config, started.elapsed().as_secs_f64() * 1e3)
+    }
+
+    /// Starts a service over an already-built index.
+    pub fn over(index: GraphIndex<E>, config: ServiceConfig) -> Self {
+        Self::over_with_build_ms(index, config, 0.0)
+    }
+
+    fn over_with_build_ms(index: GraphIndex<E>, config: ServiceConfig, build_ms: f64) -> Self {
+        let counters = Arc::new(EpochCounters::default());
+        let epoch = Arc::new(Epoch {
+            epoch: 0,
+            index,
+            rel: CacheMap::new(),
+            sp: CacheMap::new(),
+            counters: Arc::clone(&counters),
+        });
+        let inner = Arc::new(Inner {
+            queries: RwLock::new(Vec::new()),
+            sp_queries: RwLock::new(Vec::new()),
+            current: RwLock::new(epoch),
+            writer: Mutex::new(()),
+            epochs: Mutex::new(vec![EpochRecord {
+                epoch: 0,
+                publish_ms: build_ms,
+                counters,
+            }]),
+            sched: SchedShared {
+                state: Mutex::new(SchedState {
+                    queues: BTreeMap::new(),
+                    round_robin: VecDeque::new(),
+                    shutdown: false,
+                }),
+                available: Condvar::new(),
+            },
+        });
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("cfpq-service-{i}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("spawn service worker")
+            })
+            .collect();
+        Self { inner, workers }
+    }
+
+    /// Scheduler worker threads.
+    pub fn n_workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Normalizes `grammar` and registers it for relational evaluation.
+    /// Queries may be prepared at any time, including while the service
+    /// is serving.
+    pub fn prepare(&self, grammar: &Cfg) -> Result<QueryId, GrammarError> {
+        Ok(self.prepare_query(PreparedQuery::new(grammar)?))
+    }
+
+    /// Registers a fully-configured [`PreparedQuery`].
+    pub fn prepare_query(&self, query: PreparedQuery) -> QueryId {
+        let mut queries = self.inner.queries.write().expect("queries poisoned");
+        queries.push(Arc::new(query));
+        QueryId(queries.len() - 1)
+    }
+
+    /// Normalizes `grammar` and registers it for single-path (§5)
+    /// evaluation.
+    pub fn prepare_single_path(&self, grammar: &Cfg) -> Result<SinglePathId, GrammarError> {
+        Ok(self.prepare_single_path_query(PreparedQuery::new(grammar)?))
+    }
+
+    /// Registers a fully-configured [`PreparedQuery`] for single-path
+    /// evaluation.
+    pub fn prepare_single_path_query(&self, query: PreparedQuery) -> SinglePathId {
+        let mut queries = self.inner.sp_queries.write().expect("queries poisoned");
+        queries.push(Arc::new(query));
+        SinglePathId(queries.len() - 1)
+    }
+
+    /// The current epoch's snapshot. The returned view is immutable:
+    /// concurrent [`CfpqService::add_edges`] calls publish later epochs
+    /// without disturbing it.
+    pub fn snapshot(&self) -> Snapshot<E> {
+        Snapshot {
+            inner: Arc::clone(&self.inner),
+            epoch: self.inner.current.read().expect("current poisoned").clone(),
+        }
+    }
+
+    /// Evaluates against the current epoch (shorthand for
+    /// `self.snapshot().evaluate(id)`).
+    pub fn evaluate(&self, id: QueryId) -> QueryAnswer {
+        self.snapshot().evaluate(id)
+    }
+
+    /// Evaluates a single-path query against the current epoch.
+    pub fn evaluate_single_path(
+        &self,
+        id: SinglePathId,
+    ) -> Arc<SinglePathIndex<<E as LenEngine>::LenMatrix>> {
+        self.snapshot().evaluate_single_path(id)
+    }
+
+    /// The current epoch number (starts at 0; each successful
+    /// [`CfpqService::add_edges`] publishes the next).
+    pub fn current_epoch(&self) -> u64 {
+        self.inner.current.read().expect("current poisoned").epoch
+    }
+
+    /// Submits a relational request to the scheduler: answer `query`
+    /// restricted to `pairs` (all of `R_S` if `pairs` is empty). Returns
+    /// immediately; the [`Ticket`] resolves once a worker served the
+    /// batch the request landed in.
+    pub fn enqueue(&self, query: QueryId, pairs: Vec<(u32, u32)>) -> Ticket {
+        assert!(
+            query.0 < self.inner.queries.read().expect("queries poisoned").len(),
+            "query not registered in this service"
+        );
+        self.push_request(QueueKey::Rel(query.0), pairs)
+    }
+
+    /// Submits a single-path request to the scheduler (answers with the
+    /// pair set of the start nonterminal, filtered like
+    /// [`CfpqService::enqueue`]).
+    pub fn enqueue_single_path(&self, query: SinglePathId, pairs: Vec<(u32, u32)>) -> Ticket {
+        assert!(
+            query.0
+                < self
+                    .inner
+                    .sp_queries
+                    .read()
+                    .expect("queries poisoned")
+                    .len(),
+            "query not registered in this service"
+        );
+        self.push_request(QueueKey::Sp(query.0), pairs)
+    }
+
+    fn push_request(&self, key: QueueKey, pairs: Vec<(u32, u32)>) -> Ticket {
+        let state = Arc::new(TicketState::default());
+        {
+            let mut st = self.inner.sched.state.lock().expect("scheduler poisoned");
+            let queue = st.queues.entry(key).or_default();
+            let was_empty = queue.is_empty();
+            queue.push_back(Request {
+                pairs,
+                ticket: Arc::clone(&state),
+            });
+            if was_empty {
+                st.round_robin.push_back(key);
+            }
+        }
+        self.inner.sched.available.notify_one();
+        Ticket { state }
+    }
+
+    /// Inserts a batch of edges and publishes the next epoch; returns
+    /// how many edges were genuinely new (`0` publishes nothing — the
+    /// current epoch already answers correctly). Duplicate edges are
+    /// skipped and unseen node ids grow the node universe, exactly as in
+    /// [`GraphIndex::add_edges`].
+    ///
+    /// The new epoch is built **off to the side**: the current index is
+    /// cloned, the batch applied, and every closure the current epoch
+    /// has solved is repaired through the semi-naive resume paths —
+    /// concurrent readers keep answering from the published epoch the
+    /// whole time and switch only when the new one is complete. Writers
+    /// are serialized with each other (epochs are totally ordered).
+    pub fn add_edges(&self, edges: &[(NodeId, &str, NodeId)]) -> usize {
+        let _writer = self.inner.writer.lock().expect("writer poisoned");
+        let started = Instant::now();
+        let cur = self.inner.current.read().expect("current poisoned").clone();
+        // All-duplicate batches (idempotent retries) must not pay the
+        // index clone below: an edge can only be new if it names an
+        // unseen node, an unseen label, or an unset cell.
+        let n = cur.index.n_nodes() as NodeId;
+        let all_present = edges.iter().all(|&(u, name, v)| {
+            u < n && v < n && cur.index.adjacency(name).is_some_and(|m| m.get(u, v))
+        });
+        if all_present {
+            return 0;
+        }
+        let mut index = cur.index.clone();
+        let batch = index.add_edges(edges);
+        if batch.inserted == 0 {
+            return 0;
+        }
+        let n = index.n_nodes();
+        let counters = Arc::new(EpochCounters::default());
+        let rel = CacheMap::new();
+        let sp = CacheMap::new();
+        let batches = [batch];
+
+        let queries = self.inner.queries.read().expect("queries poisoned").clone();
+        for (q, solved) in cur.rel.filled() {
+            let prepared = &queries[q];
+            let wcnf = prepared.wcnf();
+            let new_pairs = batch_seed_pairs(
+                &batches,
+                &index.term_bindings(wcnf),
+                &wcnf.nts_by_terminal(),
+                wcnf,
+            );
+            let mut repaired = solved.index.clone();
+            let stats = repair_prepared(index.engine(), prepared, &mut repaired, new_pairs, n);
+            counters.repairs.fetch_add(1, Ordering::Relaxed);
+            counters
+                .repair_products
+                .fetch_add(stats.products_computed as u64, Ordering::Relaxed);
+            let answer = QueryAnswer::from_index(index.engine().name(), wcnf, &repaired);
+            rel.preset(
+                q,
+                Arc::new(SolvedRel {
+                    index: repaired,
+                    answer,
+                }),
+            );
+        }
+        let sp_queries = self
+            .inner
+            .sp_queries
+            .read()
+            .expect("queries poisoned")
+            .clone();
+        for (q, solved) in cur.sp.filled() {
+            let prepared = &sp_queries[q];
+            let wcnf = prepared.wcnf();
+            let new_pairs = batch_seed_pairs(
+                &batches,
+                &index.term_bindings(wcnf),
+                &wcnf.nts_by_terminal(),
+                wcnf,
+            );
+            let mut repaired = (*solved).clone();
+            let stats =
+                repair_prepared_single_path(index.engine(), prepared, &mut repaired, new_pairs, n);
+            counters.repairs.fetch_add(1, Ordering::Relaxed);
+            counters
+                .repair_products
+                .fetch_add(stats.products_computed as u64, Ordering::Relaxed);
+            sp.preset(q, Arc::new(repaired));
+        }
+
+        let next = Arc::new(Epoch {
+            epoch: cur.epoch + 1,
+            index,
+            rel,
+            sp,
+            counters: Arc::clone(&counters),
+        });
+        let publish_ms = started.elapsed().as_secs_f64() * 1e3;
+        *self.inner.current.write().expect("current poisoned") = next;
+        self.inner
+            .epochs
+            .lock()
+            .expect("epoch log poisoned")
+            .push(EpochRecord {
+                epoch: cur.epoch + 1,
+                publish_ms,
+                counters,
+            });
+        batches[0].inserted
+    }
+
+    /// Per-epoch service statistics, in epoch order. Counters of the
+    /// current epoch are still live (they advance as requests arrive).
+    pub fn stats(&self) -> Vec<ServiceStats> {
+        self.inner
+            .epochs
+            .lock()
+            .expect("epoch log poisoned")
+            .iter()
+            .map(|r| ServiceStats {
+                epoch: r.epoch,
+                publish_ms: r.publish_ms,
+                queries_served: r.counters.queries_served.load(Ordering::Relaxed),
+                batches: r.counters.batches.load(Ordering::Relaxed),
+                cache_hits: r.counters.cache_hits.load(Ordering::Relaxed),
+                cold_solves: r.counters.cold_solves.load(Ordering::Relaxed),
+                cold_products: r.counters.cold_products.load(Ordering::Relaxed),
+                repairs: r.counters.repairs.load(Ordering::Relaxed),
+                repair_products: r.counters.repair_products.load(Ordering::Relaxed),
+            })
+            .collect()
+    }
+}
+
+impl<E: ServiceEngine> Drop for CfpqService<E> {
+    /// Workers drain every queued request before exiting (the shutdown
+    /// flag is only honoured once the queues are empty), so no
+    /// outstanding [`Ticket::wait`] is left hanging.
+    fn drop(&mut self) {
+        {
+            let mut st = self.inner.sched.state.lock().expect("scheduler poisoned");
+            st.shutdown = true;
+        }
+        self.inner.sched.available.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfpq_core::query::{solve, Backend};
+    use cfpq_core::session::CfpqSession;
+    use cfpq_grammar::queries;
+    use cfpq_graph::generators;
+    use cfpq_matrix::{DenseEngine, Device, ParDenseEngine, ParSparseEngine, SparseEngine};
+
+    #[test]
+    fn service_matches_one_shot_solve() {
+        let grammar = queries::query1();
+        let graph = generators::paper_example();
+        let reference = solve(&graph, &grammar, Backend::Sparse).unwrap();
+        let service = CfpqService::new(SparseEngine, &graph);
+        let q = service.prepare(&grammar).unwrap();
+        let answer = service.evaluate(q);
+        assert_eq!(answer.start_pairs(), reference.start_pairs());
+        assert_eq!(service.current_epoch(), 0);
+    }
+
+    #[test]
+    fn snapshots_are_isolated_from_updates() {
+        let grammar = Cfg::parse("S -> a S b | a b").unwrap();
+        let chain = generators::word_chain(&["a", "a", "b"]);
+        let service = CfpqService::new(SparseEngine, &chain);
+        let q = service.prepare(&grammar).unwrap();
+        let old = service.snapshot();
+        assert_eq!(old.evaluate(q).start_pairs(), &[(1, 3)]);
+
+        assert_eq!(service.add_edges(&[(3, "b", 4)]), 1);
+        assert_eq!(service.current_epoch(), 1);
+        // The old snapshot still answers the old graph...
+        assert_eq!(old.evaluate(q).start_pairs(), &[(1, 3)]);
+        assert_eq!(old.epoch(), 0);
+        // ...while the new epoch sees the repaired closure.
+        let new = service.snapshot();
+        assert_eq!(new.epoch(), 1);
+        assert_eq!(new.evaluate(q).start_pairs(), &[(0, 4), (1, 3)]);
+
+        // The repair was incremental and cheaper than the epoch-1 cold
+        // solve would have been.
+        let stats = service.stats();
+        assert_eq!(stats.len(), 2);
+        assert_eq!(stats[1].repairs, 1);
+        assert!(stats[1].repair_products > 0);
+        assert_eq!(stats[1].cold_solves, 0, "epoch 1 never cold-solved");
+    }
+
+    #[test]
+    fn duplicate_batches_publish_nothing() {
+        let graph = generators::paper_example();
+        let service = CfpqService::new(DenseEngine, &graph);
+        let e = graph.edges()[0];
+        assert_eq!(
+            service.add_edges(&[(e.from, graph.label_name(e.label), e.to)]),
+            0
+        );
+        assert_eq!(service.current_epoch(), 0, "no-op batches publish nothing");
+        assert_eq!(service.stats().len(), 1);
+    }
+
+    #[test]
+    fn scheduler_batches_share_one_closure() {
+        let grammar = queries::query1();
+        let graph = generators::paper_example();
+        let reference = solve(&graph, &grammar, Backend::Sparse).unwrap();
+        let service = CfpqService::with_config(SparseEngine, &graph, ServiceConfig::new(3));
+        let q = service.prepare(&grammar).unwrap();
+        let tickets: Vec<Ticket> = (0..16).map(|_| service.enqueue(q, vec![])).collect();
+        for t in tickets {
+            assert_eq!(t.wait().pairs, reference.start_pairs());
+        }
+        let stats = service.stats();
+        assert_eq!(stats[0].cold_solves, 1, "one solve serves every request");
+        assert_eq!(stats[0].queries_served, 16);
+        assert!(stats[0].batches <= 16);
+    }
+
+    #[test]
+    fn pair_filters_restrict_the_answer() {
+        let grammar = queries::query1();
+        let graph = generators::paper_example();
+        let service = CfpqService::new(SparseEngine, &graph);
+        let q = service.prepare(&grammar).unwrap();
+        // Full R_S = [(0,0), (0,2), (1,2)].
+        let t = service.enqueue(q, vec![(1, 2), (2, 2), (0, 0), (1, 2)]);
+        assert_eq!(t.wait().pairs, vec![(0, 0), (1, 2)]);
+    }
+
+    #[test]
+    fn single_path_matches_session_and_supports_extraction() {
+        use cfpq_core::single_path::{extract_path, validate_witness};
+        let grammar = queries::query1();
+        let wcnf = grammar
+            .to_wcnf(cfpq_grammar::cnf::CnfOptions::default())
+            .unwrap();
+        let graph = generators::paper_example();
+        let mut session = CfpqSession::new(SparseEngine, &graph);
+        let sid = session.prepare_single_path(&grammar).unwrap();
+        let expect = session.evaluate_single_path(sid).pairs(wcnf.start);
+
+        let service = CfpqService::new(SparseEngine, &graph);
+        let q = service.prepare_single_path(&grammar).unwrap();
+        let idx = service.evaluate_single_path(q);
+        assert_eq!(idx.pairs(wcnf.start), expect);
+        let (i, j, len) = idx.pairs_with_lengths(wcnf.start)[0];
+        let path = extract_path(&idx, &graph, &wcnf, wcnf.start, i, j).unwrap();
+        assert_eq!(path.len() as u32, len);
+        assert!(validate_witness(&path, &graph, &wcnf, wcnf.start, i, j));
+        // Scheduler path agrees.
+        let t = service.enqueue_single_path(q, vec![]);
+        assert_eq!(t.wait().pairs, expect);
+    }
+
+    #[test]
+    fn single_path_repairs_across_epochs() {
+        let grammar = Cfg::parse("S -> a S b | a b").unwrap();
+        let chain = generators::word_chain(&["a", "a", "b"]);
+        let service = CfpqService::new(SparseEngine, &chain);
+        let q = service.prepare_single_path(&grammar).unwrap();
+        let start = service.inner.sp_queries.read().unwrap()[0].wcnf().start;
+        assert_eq!(service.evaluate_single_path(q).pairs(start), vec![(1, 3)]);
+        service.add_edges(&[(3, "b", 4)]);
+        let idx = service.evaluate_single_path(q);
+        assert_eq!(idx.pairs(start), vec![(0, 4), (1, 3)]);
+        assert_eq!(idx.length(start, 0, 4), Some(4));
+        let stats = service.stats();
+        assert_eq!(stats[1].repairs, 1);
+    }
+
+    #[test]
+    fn growth_and_unknown_labels_are_served() {
+        let grammar = Cfg::parse("S -> a S b | a b").unwrap();
+        let chain = generators::word_chain(&["a", "a", "b"]);
+        let service = CfpqService::new(DenseEngine, &chain);
+        let q = service.prepare(&grammar).unwrap();
+        service.evaluate(q);
+        // Node 4 is unseen; label "z" is unknown to the grammar.
+        assert_eq!(service.add_edges(&[(3, "b", 4), (0, "z", 99)]), 2);
+        let snap = service.snapshot();
+        assert_eq!(snap.n_nodes(), 100);
+        assert_eq!(snap.evaluate(q).start_pairs(), &[(0, 4), (1, 3)]);
+    }
+
+    #[test]
+    fn concurrent_readers_and_writer_smoke() {
+        use std::sync::atomic::AtomicBool;
+        let grammar = Cfg::parse("S -> a S b | a b").unwrap();
+        let chain = generators::word_chain(&["a", "a", "a", "b", "b"]);
+        let service = CfpqService::with_config(ParSparseEngine::new(Device::new(2)), &chain, {
+            ServiceConfig::new(2)
+        });
+        let q = service.prepare(&grammar).unwrap();
+        let done = AtomicBool::new(false);
+        std::thread::scope(|s| {
+            for _ in 0..3 {
+                s.spawn(|| {
+                    while !done.load(Ordering::Relaxed) {
+                        let snap = service.snapshot();
+                        let answer = snap.evaluate(q);
+                        // Within one snapshot, repeated evaluation is
+                        // repeatable even while the writer publishes.
+                        assert_eq!(
+                            snap.evaluate(q).start_pairs(),
+                            answer.start_pairs(),
+                            "snapshot must be immutable"
+                        );
+                    }
+                });
+            }
+            service.add_edges(&[(5, "b", 6)]);
+            service.add_edges(&[(6, "b", 7)]);
+            done.store(true, Ordering::Relaxed);
+        });
+        let final_pairs = service.evaluate(q).start_pairs().to_vec();
+        assert_eq!(final_pairs, vec![(0, 6), (1, 5), (2, 4)]);
+    }
+
+    #[test]
+    fn all_engines_serve_identically() {
+        let grammar = queries::query1();
+        let graph = generators::paper_example();
+        let expect = solve(&graph, &grammar, Backend::Sparse)
+            .unwrap()
+            .start_pairs()
+            .to_vec();
+        fn check<E: ServiceEngine>(engine: E, graph: &Graph, grammar: &Cfg) -> Vec<(u32, u32)> {
+            let service = CfpqService::new(engine, graph);
+            let q = service.prepare(grammar).unwrap();
+            let t = service.enqueue(q, vec![]);
+            t.wait().pairs
+        }
+        assert_eq!(check(DenseEngine, &graph, &grammar), expect);
+        assert_eq!(check(SparseEngine, &graph, &grammar), expect);
+        assert_eq!(
+            check(ParDenseEngine::new(Device::new(2)), &graph, &grammar),
+            expect
+        );
+        assert_eq!(
+            check(ParSparseEngine::new(Device::new(2)), &graph, &grammar),
+            expect
+        );
+    }
+
+    #[test]
+    fn from_parallelism_coordinates_the_pools() {
+        let (config, device) = ServiceConfig::from_parallelism(Parallelism::new(4), 3);
+        assert_eq!(config.workers, 3);
+        assert_eq!(device.n_workers(), 1);
+        let graph = generators::paper_example();
+        let service = CfpqService::with_config(ParSparseEngine::new(device), &graph, config);
+        assert_eq!(service.n_workers(), 3);
+        let q = service.prepare(&queries::query1()).unwrap();
+        assert_eq!(
+            service.enqueue(q, vec![]).wait().pairs,
+            vec![(0, 0), (0, 2), (1, 2)]
+        );
+    }
+}

@@ -1,0 +1,232 @@
+//! Fixed-seed linearizability suite for the concurrent query service.
+//!
+//! N reader threads evaluate prepared queries — relational *and*
+//! single-path, through direct snapshot reads *and* scheduler tickets —
+//! while a writer applies a fixed sequence of `add_edges` batches. Every
+//! answer the service hands out is tagged with the epoch it was computed
+//! against, and epochs are totally ordered (writers are serialized), so
+//! linearizability reduces to: **every observation must equal the
+//! sequential answer on the graph state of its epoch**. The suite
+//! replays the epoch sequence after the threads join and checks each
+//! recorded `(epoch, pairs)` observation against a from-scratch solve of
+//! that epoch's graph, on all four engines.
+//!
+//! Inputs are generated from a fixed RNG seed (same scheme as the other
+//! fixed-seed suites), so CI replays identical interleaving *inputs* on
+//! every run; the thread count is tunable via `CFPQ_LIN_THREADS` (the CI
+//! stress job bumps it).
+
+use cfpq_core::relational::FixpointSolver;
+use cfpq_grammar::cnf::CnfOptions;
+use cfpq_grammar::{Cfg, Wcnf};
+use cfpq_graph::{generators, Graph};
+use cfpq_matrix::{DenseEngine, Device, ParDenseEngine, ParSparseEngine, SparseEngine};
+use cfpq_service::{CfpqService, ServiceConfig, ServiceEngine};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Base RNG seed shared with the workspace's other fixed-seed suites.
+const RNG_SEED: u64 = 0x5E4_71CE;
+
+/// Reader threads per engine run (the CI stress job raises this).
+fn n_readers() -> usize {
+    std::env::var("CFPQ_LIN_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3)
+}
+
+/// One generated workload: a base graph plus a fixed sequence of update
+/// batches (every batch inserts at least one genuinely new edge, so each
+/// publishes exactly one epoch).
+struct Workload {
+    base: Graph,
+    batches: Vec<Vec<(u32, String, u32)>>,
+}
+
+/// Generates the workload from the fixed seed: a sparse random base
+/// graph over labels {a, b} and batches that mix new a/b edges, an edge
+/// on a label the grammar never mentions, and an edge naming an unseen
+/// node id (exercising node-universe growth mid-service).
+fn workload(seed: u64) -> Workload {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = 8usize;
+    let base = generators::random_graph(n, 14, &["a", "b"], rng.gen_range(0u64..1 << 32));
+    let mut batches: Vec<Vec<(u32, String, u32)>> = Vec::new();
+    let mut have: std::collections::HashSet<(u32, String, u32)> = base
+        .edges()
+        .iter()
+        .map(|e| (e.from, base.label_name(e.label).to_owned(), e.to))
+        .collect();
+    for b in 0..5 {
+        let mut batch: Vec<(u32, String, u32)> = Vec::new();
+        let batch_size = rng.gen_range(1usize..4);
+        while batch.len() < batch_size {
+            let label = if rng.gen_bool(0.5) { "a" } else { "b" };
+            let edge = (
+                rng.gen_range(0u32..n as u32),
+                label.to_owned(),
+                rng.gen_range(0u32..n as u32),
+            );
+            if have.insert(edge.clone()) {
+                batch.push(edge);
+            }
+        }
+        if b == 2 {
+            // A label outside the query alphabet: publishes an epoch
+            // whose answers must be unchanged.
+            batch.push((0, "padding".to_owned(), 1));
+        }
+        if b == 3 {
+            // An unseen node id: the epoch builder must widen every
+            // cached closure.
+            batch.push((n as u32 - 1, "b".to_owned(), n as u32 + 2));
+        }
+        batches.push(batch);
+    }
+    Workload { base, batches }
+}
+
+/// The sequential reference: graph states epoch by epoch, solved from
+/// scratch.
+fn reference_answers(workload: &Workload, wcnf: &Wcnf) -> Vec<Vec<(u32, u32)>> {
+    let mut graph = workload.base.clone();
+    let mut expected = vec![FixpointSolver::new(&SparseEngine)
+        .solve(&graph, wcnf)
+        .pairs(wcnf.start)];
+    for batch in &workload.batches {
+        for (u, label, v) in batch {
+            graph.add_edge_named(*u, label, *v);
+        }
+        expected.push(
+            FixpointSolver::new(&SparseEngine)
+                .solve(&graph, wcnf)
+                .pairs(wcnf.start),
+        );
+    }
+    expected
+}
+
+/// Runs the concurrent scenario on one engine and checks every recorded
+/// observation against its epoch's sequential answer.
+fn check_engine<E: ServiceEngine>(engine: E, workload: &Workload, grammar: &Cfg, wcnf: &Wcnf) {
+    let expected = reference_answers(workload, wcnf);
+    let service = CfpqService::with_config(engine, &workload.base, ServiceConfig::new(2));
+    let rel = service.prepare(grammar).unwrap();
+    let sp = service.prepare_single_path(grammar).unwrap();
+
+    // (epoch, pairs, what) observations from every reader.
+    type Obs = (u64, Vec<(u32, u32)>, &'static str);
+    let done = AtomicBool::new(false);
+    let observations: Vec<Obs> = std::thread::scope(|s| {
+        let readers: Vec<_> = (0..n_readers())
+            .map(|r| {
+                let service = &service;
+                let done = &done;
+                s.spawn(move || {
+                    let mut obs: Vec<Obs> = Vec::new();
+                    let mut round = 0usize;
+                    // Keep reading until the writer finished, then once
+                    // more so the final epoch is always observed.
+                    let mut after_done = 0;
+                    while after_done < 2 {
+                        if done.load(Ordering::Relaxed) {
+                            after_done += 1;
+                        }
+                        match (round + r) % 3 {
+                            0 => {
+                                let snap = service.snapshot();
+                                obs.push((
+                                    snap.epoch(),
+                                    snap.evaluate(rel).start_pairs().to_vec(),
+                                    "snapshot",
+                                ));
+                            }
+                            1 => {
+                                let t = service.enqueue(rel, vec![]);
+                                let a = t.wait();
+                                obs.push((a.epoch, a.pairs, "ticket"));
+                            }
+                            _ => {
+                                let snap = service.snapshot();
+                                let idx = snap.evaluate_single_path(sp);
+                                obs.push((snap.epoch(), idx.pairs(wcnf.start), "single-path"));
+                            }
+                        }
+                        round += 1;
+                    }
+                    obs
+                })
+            })
+            .collect();
+
+        // The writer: apply the batches in order, interleaved with the
+        // readers above.
+        for batch in &workload.batches {
+            let edges: Vec<(u32, &str, u32)> =
+                batch.iter().map(|(u, l, v)| (*u, l.as_str(), *v)).collect();
+            let inserted = service.add_edges(&edges);
+            assert!(inserted > 0, "every generated batch publishes an epoch");
+        }
+        done.store(true, Ordering::Relaxed);
+
+        readers
+            .into_iter()
+            .flat_map(|r| r.join().expect("reader panicked"))
+            .collect()
+    });
+
+    assert_eq!(
+        service.current_epoch(),
+        workload.batches.len() as u64,
+        "one epoch per batch"
+    );
+    assert!(!observations.is_empty());
+    let mut seen_epochs: std::collections::BTreeSet<u64> = std::collections::BTreeSet::new();
+    for (epoch, pairs, what) in observations {
+        seen_epochs.insert(epoch);
+        assert_eq!(
+            &pairs, &expected[epoch as usize],
+            "{what} observation at epoch {epoch} diverges from the sequential execution"
+        );
+    }
+    // The post-writer read guarantees the final state was observed.
+    assert!(seen_epochs.contains(&(workload.batches.len() as u64)));
+}
+
+#[test]
+fn concurrent_observations_match_a_sequential_execution() {
+    let grammar = Cfg::parse("S -> a S b | a b | S S").unwrap();
+    let wcnf = grammar.to_wcnf(CnfOptions::default()).unwrap();
+    for case in 0..3u64 {
+        let w = workload(RNG_SEED.wrapping_add(case));
+        check_engine(SparseEngine, &w, &grammar, &wcnf);
+        check_engine(DenseEngine, &w, &grammar, &wcnf);
+        check_engine(ParDenseEngine::new(Device::new(2)), &w, &grammar, &wcnf);
+        check_engine(ParSparseEngine::new(Device::new(2)), &w, &grammar, &wcnf);
+    }
+}
+
+#[test]
+fn ticket_epochs_are_monotone_per_thread() {
+    // A single caller's tickets must never observe epochs going
+    // backwards: the scheduler serves each batch against the epoch
+    // current at service time, and epochs only advance.
+    let grammar = Cfg::parse("S -> a S b | a b").unwrap();
+    let w = workload(RNG_SEED ^ 0xABCD);
+    let service = CfpqService::with_config(SparseEngine, &w.base, ServiceConfig::new(2));
+    let rel = service.prepare(&grammar).unwrap();
+    let mut last = 0u64;
+    for batch in &w.batches {
+        let t = service.enqueue(rel, vec![]);
+        let a = t.wait();
+        assert!(a.epoch >= last, "epoch went backwards");
+        last = a.epoch;
+        let edges: Vec<(u32, &str, u32)> =
+            batch.iter().map(|(u, l, v)| (*u, l.as_str(), *v)).collect();
+        service.add_edges(&edges);
+    }
+    let final_answer = service.enqueue(rel, vec![]).wait();
+    assert_eq!(final_answer.epoch, w.batches.len() as u64);
+}

@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! cargo run --release --example query_cli -- \
-//!     data/university.triples data/same_generation.grammar [backend] [strategy]
+//!     data/university.triples data/same_generation.grammar [backend] [strategy] [--threads N]
 //! ```
 //!
 //! Loads an RDF-style triple file, a grammar in the DSL, evaluates the
@@ -11,12 +11,26 @@
 //! relation with node names, plus graph statistics. The fixpoint
 //! strategy defaults to `masked-delta` (the fast pipeline); pass
 //! `naive`, `batched` or `delta` to compare the ablations.
+//! `--threads N` caps the process's thread budget (the
+//! [`Parallelism`] knob): the parallel backends size their kernel
+//! device from it instead of grabbing every available core.
 
 use cfpq::prelude::*;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // `--threads N` may appear anywhere; strip it before the positional
+    // arguments are read.
+    let mut budget = Parallelism::auto();
+    if let Some(i) = args.iter().position(|a| a == "--threads") {
+        let Some(n) = args.get(i + 1).and_then(|v| v.parse::<usize>().ok()) else {
+            eprintln!("--threads needs a number");
+            return ExitCode::from(2);
+        };
+        budget = Parallelism::new(n);
+        args.drain(i..i + 2);
+    }
     let (triples_path, grammar_path) = match args.as_slice() {
         [t, g, ..] => (t.clone(), g.clone()),
         _ => {
@@ -31,8 +45,12 @@ fn main() -> ExitCode {
     let backend = match args.get(2).map(String::as_str) {
         None | Some("sparse") => Backend::Sparse,
         Some("dense") => Backend::Dense,
-        Some("sparse-par") => Backend::SparsePar { workers: 0 },
-        Some("dense-par") => Backend::DensePar { workers: 0 },
+        Some("sparse-par") => Backend::SparsePar {
+            workers: budget.total(),
+        },
+        Some("dense-par") => Backend::DensePar {
+            workers: budget.total(),
+        },
         Some("set-matrix") => Backend::SetMatrix,
         Some(other) => {
             eprintln!("unknown backend `{other}` (dense|sparse|dense-par|sparse-par|set-matrix)");

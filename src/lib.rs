@@ -14,6 +14,10 @@
 //!   device;
 //! * [`core`] — Algorithm 1 (relational semantics), single-path
 //!   semantics, all-path enumeration, conjunctive extension;
+//! * [`service`] — the concurrent query service: snapshot-isolated
+//!   epochs over a shared [`core::session::GraphIndex`], a multi-queue
+//!   scheduler batching requests per grammar, and shared closure
+//!   caching with incremental epoch repair;
 //! * [`baselines`] — Hellings' algorithm, GLL-for-graphs, Valiant's
 //!   string parser.
 //!
@@ -34,6 +38,7 @@ pub use cfpq_core as core;
 pub use cfpq_grammar as grammar;
 pub use cfpq_graph as graph;
 pub use cfpq_matrix as matrix;
+pub use cfpq_service as service;
 
 /// Commonly used items in one import.
 pub mod prelude {
@@ -48,6 +53,11 @@ pub mod prelude {
     pub use cfpq_grammar::{Cfg, Nt, Term, Wcnf};
     pub use cfpq_graph::{Graph, TripleSet};
     pub use cfpq_matrix::{
-        BoolEngine, DenseEngine, Device, LenEngine, ParDenseEngine, ParSparseEngine, SparseEngine,
+        BoolEngine, DenseEngine, Device, LenEngine, ParDenseEngine, ParSparseEngine, Parallelism,
+        SparseEngine,
     };
+    // The service's query handles keep their own names (`cfpq::service::
+    // QueryId` vs the session's `QueryId` above), so only the
+    // unambiguous types are in the prelude.
+    pub use cfpq_service::{CfpqService, ServiceConfig, ServiceStats, Snapshot, Ticket};
 }
