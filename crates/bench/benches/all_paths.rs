@@ -1,0 +1,86 @@
+//! All-path enumeration bench (§7): the memoized streaming enumerator
+//! vs the pre-rewrite eager recursive walk on the self-loop Dyck graph,
+//! where every even length carries exactly one witness `aⁿbⁿ` and the
+//! eager walk re-derives every split from scratch — exponential in the
+//! length bound, so the two are compared at a shared feasible bound and
+//! only the lazy side runs the `max_len` 64 stress (the workload behind
+//! `BENCH_pr6.json`, whose committed numbers come from
+//! `reproduce all-paths`).
+//!
+//! The warm-page sample reuses one `PathEnumerator` across iterations:
+//! the per-`(nt, from, to, len)` memo tables persist, so resuming a
+//! paged stream costs a table scan, not a re-derivation.
+
+use cfpq_core::all_paths::{
+    enumerate_paths, enumerate_paths_eager, EnumLimits, PageRequest, PathEnumerator,
+};
+use cfpq_core::relational::FixpointSolver;
+use cfpq_grammar::cnf::CnfOptions;
+use cfpq_grammar::Cfg;
+use cfpq_graph::Graph;
+use cfpq_matrix::SparseEngine;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench_all_paths(c: &mut Criterion) {
+    let wcnf = Cfg::parse("S -> a S b | a b")
+        .expect("Dyck grammar parses")
+        .to_wcnf(CnfOptions::default())
+        .expect("Dyck grammar normalizes");
+    let s = wcnf.start;
+    let mut cyclic = Graph::new(1);
+    cyclic.add_edge_named(0, "a", 0);
+    cyclic.add_edge_named(0, "b", 0);
+    let idx = FixpointSolver::new(&SparseEngine).solve(&cyclic, &wcnf);
+
+    let mut group = c.benchmark_group("all-paths-cyclic");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(4));
+
+    let shared = EnumLimits {
+        max_len: 16,
+        max_paths: 1000,
+    };
+    group.bench_function("eager/16", |b| {
+        b.iter(|| enumerate_paths_eager(&idx, &cyclic, &wcnf, s, 0, 0, shared))
+    });
+    group.bench_function("lazy/16", |b| {
+        b.iter(|| enumerate_paths(&idx, &cyclic, &wcnf, s, 0, 0, shared))
+    });
+    group.bench_function("lazy/64", |b| {
+        b.iter(|| {
+            enumerate_paths(
+                &idx,
+                &cyclic,
+                &wcnf,
+                s,
+                0,
+                0,
+                EnumLimits {
+                    max_len: 64,
+                    max_paths: 1000,
+                },
+            )
+        })
+    });
+
+    // Warm paging: pre-fill the memo tables once, then time re-serving
+    // the full stream from them.
+    let req = PageRequest {
+        offset: 0,
+        limit: 1000,
+        max_len: 64,
+    };
+    let mut enumerator = PathEnumerator::from_graph(&cyclic, &wcnf);
+    let cold = enumerator.page(&idx, s, 0, 0, req);
+    assert!(cold.exhausted && cold.paths.len() == 32);
+    group.bench_function("warm-page/64", |b| {
+        b.iter(|| enumerator.page(&idx, s, 0, 0, req))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_all_paths);
+criterion_main!(benches);

@@ -3,7 +3,8 @@
 //!
 //! ```text
 //! cargo run --release -p cfpq-bench --bin reproduce -- \
-//!     [table1|table2|incremental|single-path|service|all] [--workers N] [--json PATH] [--smoke]
+//!     [table1|table2|incremental|single-path|service|all-paths|all] \
+//!     [--workers N] [--json PATH] [--smoke]
 //! ```
 //!
 //! Prints each table in the paper's layout and optionally writes the raw
@@ -40,10 +41,21 @@
 //! 4 workers and additionally asserts the ≥2× throughput criterion (the
 //! numbers committed as `BENCH_pr5.json`), while smoke mode runs the two
 //! smallest ontologies without the throughput assertion.
+//!
+//! The `all-paths` scenario (part of `all`) runs the §7 streaming
+//! enumeration: the memoized lazy enumerator vs the pre-rewrite eager
+//! recursive walk on the self-loop Dyck graph (eager is exponential in
+//! the length bound, so the two are compared at a shared feasible bound
+//! and the lazy-only stress runs at `max_len` 64), plus a paths-ticket
+//! service workload whose pages are asserted epoch-consistent and
+//! CYK-valid under a racing `add_edges` batch, and a tight-quota probe
+//! asserting truncation is loud. Full mode raises the eager bound (the
+//! numbers committed as `BENCH_pr6.json`); smoke keeps it small.
 
 use cfpq_bench::{
-    render_incremental, render_service, render_single_path, render_table, run_incremental, run_row,
-    run_service, run_single_path, run_table, small_suite, Query,
+    render_all_paths, render_incremental, render_service, render_single_path, render_table,
+    run_all_paths, run_incremental, run_row, run_service, run_single_path, run_table, small_suite,
+    Query,
 };
 use cfpq_graph::ontology::evaluation_suite;
 use std::io::Write;
@@ -58,7 +70,8 @@ fn main() {
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
-            "table1" | "table2" | "incremental" | "single-path" | "service" | "all" => which = arg,
+            "table1" | "table2" | "incremental" | "single-path" | "service" | "all-paths"
+            | "all" => which = arg,
             "--workers" => {
                 workers = match it.next().and_then(|v| v.parse().ok()) {
                     Some(n) => n,
@@ -81,7 +94,7 @@ fn main() {
             other => {
                 eprintln!("unknown argument `{other}`");
                 eprintln!(
-                    "usage: reproduce [table1|table2|incremental|single-path|service|all] \
+                    "usage: reproduce [table1|table2|incremental|single-path|service|all-paths|all] \
                      [--workers N] [--json PATH] [--smoke]"
                 );
                 std::process::exit(2);
@@ -92,12 +105,13 @@ fn main() {
     let queries: Vec<Query> = match which.as_str() {
         "table1" => vec![Query::Q1],
         "table2" => vec![Query::Q2],
-        "incremental" | "single-path" | "service" => vec![],
+        "incremental" | "single-path" | "service" | "all-paths" => vec![],
         _ => vec![Query::Q1, Query::Q2],
     };
     let run_incremental_scenario = matches!(which.as_str(), "incremental" | "all");
     let run_single_path_scenario = matches!(which.as_str(), "single-path" | "all");
     let run_service_scenario = matches!(which.as_str(), "service" | "all");
+    let run_all_paths_scenario = matches!(which.as_str(), "all-paths" | "all");
 
     let mut sections: Vec<serde_json::Value> = Vec::new();
     for q in queries {
@@ -187,6 +201,19 @@ fn main() {
         print!("{}", render_service(&rows));
         println!();
         sections.push(serde_json::json!({ "query": "Service", "rows": rows }));
+    }
+
+    if run_all_paths_scenario {
+        // Self-contained synthetic scenario (no ontology dependence):
+        // smoke keeps the eager bound at 12, full raises it to 20 — the
+        // eager walk's cost roughly doubles per unit of max_len, so the
+        // gap against the memoized enumerator is visible either way.
+        // Full-mode rows are the ones committed as BENCH_pr6.json.
+        eprintln!("running all-paths scenario (cyclic stress + paths tickets)...");
+        let rows = run_all_paths(smoke);
+        print!("{}", render_all_paths(&rows));
+        println!();
+        sections.push(serde_json::json!({ "query": "AllPaths", "rows": rows }));
     }
 
     if let Some(path) = json_path {

@@ -875,6 +875,273 @@ pub fn render_service(rows: &[ServiceRow]) -> String {
     out
 }
 
+/// One row of the all-paths scenario: the memoized streaming enumerator
+/// against the pre-rewrite eager recursive walk on the self-loop Dyck
+/// graph (where the eager walk is exponential in the length bound), the
+/// PR's lazy-only stress bound, and a paths-ticket service workload
+/// whose pages are checked epoch-consistent and CYK-valid under a
+/// concurrent `add_edges` batch.
+#[derive(Clone, Debug, Serialize)]
+pub struct AllPathsRow {
+    /// Scenario name.
+    pub dataset: String,
+    /// Length bound shared by the eager-vs-lazy comparison (the largest
+    /// the eager walk can still finish).
+    pub shared_max_len: usize,
+    /// Eager recursive walk at the shared bound, milliseconds.
+    pub eager_ms: f64,
+    /// Memoized streaming enumerator at the shared bound, milliseconds.
+    pub lazy_ms: f64,
+    /// The two walks streamed the same path set (asserted).
+    pub lazy_eager_agree: bool,
+    /// Length bound of the lazy-only stress run (the eager walk cannot
+    /// finish here).
+    pub stress_max_len: usize,
+    /// Paths the stress run streamed — every one CYK-validated.
+    pub paths_yielded: usize,
+    /// Stress run wall time, milliseconds.
+    pub stress_ms: f64,
+    /// Pair pages answered by the service paths tickets.
+    pub pages_served: u64,
+    /// Witness paths streamed across those pages (service counter).
+    pub paths_served: u64,
+    /// Pages cut by the tight-quota probe service (service counter;
+    /// `> 0` asserted — truncation must be loud, never silent).
+    pub pages_truncated: u64,
+}
+
+/// Runs the all-paths scenario. See [`AllPathsRow`] for the three parts;
+/// `smoke` lowers the eager bound (the eager walk's cost roughly doubles
+/// per unit of `max_len`) and the ticket wave size.
+pub fn run_all_paths(smoke: bool) -> Vec<AllPathsRow> {
+    use cfpq_core::all_paths::{
+        enumerate_paths, enumerate_paths_eager, EnumLimits, PageRequest, PathEnumerator,
+    };
+    use cfpq_graph::Edge;
+    use cfpq_service::{CfpqService, PairPaths, ServiceConfig, Ticket};
+
+    let wcnf = Cfg::parse("S -> a S b | a b")
+        .expect("Dyck grammar parses")
+        .to_wcnf(CnfOptions::default())
+        .expect("Dyck grammar normalizes");
+    let s = wcnf.start;
+
+    // The stress graph of the acceptance criterion: a/b self loops on
+    // one node, so every even length `2..=max_len` carries exactly one
+    // witness `aⁿbⁿ` and the eager walk re-derives every split from
+    // scratch.
+    let mut cyclic = Graph::new(1);
+    cyclic.add_edge_named(0, "a", 0);
+    cyclic.add_edge_named(0, "b", 0);
+    let idx = FixpointSolver::new(&SparseEngine).solve(&cyclic, &wcnf);
+
+    // Eager vs lazy at a bound the eager walk can still finish.
+    let shared_max_len = if smoke { 12 } else { 20 };
+    let shared = EnumLimits {
+        max_len: shared_max_len,
+        max_paths: 1000,
+    };
+    let (eager, eager_ms) =
+        time_ms(|| enumerate_paths_eager(&idx, &cyclic, &wcnf, s, 0, 0, shared));
+    let (lazy, lazy_ms) = time_ms(|| enumerate_paths(&idx, &cyclic, &wcnf, s, 0, 0, shared));
+    assert!(lazy.exhausted, "the path cap cannot bind at these bounds");
+    let key = |p: &Vec<Edge>| -> Vec<(u32, u32, u32)> {
+        p.iter().map(|e| (e.from, e.label.0, e.to)).collect()
+    };
+    let mut eager_keys: Vec<_> = eager.iter().map(|p| (p.len(), key(p))).collect();
+    eager_keys.sort();
+    eager_keys.dedup();
+    let lazy_keys: Vec<_> = lazy.paths.iter().map(|p| (p.len(), key(p))).collect();
+    let lazy_eager_agree = eager_keys == lazy_keys;
+    assert!(
+        lazy_eager_agree,
+        "eager and lazy walks must stream the same path set"
+    );
+
+    // The stress bound, lazy-only: max_len 64 at a 1000-path cap, where
+    // the eager walk's split recursion is infeasible (~2⁶⁴ calls).
+    let stress_max_len = 64;
+    let (stress, stress_ms) = time_ms(|| {
+        enumerate_paths(
+            &idx,
+            &cyclic,
+            &wcnf,
+            s,
+            0,
+            0,
+            EnumLimits {
+                max_len: stress_max_len,
+                max_paths: 1000,
+            },
+        )
+    });
+    assert!(stress.exhausted, "32 witnesses fit the 1000-path cap");
+    assert_eq!(
+        stress.paths.len(),
+        stress_max_len / 2,
+        "one aⁿbⁿ witness per even length"
+    );
+    for p in &stress.paths {
+        assert!(validate_witness(p, &cyclic, &wcnf, s, 0, 0));
+    }
+
+    // Paths as a service workload: two waves of paths tickets with an
+    // `add_edges` batch racing the first wave. Every answered page must
+    // equal a from-scratch enumeration of its *own* epoch's graph —
+    // never a mix of two epochs.
+    let n = 8u32;
+    let mut full = Graph::new(n as usize);
+    for v in 0..n - 1 {
+        full.add_edge_named(v, "a", v + 1);
+        full.add_edge_named(v + 1, "b", v);
+    }
+    full.add_edge_named(n - 1, "a", n - 1);
+    full.add_edge_named(n - 1, "b", n - 1);
+    let (base, held) = hold_out_edges(&full, 4, |name| name == "a" || name == "b");
+
+    let req = PageRequest {
+        offset: 0,
+        limit: 8,
+        max_len: 8,
+    };
+    // Sequential per-epoch reference: the replay interns labels in the
+    // same first-appearance order as the service's evolving index, so
+    // pages compare by raw label id (as in the linearizability suite).
+    let reference = |graph: &Graph| -> Vec<PairPaths> {
+        let rel = FixpointSolver::new(&SparseEngine).solve(graph, &wcnf);
+        let mut enumerator = PathEnumerator::from_graph(graph, &wcnf);
+        rel.pairs(s)
+            .into_iter()
+            .map(|(i, j)| {
+                let page = enumerator.page(&rel, s, i, j, req);
+                for p in &page.paths {
+                    assert!(validate_witness(p, graph, &wcnf, s, i, j));
+                }
+                PairPaths {
+                    from: i,
+                    to: j,
+                    paths: page.paths,
+                    exhausted: page.exhausted,
+                }
+            })
+            .collect()
+    };
+    let mut replay = base.clone();
+    let mut expected = vec![reference(&replay)];
+    for (u, l, v) in &held {
+        replay.add_edge_named(*u, l, *v);
+    }
+    expected.push(reference(&replay));
+
+    let service = CfpqService::with_config(SparseEngine, &base, ServiceConfig::new(2));
+    let q = service.prepare_query(PreparedQuery::from_wcnf(wcnf.clone()));
+    let per_wave = if smoke { 3 } else { 8 };
+    let mut tickets: Vec<Ticket> = (0..per_wave)
+        .map(|_| service.enqueue_paths(q, vec![], req))
+        .collect();
+    // The update races the first wave: tickets land on whichever epoch
+    // was current when the scheduler served their batch.
+    let inserted = service.add_edges(&held);
+    assert_eq!(
+        inserted,
+        held.len(),
+        "held-out edges are new by construction"
+    );
+    tickets.extend((0..per_wave).map(|_| service.enqueue_paths(q, vec![], req)));
+    let mut pages_served = 0u64;
+    for t in tickets {
+        let a = t.wait();
+        let pages = a.paths.expect("paths ticket answers with pages");
+        assert_eq!(
+            &pages, &expected[a.epoch as usize],
+            "paths pages at epoch {} diverge from that epoch's sequential enumeration",
+            a.epoch
+        );
+        pages_served += pages.len() as u64;
+    }
+    let stats = service.stats();
+    let paths_served: u64 = stats.iter().map(|e| e.paths_served).sum();
+    assert!(paths_served > 0, "the chain graph has Dyck witnesses");
+    assert_eq!(
+        stats.iter().map(|e| e.pages_truncated).sum::<u64>(),
+        0,
+        "the default quota never cuts these small pages"
+    );
+
+    // The quota probe: a tight per-request path budget must cut the page
+    // and say so — `exhausted: false` plus a bumped truncation counter.
+    let probe = CfpqService::with_config(
+        SparseEngine,
+        &cyclic,
+        ServiceConfig::new(1).with_path_quota(2),
+    );
+    let pq = probe.prepare_query(PreparedQuery::from_wcnf(wcnf.clone()));
+    let probe_pages = probe
+        .enqueue_paths(pq, vec![], req)
+        .wait()
+        .paths
+        .expect("paths ticket answers with pages");
+    let probe_total: usize = probe_pages.iter().map(|p| p.paths.len()).sum();
+    assert!(probe_total <= 2, "quota bounds the streamed paths");
+    assert!(
+        probe_pages.iter().any(|p| !p.exhausted),
+        "a quota-cut page must report exhausted = false"
+    );
+    let pages_truncated: u64 = probe.stats().iter().map(|e| e.pages_truncated).sum();
+    assert!(pages_truncated > 0, "truncation must bump the counter");
+
+    vec![AllPathsRow {
+        dataset: "cyclic-dyck".to_owned(),
+        shared_max_len,
+        eager_ms,
+        lazy_ms,
+        lazy_eager_agree,
+        stress_max_len,
+        paths_yielded: stress.paths.len(),
+        stress_ms,
+        pages_served,
+        paths_served,
+        pages_truncated,
+    }]
+}
+
+/// Renders all-paths rows as a table.
+pub fn render_all_paths(rows: &[AllPathsRow]) -> String {
+    let mut out = String::new();
+    out.push_str("All-path enumeration (memoized streaming vs eager recursive walk)\n");
+    out.push_str(&format!(
+        "{:<12} {:>7} {:>10} {:>9} {:>6} {:>8} {:>7} {:>10} {:>7} {:>8} {:>5}\n",
+        "Scenario",
+        "len",
+        "eager(ms)",
+        "lazy(ms)",
+        "agree",
+        "s-len",
+        "#paths",
+        "stress(ms)",
+        "#pages",
+        "#served",
+        "#cut",
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<12} {:>7} {:>10.2} {:>9.2} {:>6} {:>8} {:>7} {:>10.2} {:>7} {:>8} {:>5}\n",
+            r.dataset,
+            r.shared_max_len,
+            r.eager_ms,
+            r.lazy_ms,
+            r.lazy_eager_agree,
+            r.stress_max_len,
+            r.paths_yielded,
+            r.stress_ms,
+            r.pages_served,
+            r.paths_served,
+            r.pages_truncated,
+        ));
+    }
+    out
+}
+
 /// A smaller suite for unit tests and smoke benches: the four smallest
 /// ontologies.
 pub fn small_suite() -> Vec<Dataset> {
@@ -968,6 +1235,23 @@ mod tests {
             assert!(text.contains(&ds.name));
             assert!(text.contains("repair#prod"));
         }
+    }
+
+    #[test]
+    fn all_paths_rows_agree_and_truncate_loudly() {
+        // run_all_paths asserts eager/lazy set equality, CYK validity,
+        // epoch-consistent ticket pages, and loud quota truncation
+        // internally; exercise the smoke configuration.
+        let rows = run_all_paths(true);
+        assert_eq!(rows.len(), 1);
+        let r = &rows[0];
+        assert!(r.lazy_eager_agree);
+        assert_eq!(r.paths_yielded, 32, "one aⁿbⁿ witness per even length");
+        assert!(r.pages_served > 0 && r.paths_served > 0);
+        assert!(r.pages_truncated > 0);
+        let text = render_all_paths(&rows);
+        assert!(text.contains("cyclic-dyck"));
+        assert!(text.contains("eager(ms)"));
     }
 
     #[test]

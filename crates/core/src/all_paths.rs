@@ -1,29 +1,56 @@
-//! Bounded all-path enumeration — the §7 future-work semantics.
+//! Streaming all-path enumeration — the §7 future-work semantics.
 //!
 //! The all-path query semantics "requires presenting all possible paths
 //! from node m to node n whose labeling is derived from a non-terminal A".
 //! On cyclic graphs the full answer can be infinite (the paper cites
 //! annotated grammars \[12\] as one mitigation); this module provides the
-//! practical variant: enumerate all *distinct* witness paths up to a
-//! length bound and a result limit, pruned by the relational index so
-//! only productive splits are explored.
+//! practical variant: stream all *distinct* witness paths in (length,
+//! then lexicographic) order, bounded by a length cap and paged by
+//! `offset`/`limit`, pruned by the relational index so only productive
+//! splits are explored.
+//!
+//! The workhorse is the [`PathEnumerator`]: a memoized bottom-up
+//! enumerator over per-`(nt, from, to, len)` *length classes*. Each class
+//! — the sorted, deduplicated set of witness paths of exactly `len` edges
+//! — is computed once and reused by every larger split that needs it, so
+//! enumerating on a cyclic graph costs work proportional to the classes
+//! actually materialized, not to the (exponential) number of derivation
+//! trees the old re-entrant recursive walk re-explored per pivot and per
+//! `(left_len, right_len)` split. Classes are computed lazily in length
+//! order, so a page that fills early never touches longer lengths.
 //!
 //! ε-witnesses are first-class: when the relational index was solved
 //! with `nullable_diagonal` enabled, a nullable `A` at a diagonal pair
 //! `(m, m)` yields the empty path, and binary splits `A → BC` may erase
 //! either side (`B` deriving ε at the source node, or `C` at the target
 //! node) — pruned, like every other split, against the nullable-aware
-//! relations. A recursion guard keeps the ε-splits terminating on rules
-//! like `S → S S` with nullable `S`, where erasing one side leaves the
-//! same enumeration state.
+//! relations. Erasing a side keeps `(from, to, len)` fixed and only
+//! rewrites the nonterminal, so instead of the old recursion guard the
+//! enumerator precomputes the ε-erasure *reachability* over nonterminals
+//! per endpoint pair and unions the base classes of every reachable
+//! nonterminal — no cyclic recursion can arise at all (two-sided splits
+//! strictly decrease `len`).
+//!
+//! Truncation is never silent: every [`PathPage`] carries an
+//! [`PathPage::exhausted`] flag stating whether enumeration proved that
+//! no further path exists within the length bound beyond the returned
+//! page.
+//!
+//! The pre-rewrite recursive walk survives as
+//! [`enumerate_paths_eager`] — the reference oracle the fixed-seed
+//! property suite and the `all-paths` bench compare the enumerator
+//! against.
 
 use crate::relational::{label_terminal_map, RelationalIndex};
-use cfpq_grammar::{Nt, Wcnf};
-use cfpq_graph::{Edge, Graph, NodeId};
-use cfpq_matrix::BoolMat;
-use std::collections::BTreeSet;
+use crate::session::GraphIndex;
+use cfpq_grammar::{BinaryRule, Nt, Term, Wcnf};
+use cfpq_graph::{Edge, Graph, Label, NodeId};
+use cfpq_matrix::{BoolEngine, BoolMat};
+use std::collections::{BTreeSet, HashMap, HashSet};
+use std::sync::Arc;
 
-/// Enumeration limits.
+/// Enumeration limits of the one-shot [`enumerate_paths`] facade (the
+/// paged API takes a [`PageRequest`]).
 #[derive(Clone, Copy, Debug)]
 pub struct EnumLimits {
     /// Maximum path length in edges.
@@ -41,13 +68,438 @@ impl Default for EnumLimits {
     }
 }
 
-/// Enumerates distinct witness paths for `(nt, from, to)` within the
-/// limits, in (length, lexicographic) order — the empty ε-witness first
-/// where it applies. Requires the relational index for pruning: a split
-/// `(B, i, k), (C, k, j)` is only explored if both pairs are in the
-/// relations, so an index solved with `nullable_diagonal` also unlocks
-/// the ε-side splits.
+/// One page of an all-path enumeration: skip `offset` paths in the
+/// (length, lexicographic) stream, return at most `limit`, never explore
+/// beyond `max_len` edges.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PageRequest {
+    /// Paths to skip before the page starts.
+    pub offset: usize,
+    /// Maximum paths in the page.
+    pub limit: usize,
+    /// Maximum path length in edges (the enumeration horizon — on cyclic
+    /// graphs the stream is infinite without it).
+    pub max_len: usize,
+}
+
+impl Default for PageRequest {
+    fn default() -> Self {
+        Self {
+            offset: 0,
+            limit: EnumLimits::default().max_paths,
+            max_len: EnumLimits::default().max_len,
+        }
+    }
+}
+
+/// The result of one paged enumeration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PathPage {
+    /// The page's witness paths, in (length, then lexicographic by
+    /// `(from, label, to)` edge triples) order.
+    pub paths: Vec<Vec<Edge>>,
+    /// `true` iff the enumeration *proved* there is no further path of
+    /// length ≤ `max_len` beyond this page — i.e. the stream within the
+    /// horizon ends here. `false` means the page was cut by `limit` (or
+    /// a caller-imposed quota): more paths exist, ask for the next page.
+    /// Paths longer than `max_len` are outside the horizon either way.
+    pub exhausted: bool,
+}
+
+impl PathPage {
+    /// An empty, non-exhausted page (the shape quota-limited callers
+    /// return when a request's budget is already spent).
+    pub fn truncated() -> Self {
+        Self {
+            paths: Vec::new(),
+            exhausted: false,
+        }
+    }
+}
+
+/// A path as comparable raw triples `(from, label, to)` — the dedup and
+/// ordering key of a length class.
+type PathKey = Vec<(u32, u32, u32)>;
+
+/// Memo key: `(nt, from, to, len)`.
+type ClassKey = (u32, u32, u32, u32);
+
+/// One terminal's slot in [`TermAdjacency`]: the graph label bound to
+/// the terminal plus the sorted `(from, to)` pairs carrying it.
+type TermEdges = Option<(Label, Vec<(u32, u32)>)>;
+
+/// The terminal-labeled edge relation the enumerator walks: for each
+/// grammar terminal, the graph label bound to it (by name) and the
+/// sorted set of `(from, to)` pairs carrying that label. Built once per
+/// graph state, from either a [`Graph`] or a session/service
+/// [`GraphIndex`] (whose label matrices are the only edge storage the
+/// upper layers keep).
+#[derive(Clone, Debug)]
+pub struct TermAdjacency {
+    n_nodes: usize,
+    /// Indexed by `Term::index()`; `None` when no graph label binds to
+    /// the terminal.
+    by_term: Vec<TermEdges>,
+}
+
+impl TermAdjacency {
+    /// Builds the relation from a graph's edge list.
+    pub fn from_graph(graph: &Graph, grammar: &Wcnf) -> Self {
+        let term_of = label_terminal_map(graph, grammar);
+        let mut by_term: Vec<TermEdges> = vec![None; grammar.n_terms()];
+        for e in graph.edges() {
+            if let Some(term) = term_of[e.label.index()] {
+                by_term[term.index()]
+                    .get_or_insert_with(|| (e.label, Vec::new()))
+                    .1
+                    .push((e.from, e.to));
+            }
+        }
+        for entry in by_term.iter_mut().flatten() {
+            entry.1.sort_unstable();
+            entry.1.dedup();
+        }
+        Self {
+            n_nodes: graph.n_nodes(),
+            by_term,
+        }
+    }
+
+    /// Builds the relation from a session/service [`GraphIndex`]'s label
+    /// matrices. Emitted [`Edge::label`]s use the index's label ids
+    /// (identical to the source graph's when the index was built with
+    /// [`GraphIndex::build`] and labels arrived in graph order).
+    pub fn from_index<E: BoolEngine>(index: &GraphIndex<E>, grammar: &Wcnf) -> Self {
+        let mut by_term: Vec<TermEdges> = vec![None; grammar.n_terms()];
+        for (l, (name, matrix)) in index.label_matrices().enumerate() {
+            let Some(term) = grammar.symbols.get_term(name) else {
+                continue;
+            };
+            let mut pairs = matrix.pairs();
+            pairs.sort_unstable();
+            by_term[term.index()] = Some((Label(l as u32), pairs));
+        }
+        Self {
+            n_nodes: index.n_nodes(),
+            by_term,
+        }
+    }
+
+    /// Node-universe size.
+    pub fn n_nodes(&self) -> usize {
+        self.n_nodes
+    }
+
+    /// The label of the `(i, term, j)` edge, if present.
+    fn edge(&self, term: Term, i: u32, j: u32) -> Option<Label> {
+        let (label, pairs) = self.by_term[term.index()].as_ref()?;
+        pairs.binary_search(&(i, j)).ok().map(|_| *label)
+    }
+}
+
+/// The lazy, deduplicating, paged all-path enumerator.
+///
+/// An enumerator is bound to one *(graph state, grammar)* pair — build
+/// it with [`PathEnumerator::from_graph`] or
+/// [`PathEnumerator::from_index`] — and serves any number of
+/// [`PathEnumerator::page`] calls against the matching relational
+/// closure, accumulating memoized length classes across calls: paging
+/// deeper, re-querying other endpoint pairs, or re-reading earlier pages
+/// reuses everything already computed. After the underlying graph
+/// changes, the tables are stale (classes only ever *grow* with new
+/// edges, but entries are exact-length sets, so any of them may grow) —
+/// drop the enumerator and build a fresh one; the session layer does
+/// exactly that on its repair path.
+#[derive(Clone)]
+pub struct PathEnumerator {
+    adj: TermAdjacency,
+    /// `nullable[nt]` — the nonterminal could derive ε in the source
+    /// grammar (weak-CNF itself is ε-free; see [`Wcnf::nullable`]).
+    nullable: Vec<bool>,
+    /// Per nonterminal: terminals with a rule `nt → term`.
+    terms_of: Vec<Vec<Term>>,
+    rules: Arc<Vec<BinaryRule>>,
+    /// Memoized full length classes: `(nt, i, j, len)` → sorted distinct
+    /// paths of exactly `len` edges deriving `nt` between `i` and `j`.
+    classes: HashMap<ClassKey, Arc<Vec<PathKey>>>,
+    /// Memoized *base* classes: contributions not routed through an
+    /// ε-erasure (terminal edges at `len == 1`, two-sided splits at
+    /// `len ≥ 2`).
+    bases: HashMap<ClassKey, Arc<Vec<PathKey>>>,
+    /// Per endpoint pair `(i, j)`: the ε-erasure reachability over
+    /// nonterminals (see [`PathEnumerator::eps_reach`]).
+    eps: HashMap<(u32, u32), Arc<Vec<Vec<u32>>>>,
+}
+
+impl PathEnumerator {
+    fn new(adj: TermAdjacency, grammar: &Wcnf) -> Self {
+        let mut terms_of: Vec<Vec<Term>> = vec![Vec::new(); grammar.n_nts()];
+        for r in &grammar.term_rules {
+            terms_of[r.lhs.index()].push(r.term);
+        }
+        for v in &mut terms_of {
+            v.sort_unstable();
+            v.dedup();
+        }
+        let mut nullable = vec![false; grammar.n_nts()];
+        for &nt in &grammar.nullable {
+            nullable[nt.index()] = true;
+        }
+        Self {
+            adj,
+            nullable,
+            terms_of,
+            rules: Arc::new(grammar.binary_rules.clone()),
+            classes: HashMap::new(),
+            bases: HashMap::new(),
+            eps: HashMap::new(),
+        }
+    }
+
+    /// An enumerator over a graph's edge list.
+    pub fn from_graph(graph: &Graph, grammar: &Wcnf) -> Self {
+        Self::new(TermAdjacency::from_graph(graph, grammar), grammar)
+    }
+
+    /// An enumerator over a session/service [`GraphIndex`].
+    pub fn from_index<E: BoolEngine>(index: &GraphIndex<E>, grammar: &Wcnf) -> Self {
+        Self::new(TermAdjacency::from_index(index, grammar), grammar)
+    }
+
+    /// Memoized length classes currently materialized (an observability
+    /// hook for tests and stats; grows monotonically per graph state).
+    pub fn n_classes(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Streams one page of distinct witness paths for `(nt, from, to)`:
+    /// skip `req.offset` paths of the (length, lexicographic) stream,
+    /// return up to `req.limit`, never explore beyond `req.max_len`
+    /// edges. `index` must be the relational closure of the graph state
+    /// this enumerator was built from (and decides ε-visibility: only a
+    /// `nullable_diagonal` closure unlocks ε-witnesses and ε-side
+    /// splits).
+    pub fn page<M: BoolMat>(
+        &mut self,
+        index: &RelationalIndex<M>,
+        nt: Nt,
+        from: NodeId,
+        to: NodeId,
+        req: PageRequest,
+    ) -> PathPage {
+        let mut paths = Vec::new();
+        let mut skip = req.offset;
+        let mut exhausted = true;
+        'lengths: for len in 0..=req.max_len {
+            let class = self.class(index, nt, from, to, len);
+            for key in class.iter() {
+                if skip > 0 {
+                    skip -= 1;
+                    continue;
+                }
+                if paths.len() == req.limit {
+                    // One path past the page proves the cut was real.
+                    exhausted = false;
+                    break 'lengths;
+                }
+                paths.push(decode(key));
+            }
+        }
+        PathPage { paths, exhausted }
+    }
+
+    /// The full length class for `(nt, from, to)` at exactly `len`
+    /// edges: every base class of every ε-erasure-reachable nonterminal,
+    /// deduplicated and sorted. `len == 0` is the ε-witness, reported
+    /// only when the diagonal pair is in the (nullable-aware) index.
+    fn class<M: BoolMat>(
+        &mut self,
+        index: &RelationalIndex<M>,
+        nt: Nt,
+        from: u32,
+        to: u32,
+        len: usize,
+    ) -> Arc<Vec<PathKey>> {
+        let key = (nt.0, from, to, len as u32);
+        if let Some(v) = self.classes.get(&key) {
+            return Arc::clone(v);
+        }
+        let v = if len == 0 {
+            if from == to && self.nullable[nt.index()] && index.contains(nt, from, to) {
+                Arc::new(vec![Vec::new()])
+            } else {
+                Arc::new(Vec::new())
+            }
+        } else if !index.contains(nt, from, to) {
+            // The closure is complete: no pair, no witness of any length.
+            Arc::new(Vec::new())
+        } else {
+            let reach = self.eps_reach(index, from, to);
+            let mut set: BTreeSet<PathKey> = BTreeSet::new();
+            for &d in &reach[nt.index()] {
+                let base = self.base_class(index, Nt(d), from, to, len);
+                set.extend(base.iter().cloned());
+            }
+            Arc::new(set.into_iter().collect())
+        };
+        self.classes.insert(key, Arc::clone(&v));
+        v
+    }
+
+    /// The ε-erasure-free contributions to a length class: terminal
+    /// edges at `len == 1`, two-sided splits `d → BC` over every pivot
+    /// at `len ≥ 2`. Both sides of a split are full classes of strictly
+    /// smaller length, so the recursion terminates without any guard.
+    fn base_class<M: BoolMat>(
+        &mut self,
+        index: &RelationalIndex<M>,
+        d: Nt,
+        from: u32,
+        to: u32,
+        len: usize,
+    ) -> Arc<Vec<PathKey>> {
+        let key = (d.0, from, to, len as u32);
+        if let Some(v) = self.bases.get(&key) {
+            return Arc::clone(v);
+        }
+        let mut set: BTreeSet<PathKey> = BTreeSet::new();
+        if len == 1 {
+            for t in 0..self.terms_of[d.index()].len() {
+                let term = self.terms_of[d.index()][t];
+                if let Some(label) = self.adj.edge(term, from, to) {
+                    set.insert(vec![(from, label.0, to)]);
+                }
+            }
+        } else {
+            let rules = Arc::clone(&self.rules);
+            for rule in rules.iter().filter(|r| r.lhs == d) {
+                for k in 0..self.adj.n_nodes as u32 {
+                    if !index.contains(rule.left, from, k) || !index.contains(rule.right, k, to) {
+                        continue;
+                    }
+                    for left_len in 1..len {
+                        let lefts = self.class(index, rule.left, from, k, left_len);
+                        if lefts.is_empty() {
+                            continue;
+                        }
+                        let rights = self.class(index, rule.right, k, to, len - left_len);
+                        for lp in lefts.iter() {
+                            for rp in rights.iter() {
+                                let mut full = lp.clone();
+                                full.extend_from_slice(rp);
+                                set.insert(full);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let v: Arc<Vec<PathKey>> = Arc::new(set.into_iter().collect());
+        self.bases.insert(key, Arc::clone(&v));
+        v
+    }
+
+    /// ε-erasure reachability over nonterminals at endpoint pair
+    /// `(i, j)`: `A` steps to `C` if a rule `A → BC` can erase its left
+    /// side (`B` nullable with `(B, i, i)` in the index), and to `B` if
+    /// it can erase its right side at `j`. An erasure keeps the
+    /// endpoints *and the length* fixed and only rewrites the
+    /// nonterminal, so the class of `A` is the union of the base classes
+    /// of every nonterminal in `reach[A]` (which always contains `A`).
+    /// This closed set is what replaces the old recursion guard: rules
+    /// like `S → S S` with nullable `S` simply yield `S ∈ reach[S]`.
+    fn eps_reach<M: BoolMat>(
+        &mut self,
+        index: &RelationalIndex<M>,
+        i: u32,
+        j: u32,
+    ) -> Arc<Vec<Vec<u32>>> {
+        if let Some(r) = self.eps.get(&(i, j)) {
+            return Arc::clone(r);
+        }
+        let n_nts = self.terms_of.len();
+        let mut succ: Vec<Vec<u32>> = vec![Vec::new(); n_nts];
+        for rule in self.rules.iter() {
+            if self.nullable[rule.left.index()] && index.contains(rule.left, i, i) {
+                succ[rule.lhs.index()].push(rule.right.0);
+            }
+            if self.nullable[rule.right.index()] && index.contains(rule.right, j, j) {
+                succ[rule.lhs.index()].push(rule.left.0);
+            }
+        }
+        let reach: Vec<Vec<u32>> = (0..n_nts)
+            .map(|a| {
+                let mut seen = vec![false; n_nts];
+                seen[a] = true;
+                let mut stack = vec![a as u32];
+                let mut out = Vec::new();
+                while let Some(d) = stack.pop() {
+                    out.push(d);
+                    for &s in &succ[d as usize] {
+                        if !seen[s as usize] {
+                            seen[s as usize] = true;
+                            stack.push(s);
+                        }
+                    }
+                }
+                out.sort_unstable();
+                out
+            })
+            .collect();
+        let arc = Arc::new(reach);
+        self.eps.insert((i, j), Arc::clone(&arc));
+        arc
+    }
+}
+
+fn decode(key: &[(u32, u32, u32)]) -> Vec<Edge> {
+    key.iter()
+        .map(|&(from, label, to)| Edge {
+            from,
+            label: Label(label),
+            to,
+        })
+        .collect()
+}
+
+/// One-shot facade over the [`PathEnumerator`]: the first
+/// `limits.max_paths` distinct witness paths for `(nt, from, to)` within
+/// `limits.max_len`, in (length, lexicographic) order — the empty
+/// ε-witness first where it applies — plus the `exhausted` flag, so
+/// capped results are distinguishable from complete ones. Requires the
+/// relational index for pruning: a split `(B, i, k), (C, k, j)` is only
+/// explored if both pairs are in the relations, so an index solved with
+/// `nullable_diagonal` also unlocks the ε-side splits.
 pub fn enumerate_paths<M: BoolMat>(
+    index: &RelationalIndex<M>,
+    graph: &Graph,
+    grammar: &Wcnf,
+    nt: Nt,
+    from: NodeId,
+    to: NodeId,
+    limits: EnumLimits,
+) -> PathPage {
+    PathEnumerator::from_graph(graph, grammar).page(
+        index,
+        nt,
+        from,
+        to,
+        PageRequest {
+            offset: 0,
+            limit: limits.max_paths,
+            max_len: limits.max_len,
+        },
+    )
+}
+
+/// The pre-rewrite eager recursive walk, kept as the reference oracle
+/// for the fixed-seed property suite and the eager-vs-lazy bench rows.
+/// Unlike [`enumerate_paths`] it re-derives sub-paths from scratch at
+/// every pivot and split (exponential on exactly the cyclic graphs the
+/// module exists for), emits within-length results in edge-iteration
+/// order, and truncates at `max_paths` — use the enumerator for
+/// anything but oracle comparisons.
+pub fn enumerate_paths_eager<M: BoolMat>(
     index: &RelationalIndex<M>,
     graph: &Graph,
     grammar: &Wcnf,
@@ -60,7 +512,7 @@ pub fn enumerate_paths<M: BoolMat>(
         return Vec::new();
     }
     let term_of = label_terminal_map(graph, grammar);
-    let mut seen: BTreeSet<Vec<(u32, u32, u32)>> = BTreeSet::new();
+    let mut seen: BTreeSet<PathKey> = BTreeSet::new();
     let ctx = Ctx {
         index,
         graph,
@@ -76,7 +528,7 @@ pub fn enumerate_paths<M: BoolMat>(
     }
     // Iterative deepening so output is ordered by length and the search
     // never wastes budget on long paths before short ones are exhausted.
-    let mut guard = Vec::new();
+    let mut guard = HashSet::new();
     for len in 1..=limits.max_len {
         ctx.collect(
             nt,
@@ -100,13 +552,15 @@ struct Ctx<'a, M: BoolMat> {
     index: &'a RelationalIndex<M>,
     graph: &'a Graph,
     grammar: &'a Wcnf,
-    term_of: &'a [Option<cfpq_grammar::Term>],
+    term_of: &'a [Option<Term>],
     limits: EnumLimits,
 }
 
-/// One in-flight enumeration state; re-entering it along the same
-/// recursion path (only possible through ε-side splits, which keep the
-/// length) would loop forever while contributing no new paths.
+/// One in-flight enumeration state of the eager walk; re-entering it
+/// along the same recursion path (only possible through ε-side splits,
+/// which keep the length) would loop forever while contributing no new
+/// paths. Held in a hash set with insert/remove (push/pop) discipline —
+/// the old `Vec` guard paid an O(depth) scan per entry.
 type GuardKey = (Nt, NodeId, NodeId, usize);
 
 impl<M: BoolMat> Ctx<'_, M> {
@@ -122,19 +576,18 @@ impl<M: BoolMat> Ctx<'_, M> {
         len: usize,
         prefix: &mut Vec<Edge>,
         results: &mut Vec<Vec<Edge>>,
-        seen: &mut BTreeSet<Vec<(u32, u32, u32)>>,
-        guard: &mut Vec<GuardKey>,
+        seen: &mut BTreeSet<PathKey>,
+        guard: &mut HashSet<GuardKey>,
     ) {
         if results.len() >= self.limits.max_paths {
             return;
         }
         let key = (nt, from, to, len);
-        if guard.contains(&key) {
+        if !guard.insert(key) {
             return;
         }
-        guard.push(key);
         self.collect_splits(nt, from, to, len, prefix, results, seen, guard);
-        guard.pop();
+        guard.remove(&key);
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -146,8 +599,8 @@ impl<M: BoolMat> Ctx<'_, M> {
         len: usize,
         prefix: &mut Vec<Edge>,
         results: &mut Vec<Vec<Edge>>,
-        seen: &mut BTreeSet<Vec<(u32, u32, u32)>>,
-        guard: &mut Vec<GuardKey>,
+        seen: &mut BTreeSet<PathKey>,
+        guard: &mut HashSet<GuardKey>,
     ) {
         if len == 1 {
             for &(label, v) in self.graph.out_edges(from) {
@@ -245,13 +698,8 @@ impl<M: BoolMat> Ctx<'_, M> {
         }
     }
 
-    fn emit(
-        &self,
-        path: &[Edge],
-        results: &mut Vec<Vec<Edge>>,
-        seen: &mut BTreeSet<Vec<(u32, u32, u32)>>,
-    ) {
-        let key: Vec<(u32, u32, u32)> = path.iter().map(|e| (e.from, e.label.0, e.to)).collect();
+    fn emit(&self, path: &[Edge], results: &mut Vec<Vec<Edge>>, seen: &mut BTreeSet<PathKey>) {
+        let key: PathKey = path.iter().map(|e| (e.from, e.label.0, e.to)).collect();
         if seen.insert(key) {
             results.push(path.to_vec());
         }
@@ -281,9 +729,10 @@ mod tests {
         let s = g.symbols.get_nt("S").unwrap();
         let graph = generators::word_chain(&["a", "a", "b", "b"]);
         let idx = solve_on_engine(&DenseEngine, &graph, &g);
-        let paths = enumerate_paths(&idx, &graph, &g, s, 0, 4, EnumLimits::default());
-        assert_eq!(paths.len(), 1);
-        assert_eq!(paths[0].len(), 4);
+        let page = enumerate_paths(&idx, &graph, &g, s, 0, 4, EnumLimits::default());
+        assert_eq!(page.paths.len(), 1);
+        assert_eq!(page.paths[0].len(), 4);
+        assert!(page.exhausted, "one path exists, and the page proves it");
     }
 
     #[test]
@@ -300,15 +749,48 @@ mod tests {
             max_len: 8,
             max_paths: 10,
         };
-        let paths = enumerate_paths(&idx, &graph, &g, s, 0, 0, limits);
+        let page = enumerate_paths(&idx, &graph, &g, s, 0, 0, limits);
         // a b, a a b b, a a a b b b, a a a a b b b b → 4 distinct within 8.
-        assert_eq!(paths.len(), 4);
-        for p in &paths {
+        assert_eq!(page.paths.len(), 4);
+        assert!(page.exhausted, "nothing else exists within max_len 8");
+        for p in &page.paths {
             assert!(validate_witness(p, &graph, &g, s, 0, 0), "path {p:?}");
         }
         // Ordered by length.
-        let lens: Vec<usize> = paths.iter().map(Vec::len).collect();
+        let lens: Vec<usize> = page.paths.iter().map(Vec::len).collect();
         assert_eq!(lens, vec![2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn cyclic_stress_completes_where_eager_was_exponential() {
+        // The acceptance stress: the `cyclic_graph_yields_multiple_valid_
+        // paths` setup scaled to max_paths = 1000, max_len = 64. One
+        // memoized class per (nt, len) — the eager walk re-derived each
+        // from scratch per pivot and split.
+        let g = wcnf("S -> a S b | a b");
+        let s = g.symbols.get_nt("S").unwrap();
+        let mut graph = cfpq_graph::Graph::new(1);
+        graph.add_edge_named(0, "a", 0);
+        graph.add_edge_named(0, "b", 0);
+        let idx = solve_on_engine(&DenseEngine, &graph, &g);
+        let page = enumerate_paths(
+            &idx,
+            &graph,
+            &g,
+            s,
+            0,
+            0,
+            EnumLimits {
+                max_len: 64,
+                max_paths: 1000,
+            },
+        );
+        // One witness aⁿbⁿ per even length 2..=64.
+        assert_eq!(page.paths.len(), 32);
+        assert!(page.exhausted);
+        for p in &page.paths {
+            assert!(validate_witness(p, &graph, &g, s, 0, 0));
+        }
     }
 
     #[test]
@@ -330,22 +812,22 @@ mod tests {
         );
         // Diagonal: ε-witness plus nothing else at node 0 of length 0.
         let at_zero = enumerate_paths(&idx, &graph, &g, s, 0, 0, EnumLimits::default());
-        assert_eq!(at_zero[0], Vec::<Edge>::new(), "ε-witness first");
-        assert!(validate_witness(&at_zero[0], &graph, &g, s, 0, 0));
+        assert_eq!(at_zero.paths[0], Vec::<Edge>::new(), "ε-witness first");
+        assert!(validate_witness(&at_zero.paths[0], &graph, &g, s, 0, 0));
         // Full span: the bracket word ( ) ( ) is a witness of length 4.
         let full = enumerate_paths(&idx, &graph, &g, s, 0, 4, EnumLimits::default());
         assert!(
-            full.iter().any(|p| p.len() == 4),
+            full.paths.iter().any(|p| p.len() == 4),
             "full-span witness found, got lengths {:?}",
-            full.iter().map(Vec::len).collect::<Vec<_>>()
+            full.paths.iter().map(Vec::len).collect::<Vec<_>>()
         );
-        for p in &full {
+        for p in &full.paths {
             assert!(validate_witness(p, &graph, &g, s, 0, 4), "path {p:?}");
         }
         // Inner span ( over nodes 2..4 ): a single bracket pair.
         let inner = enumerate_paths(&idx, &graph, &g, s, 2, 4, EnumLimits::default());
-        assert_eq!(inner.len(), 1);
-        assert_eq!(inner[0].len(), 2);
+        assert_eq!(inner.paths.len(), 1);
+        assert_eq!(inner.paths[0].len(), 2);
     }
 
     #[test]
@@ -357,7 +839,9 @@ mod tests {
         let s = g.symbols.get_nt("S").unwrap();
         let graph = generators::word_chain(&["(", ")"]);
         let idx = solve_on_engine(&DenseEngine, &graph, &g);
-        assert!(enumerate_paths(&idx, &graph, &g, s, 1, 1, EnumLimits::default()).is_empty());
+        let page = enumerate_paths(&idx, &graph, &g, s, 1, 1, EnumLimits::default());
+        assert!(page.paths.is_empty());
+        assert!(page.exhausted, "empty because nothing exists, not capped");
         let aware = solve_on_engine_with(
             &DenseEngine,
             &graph,
@@ -366,8 +850,8 @@ mod tests {
                 nullable_diagonal: true,
             },
         );
-        let paths = enumerate_paths(&aware, &graph, &g, s, 1, 1, EnumLimits::default());
-        assert_eq!(paths, vec![Vec::new()], "exactly the ε-witness");
+        let page = enumerate_paths(&aware, &graph, &g, s, 1, 1, EnumLimits::default());
+        assert_eq!(page.paths, vec![Vec::new()], "exactly the ε-witness");
     }
 
     #[test]
@@ -378,20 +862,20 @@ mod tests {
         let s = g.symbols.get_nt("S").unwrap();
         let graph = generators::word_chain(&["(", ")", "(", ")"]);
         let idx = solve_on_engine(&DenseEngine, &graph, &g);
-        let paths = enumerate_paths(&idx, &graph, &g, s, 0, 4, EnumLimits::default());
+        let page = enumerate_paths(&idx, &graph, &g, s, 0, 4, EnumLimits::default());
         // The path is unique even though derivations are many — dedup.
-        assert_eq!(paths.len(), 1);
+        assert_eq!(page.paths.len(), 1);
     }
 
     #[test]
-    fn respects_limits() {
+    fn respects_limits_and_reports_truncation() {
         let g = wcnf("S -> a S b | a b");
         let s = g.symbols.get_nt("S").unwrap();
         let mut graph = cfpq_graph::Graph::new(1);
         graph.add_edge_named(0, "a", 0);
         graph.add_edge_named(0, "b", 0);
         let idx = solve_on_engine(&DenseEngine, &graph, &g);
-        let paths = enumerate_paths(
+        let page = enumerate_paths(
             &idx,
             &graph,
             &g,
@@ -403,7 +887,9 @@ mod tests {
                 max_paths: 3,
             },
         );
-        assert_eq!(paths.len(), 3);
+        assert_eq!(page.paths.len(), 3);
+        // The old API could not answer "3 exist" vs "capped at 3".
+        assert!(!page.exhausted, "cap was hit: more witnesses exist");
     }
 
     #[test]
@@ -412,6 +898,178 @@ mod tests {
         let s = g.symbols.get_nt("S").unwrap();
         let graph = generators::word_chain(&["a", "b"]);
         let idx = solve_on_engine(&DenseEngine, &graph, &g);
-        assert!(enumerate_paths(&idx, &graph, &g, s, 1, 0, EnumLimits::default()).is_empty());
+        let page = enumerate_paths(&idx, &graph, &g, s, 1, 0, EnumLimits::default());
+        assert!(page.paths.is_empty());
+        assert!(page.exhausted);
+    }
+
+    #[test]
+    fn within_length_order_is_lexicographic_and_deterministic() {
+        // Two parallel two-edge routes 0→1→3 and 0→2→3 under
+        // S -> a b: both length-2 witnesses must come out sorted by
+        // their (from, label, to) triples regardless of edge insertion
+        // or engine iteration order — the pinned paging contract.
+        let g = wcnf("S -> a b");
+        let s = g.symbols.get_nt("S").unwrap();
+        let mut graph = cfpq_graph::Graph::new(4);
+        // Inserted deliberately in "wrong" order.
+        graph.add_edge_named(0, "a", 2);
+        graph.add_edge_named(2, "b", 3);
+        graph.add_edge_named(0, "a", 1);
+        graph.add_edge_named(1, "b", 3);
+        let idx = solve_on_engine(&DenseEngine, &graph, &g);
+        let page = enumerate_paths(&idx, &graph, &g, s, 0, 3, EnumLimits::default());
+        assert_eq!(page.paths.len(), 2);
+        let keys: Vec<Vec<(u32, u32, u32)>> = page
+            .paths
+            .iter()
+            .map(|p| p.iter().map(|e| (e.from, e.label.0, e.to)).collect())
+            .collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted, "within-length order is lexicographic");
+        // The 0→1→3 route sorts before 0→2→3.
+        assert_eq!(page.paths[0][0].to, 1);
+        assert_eq!(page.paths[1][0].to, 2);
+    }
+
+    #[test]
+    fn pages_concatenate_to_the_full_stream() {
+        let g = wcnf("S -> a S b | a b");
+        let s = g.symbols.get_nt("S").unwrap();
+        let mut graph = cfpq_graph::Graph::new(1);
+        graph.add_edge_named(0, "a", 0);
+        graph.add_edge_named(0, "b", 0);
+        let idx = solve_on_engine(&DenseEngine, &graph, &g);
+        let mut enumerator = PathEnumerator::from_graph(&graph, &g);
+        let full = enumerator.page(
+            &idx,
+            s,
+            0,
+            0,
+            PageRequest {
+                offset: 0,
+                limit: 100,
+                max_len: 12,
+            },
+        );
+        assert!(full.exhausted);
+        let mut stitched = Vec::new();
+        let mut offset = 0;
+        loop {
+            let page = enumerator.page(
+                &idx,
+                s,
+                0,
+                0,
+                PageRequest {
+                    offset,
+                    limit: 2,
+                    max_len: 12,
+                },
+            );
+            let n = page.paths.len();
+            stitched.extend(page.paths);
+            offset += n;
+            if page.exhausted {
+                break;
+            }
+        }
+        assert_eq!(stitched, full.paths);
+    }
+
+    #[test]
+    fn deep_nullable_chain_terminates_quickly() {
+        // The guard-scan regression (and the blowup it hid): a deeply
+        // nullable `S -> S S | a | eps` on a long a-chain. The ε-erasure
+        // reach set resolves `S ∈ reach[S]` once per endpoint pair; no
+        // re-entrant recursion, no O(depth²) guard scans.
+        let g = wcnf("S -> S S | a | eps");
+        let s = g.symbols.get_nt("S").unwrap();
+        let labels = vec!["a"; 24];
+        let graph = generators::word_chain(&labels);
+        let idx = solve_on_engine_with(
+            &DenseEngine,
+            &graph,
+            &g,
+            SolveOptions {
+                nullable_diagonal: true,
+            },
+        );
+        let page = enumerate_paths(
+            &idx,
+            &graph,
+            &g,
+            s,
+            0,
+            24,
+            EnumLimits {
+                max_len: 24,
+                max_paths: 4,
+            },
+        );
+        // Exactly one witness exists (the chain itself) …
+        assert_eq!(page.paths.len(), 1);
+        assert_eq!(page.paths[0].len(), 24);
+        assert!(page.exhausted);
+        // … and the eager oracle agrees on a shallower prefix (running
+        // it at depth 24 is exactly the blowup this PR removes).
+        let eager = enumerate_paths_eager(
+            &idx,
+            &graph,
+            &g,
+            s,
+            0,
+            6,
+            EnumLimits {
+                max_len: 6,
+                max_paths: 4,
+            },
+        );
+        let lazy = enumerate_paths(
+            &idx,
+            &graph,
+            &g,
+            s,
+            0,
+            6,
+            EnumLimits {
+                max_len: 6,
+                max_paths: 4,
+            },
+        );
+        let key = |p: &Vec<Edge>| {
+            p.iter()
+                .map(|e| (e.from, e.label.0, e.to))
+                .collect::<Vec<_>>()
+        };
+        let mut eager_sorted = eager;
+        eager_sorted.sort_by_key(&key);
+        assert_eq!(eager_sorted, lazy.paths);
+    }
+
+    #[test]
+    fn eager_oracle_matches_enumerator_on_cyclic_setup() {
+        let g = wcnf("S -> a S b | a b");
+        let s = g.symbols.get_nt("S").unwrap();
+        let mut graph = cfpq_graph::Graph::new(1);
+        graph.add_edge_named(0, "a", 0);
+        graph.add_edge_named(0, "b", 0);
+        let idx = solve_on_engine(&DenseEngine, &graph, &g);
+        let limits = EnumLimits {
+            max_len: 10,
+            max_paths: 100,
+        };
+        let eager = enumerate_paths_eager(&idx, &graph, &g, s, 0, 0, limits);
+        let lazy = enumerate_paths(&idx, &graph, &g, s, 0, 0, limits);
+        assert_eq!(eager.len(), lazy.paths.len());
+        let key = |p: &Vec<Edge>| {
+            p.iter()
+                .map(|e| (e.from, e.label.0, e.to))
+                .collect::<Vec<_>>()
+        };
+        let eager_keys: BTreeSet<_> = eager.iter().map(key).collect();
+        let lazy_keys: BTreeSet<_> = lazy.paths.iter().map(key).collect();
+        assert_eq!(eager_keys, lazy_keys);
     }
 }

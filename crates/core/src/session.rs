@@ -55,6 +55,7 @@
 //! assert!(session.last_run(q).unwrap().incremental);
 //! ```
 
+use crate::all_paths::{PageRequest, PathEnumerator, PathPage};
 use crate::query::{relations_map, QueryAnswer};
 use crate::relational::{FixpointSolver, RelationalIndex, SolveOptions, SolveStats, Strategy};
 use crate::single_path::{SinglePathIndex, SinglePathSolver};
@@ -385,6 +386,10 @@ pub struct QueryId(usize);
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct SinglePathId(usize);
 
+/// Handle to an all-path query registered in a [`CfpqSession`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct AllPathsId(usize);
+
 /// What the most recent evaluation of a query actually did: a cold solve
 /// or an incremental repair, and how much kernel work it launched. This
 /// is the observable behind the incremental-beats-cold acceptance check.
@@ -425,6 +430,20 @@ struct SpQueryState<M: LenMat> {
     last_run: Option<RunInfo>,
 }
 
+/// Per-all-path-query cached state: the prepared grammar, the solved
+/// relational closure (the pruning oracle), the batch-log watermark, and
+/// the memoized enumeration tables — valid for exactly the graph state
+/// the closure reflects, so cold solves and repairs rebuild them while
+/// page-after-page reads on a quiet graph keep accumulating reuse.
+#[derive(Clone)]
+struct ApQueryState<M: Clone> {
+    query: PreparedQuery,
+    solved: Option<RelationalIndex<M>>,
+    watermark: usize,
+    last_run: Option<RunInfo>,
+    enumerator: Option<PathEnumerator>,
+}
+
 /// A multi-query evaluation session over one [`GraphIndex`]: prepare
 /// grammars once, evaluate them many times, feed edges in between.
 ///
@@ -443,6 +462,9 @@ pub struct CfpqSession<E: BoolEngine + LenEngine> {
     queries: Vec<QueryState<E::Matrix>>,
     /// Prepared single-path queries with their cached length closures.
     sp_queries: Vec<SpQueryState<E::LenMatrix>>,
+    /// Prepared all-path queries with their cached closures and
+    /// memoized enumeration tables.
+    ap_queries: Vec<ApQueryState<E::Matrix>>,
 }
 
 impl<E: BoolEngine + LenEngine + Clone> Clone for CfpqSession<E> {
@@ -452,6 +474,7 @@ impl<E: BoolEngine + LenEngine + Clone> Clone for CfpqSession<E> {
             batches: self.batches.clone(),
             queries: self.queries.clone(),
             sp_queries: self.sp_queries.clone(),
+            ap_queries: self.ap_queries.clone(),
         }
     }
 }
@@ -583,6 +606,7 @@ impl<E: BoolEngine + LenEngine> CfpqSession<E> {
             batches: Vec::new(),
             queries: Vec::new(),
             sp_queries: Vec::new(),
+            ap_queries: Vec::new(),
         }
     }
 
@@ -626,7 +650,8 @@ impl<E: BoolEngine + LenEngine> CfpqSession<E> {
         // solved query, cold solves read the index directly, so nothing
         // needs the batch.
         let any_solved = self.queries.iter().any(|q| q.solved.is_some())
-            || self.sp_queries.iter().any(|q| q.solved.is_some());
+            || self.sp_queries.iter().any(|q| q.solved.is_some())
+            || self.ap_queries.iter().any(|q| q.solved.is_some());
         if inserted > 0 && any_solved {
             self.batches.push(batch);
         }
@@ -649,6 +674,12 @@ impl<E: BoolEngine + LenEngine> CfpqSession<E> {
                     .filter(|q| q.solved.is_some())
                     .map(|q| q.watermark),
             )
+            .chain(
+                self.ap_queries
+                    .iter()
+                    .filter(|q| q.solved.is_some())
+                    .map(|q| q.watermark),
+            )
             .min()
             .unwrap_or(self.batches.len());
         if consumed == 0 {
@@ -659,6 +690,9 @@ impl<E: BoolEngine + LenEngine> CfpqSession<E> {
             q.watermark = q.watermark.saturating_sub(consumed);
         }
         for q in &mut self.sp_queries {
+            q.watermark = q.watermark.saturating_sub(consumed);
+        }
+        for q in &mut self.ap_queries {
             q.watermark = q.watermark.saturating_sub(consumed);
         }
     }
@@ -836,6 +870,117 @@ impl<E: BoolEngine + LenEngine> CfpqSession<E> {
     /// actually did. `None` until the first evaluation.
     pub fn last_single_path_run(&self, id: SinglePathId) -> Option<&RunInfo> {
         self.sp_queries[id.0].last_run.as_ref()
+    }
+
+    /// Normalizes `grammar` and registers it for all-path (§7)
+    /// enumeration: the session keeps a relational closure for pruning
+    /// plus the memoized enumeration tables, both repaired/rebuilt
+    /// lazily after [`CfpqSession::add_edges`].
+    pub fn prepare_all_paths(&mut self, grammar: &Cfg) -> Result<AllPathsId, GrammarError> {
+        Ok(self.prepare_all_paths_query(PreparedQuery::new(grammar)?))
+    }
+
+    /// Registers a fully-configured [`PreparedQuery`] for all-path
+    /// enumeration. Solve it with `nullable_diagonal` enabled if the
+    /// grammar has ε-rules and ε-witnesses should surface.
+    pub fn prepare_all_paths_query(&mut self, query: PreparedQuery) -> AllPathsId {
+        self.ap_queries.push(ApQueryState {
+            query,
+            solved: None,
+            watermark: 0,
+            last_run: None,
+            enumerator: None,
+        });
+        AllPathsId(self.ap_queries.len() - 1)
+    }
+
+    /// Streams one page of distinct witness paths for the query's start
+    /// nonterminal between `from` and `to`, in (length, lexicographic)
+    /// order — see [`crate::all_paths::PathEnumerator::page`].
+    ///
+    /// The first call cold-solves the query's relational closure (the
+    /// pruning oracle) and builds fresh enumeration tables; later calls
+    /// reuse both, repairing the closure semi-naively and rebuilding the
+    /// tables only when [`CfpqSession::add_edges`] grew the graph in
+    /// between — so a repaired session serves exactly the pages a
+    /// from-scratch session would. On a quiet graph, consecutive pages
+    /// (or queries on other endpoint pairs) keep extending the same
+    /// memoized tables.
+    ///
+    /// # Panics
+    ///
+    /// If `id` does not belong to this session.
+    pub fn enumerate_paths(
+        &mut self,
+        id: AllPathsId,
+        from: NodeId,
+        to: NodeId,
+        page: PageRequest,
+    ) -> PathPage {
+        let state = &mut self.ap_queries[id.0];
+        let wcnf = &state.query.wcnf;
+        let n = self.index.n_nodes;
+
+        match &mut state.solved {
+            None => {
+                let solved = solve_prepared(&self.index, &state.query);
+                state.last_run = Some(RunInfo {
+                    stats: solved.stats.clone(),
+                    sweeps: solved.iterations,
+                    incremental: false,
+                });
+                state.solved = Some(solved);
+                state.watermark = self.batches.len();
+                state.enumerator = Some(PathEnumerator::from_index(&self.index, wcnf));
+            }
+            Some(solved) => {
+                if state.watermark < self.batches.len() {
+                    let bindings = self.index.term_bindings(wcnf);
+                    let by_term = wcnf.nts_by_terminal();
+                    let new_pairs = batch_seed_pairs(
+                        &self.batches[state.watermark..],
+                        &bindings,
+                        &by_term,
+                        wcnf,
+                    );
+                    let stats =
+                        repair_prepared(&self.index.engine, &state.query, solved, new_pairs, n);
+                    state.last_run = Some(RunInfo {
+                        sweeps: stats.sweep_nnz.len(),
+                        stats,
+                        incremental: true,
+                    });
+                    state.watermark = self.batches.len();
+                    // The memoized length classes are exact-length sets
+                    // over the *old* edge relation — any of them may have
+                    // grown, so rebuild rather than patch.
+                    state.enumerator = Some(PathEnumerator::from_index(&self.index, wcnf));
+                }
+            }
+        }
+
+        let nt = wcnf.start;
+        let solved = state.solved.as_ref().expect("closure just materialized");
+        let result = state
+            .enumerator
+            .as_mut()
+            .expect("enumerator just materialized")
+            .page(solved, nt, from, to, page);
+        self.compact_batches();
+        result
+    }
+
+    /// The closed relational index backing an all-path query, if it has
+    /// been enumerated at least once.
+    pub fn all_paths_index(&self, id: AllPathsId) -> Option<&RelationalIndex<E::Matrix>> {
+        self.ap_queries[id.0].solved.as_ref()
+    }
+
+    /// What the last [`CfpqSession::enumerate_paths`] of this query
+    /// actually did to the closure (cold vs incremental repair). `None`
+    /// until the first enumeration.
+    pub fn last_all_paths_run(&self, id: AllPathsId) -> Option<&RunInfo> {
+        self.ap_queries[id.0].last_run.as_ref()
     }
 }
 
@@ -1183,6 +1328,42 @@ mod tests {
         let pairs = session.evaluate_single_path(sp).pairs(start);
         assert_eq!(answer.start_pairs(), pairs);
         assert!(session.batches.is_empty(), "both absorbed, log drained");
+    }
+
+    #[test]
+    fn all_paths_session_repairs_and_matches_from_scratch() {
+        let grammar = Cfg::parse("S -> a S b | a b").unwrap();
+        let mut graph = Graph::new(5);
+        graph.add_edge_named(0, "a", 1);
+        graph.add_edge_named(1, "a", 2);
+        graph.add_edge_named(2, "b", 3);
+        let mut session = CfpqSession::new(SparseEngine, &graph);
+        let q = session.prepare_all_paths(&grammar).unwrap();
+        // Truncated chain: only the inner `ab` span has a witness.
+        let page = session.enumerate_paths(q, 1, 3, PageRequest::default());
+        assert_eq!(page.paths.len(), 1);
+        assert!(page.exhausted);
+        assert!(!session.last_all_paths_run(q).unwrap().incremental);
+        // Complete the chain: the closure repairs, the tables rebuild.
+        session.add_edges(&[(3, "b", 4)]);
+        let outer = session.enumerate_paths(q, 0, 4, PageRequest::default());
+        assert!(session.last_all_paths_run(q).unwrap().incremental);
+        assert_eq!(outer.paths.len(), 1);
+        assert_eq!(outer.paths[0].len(), 4);
+        // A from-scratch session over the final graph serves the same
+        // page — repair must not change what is enumerated.
+        let mut full = Graph::new(5);
+        for (f, l, t) in [(0, "a", 1), (1, "a", 2), (2, "b", 3), (3, "b", 4)] {
+            full.add_edge_named(f, l, t);
+        }
+        let mut fresh = CfpqSession::new(SparseEngine, &full);
+        let q2 = fresh.prepare_all_paths(&grammar).unwrap();
+        assert_eq!(
+            fresh.enumerate_paths(q2, 0, 4, PageRequest::default()),
+            outer
+        );
+        // The log drained once the only query absorbed it.
+        assert!(session.batches.is_empty());
     }
 
     #[test]

@@ -34,6 +34,15 @@
 //!   closure once, and answer every request in the batch from it. Per
 //!   epoch, [`ServiceStats`] reports queries served, cache hits, repair
 //!   vs cold products, and the epoch publish latency.
+//! * **Paths as a workload.** [`CfpqService::enqueue_paths`] serves the
+//!   §7 all-path semantics through the same scheduler: a ticketed,
+//!   paged stream of witness paths per answer pair, enumerated by the
+//!   memoized [`cfpq_core::all_paths::PathEnumerator`] against one
+//!   epoch (pages are snapshot-consistent even while writers publish),
+//!   clamped per request by [`ServiceConfig::path_quota`], with
+//!   truncation reported explicitly — per page via
+//!   [`PairPaths::exhausted`], per epoch via
+//!   [`ServiceStats::pages_truncated`].
 //!
 //! Thread-pool sizing composes with the kernel pool through
 //! [`cfpq_matrix::Parallelism`]: split one budget between scheduler
@@ -71,6 +80,7 @@
 //! );
 //! ```
 
+use cfpq_core::all_paths::{PageRequest, PathEnumerator, PathPage};
 use cfpq_core::query::QueryAnswer;
 use cfpq_core::relational::RelationalIndex;
 use cfpq_core::session::{
@@ -79,7 +89,7 @@ use cfpq_core::session::{
 };
 use cfpq_core::single_path::SinglePathIndex;
 use cfpq_grammar::{Cfg, GrammarError};
-use cfpq_graph::{Graph, NodeId};
+use cfpq_graph::{Edge, Graph, NodeId};
 use cfpq_matrix::{BoolEngine, BoolMat, LenEngine, Parallelism};
 use std::cell::Cell;
 use std::collections::{BTreeMap, HashMap, VecDeque};
@@ -87,6 +97,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock, RwLock};
 use std::thread::JoinHandle;
 use std::time::Instant;
+
+pub use cfpq_core::all_paths::PageRequest as PathPageRequest;
 
 /// The engine bound the service needs: both kernel families (relational
 /// Boolean closures and §5 length closures), cheap cloning (snapshots
@@ -110,14 +122,29 @@ pub struct SinglePathId(usize);
 pub struct ServiceConfig {
     /// Scheduler worker threads (clamped to at least 1).
     pub workers: usize,
+    /// Per-request result quota for [`CfpqService::enqueue_paths`]: the
+    /// total number of paths one request may receive across all its
+    /// pairs. Pages cut by the quota come back with `exhausted: false`
+    /// (and count into [`ServiceStats::pages_truncated`]), so clients
+    /// can resume with `offset` paging instead of silently losing tail
+    /// results.
+    pub path_quota: usize,
 }
 
 impl ServiceConfig {
-    /// A config with `workers` scheduler threads.
+    /// A config with `workers` scheduler threads and the default path
+    /// quota.
     pub fn new(workers: usize) -> Self {
         Self {
             workers: workers.max(1),
+            path_quota: 1024,
         }
+    }
+
+    /// Overrides the per-request all-path result quota.
+    pub fn with_path_quota(mut self, quota: usize) -> Self {
+        self.path_quota = quota;
+        self
     }
 
     /// Derives the config *and* the kernel device from one
@@ -166,6 +193,13 @@ pub struct ServiceStats {
     /// Matrix products launched by those repairs (the incremental cost
     /// of the update; compare with `cold_products`).
     pub repair_products: u64,
+    /// Witness paths streamed to [`CfpqService::enqueue_paths`] tickets
+    /// answered against this epoch.
+    pub paths_served: u64,
+    /// Path pages returned non-exhausted (cut by the request's `limit`
+    /// or the service's `path_quota`) — nonzero means some client saw a
+    /// truncated page and may want to resume with `offset` paging.
+    pub pages_truncated: u64,
 }
 
 #[derive(Default)]
@@ -177,6 +211,8 @@ struct EpochCounters {
     cold_products: AtomicU64,
     repairs: AtomicU64,
     repair_products: AtomicU64,
+    paths_served: AtomicU64,
+    pages_truncated: AtomicU64,
 }
 
 /// A per-epoch cache of lazily-solved values: one `OnceLock` cell per
@@ -252,10 +288,16 @@ struct EpochRecord {
 enum QueueKey {
     Rel(usize),
     Sp(usize),
+    /// All-path enumeration over the relational query `q` — shares the
+    /// rel closure cache (the pruning oracle) but queues separately so a
+    /// path batch amortizes one enumerator across its requests.
+    Paths(usize),
 }
 
 struct Request {
     pairs: Vec<(u32, u32)>,
+    /// Page bounds for `QueueKey::Paths` requests; `None` elsewhere.
+    page: Option<PageRequest>,
     ticket: Arc<TicketState>,
 }
 
@@ -273,6 +315,7 @@ struct SchedShared {
 }
 
 struct Inner<E: ServiceEngine> {
+    config: ServiceConfig,
     queries: RwLock<Vec<Arc<PreparedQuery>>>,
     sp_queries: RwLock<Vec<Arc<PreparedQuery>>>,
     current: RwLock<Arc<Epoch<E>>>,
@@ -281,6 +324,22 @@ struct Inner<E: ServiceEngine> {
     writer: Mutex<()>,
     epochs: Mutex<Vec<EpochRecord>>,
     sched: SchedShared,
+}
+
+/// One endpoint pair's page of an [`CfpqService::enqueue_paths`]
+/// answer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PairPaths {
+    /// Source node.
+    pub from: u32,
+    /// Target node.
+    pub to: u32,
+    /// The page's witness paths, in (length, lexicographic) order.
+    pub paths: Vec<Vec<Edge>>,
+    /// `false` iff the page was cut by the request's `limit` or the
+    /// service's `path_quota` — more paths exist within `max_len`; page
+    /// on with a larger `offset`.
+    pub exhausted: bool,
 }
 
 /// The result a [`Ticket`] resolves to.
@@ -292,6 +351,10 @@ pub struct TicketAnswer {
     /// If the request named pairs: the subset of them in `R_S` (sorted).
     /// If it named none: all of `R_S`.
     pub pairs: Vec<(u32, u32)>,
+    /// For [`CfpqService::enqueue_paths`] requests: one page per
+    /// answered pair (aligned with `pairs`), all enumerated against the
+    /// same epoch. `None` for relational and single-path requests.
+    pub paths: Option<Vec<PairPaths>>,
 }
 
 #[derive(Default)]
@@ -515,6 +578,7 @@ fn serve_batch<E: ServiceEngine>(inner: &Inner<E>, key: QueueKey, batch: VecDequ
                 req.ticket.fulfill(TicketAnswer {
                     epoch: epoch.epoch,
                     pairs: filter_pairs(full, &req.pairs),
+                    paths: None,
                 });
             }
         }
@@ -528,6 +592,62 @@ fn serve_batch<E: ServiceEngine>(inner: &Inner<E>, key: QueueKey, batch: VecDequ
                 req.ticket.fulfill(TicketAnswer {
                     epoch: epoch.epoch,
                     pairs: filter_pairs(&full, &req.pairs),
+                    paths: None,
+                });
+            }
+        }
+        QueueKey::Paths(q) => {
+            let solved = solve_rel(inner, &epoch, q);
+            let prepared = inner.queries.read().expect("queries poisoned")[q].clone();
+            let wcnf = prepared.wcnf();
+            let start = wcnf.start;
+            // One enumerator per batch: its memoized length classes are
+            // shared by every request and every pair answered here, and
+            // it reads the same epoch the pruning closure came from —
+            // pages are epoch-consistent by construction.
+            let mut enumerator = PathEnumerator::from_index(&epoch.index, wcnf);
+            let quota = inner.config.path_quota;
+            for req in batch {
+                let page = req.page.unwrap_or_default();
+                let targets = filter_pairs(solved.answer.start_pairs(), &req.pairs);
+                // The quota bounds one request's total paths across all
+                // its pairs; a page it cuts short is reported truncated,
+                // never silently clipped.
+                let mut budget = quota;
+                let mut answers = Vec::with_capacity(targets.len());
+                for &(i, j) in &targets {
+                    let result = if page.limit.min(budget) == 0 {
+                        PathPage::truncated()
+                    } else {
+                        enumerator.page(
+                            &solved.index,
+                            start,
+                            i,
+                            j,
+                            PageRequest {
+                                limit: page.limit.min(budget),
+                                ..page
+                            },
+                        )
+                    };
+                    budget -= result.paths.len();
+                    counters
+                        .paths_served
+                        .fetch_add(result.paths.len() as u64, Ordering::Relaxed);
+                    if !result.exhausted {
+                        counters.pages_truncated.fetch_add(1, Ordering::Relaxed);
+                    }
+                    answers.push(PairPaths {
+                        from: i,
+                        to: j,
+                        paths: result.paths,
+                        exhausted: result.exhausted,
+                    });
+                }
+                req.ticket.fulfill(TicketAnswer {
+                    epoch: epoch.epoch,
+                    pairs: targets,
+                    paths: Some(answers),
                 });
             }
         }
@@ -563,6 +683,7 @@ impl<E: ServiceEngine> CfpqService<E> {
             counters: Arc::clone(&counters),
         });
         let inner = Arc::new(Inner {
+            config,
             queries: RwLock::new(Vec::new()),
             sp_queries: RwLock::new(Vec::new()),
             current: RwLock::new(epoch),
@@ -665,7 +786,28 @@ impl<E: ServiceEngine> CfpqService<E> {
             query.0 < self.inner.queries.read().expect("queries poisoned").len(),
             "query not registered in this service"
         );
-        self.push_request(QueueKey::Rel(query.0), pairs)
+        self.push_request(QueueKey::Rel(query.0), pairs, None)
+    }
+
+    /// Submits an all-path enumeration request: stream `page`-bounded
+    /// witness pages for `query`'s start nonterminal at each of `pairs`
+    /// (every pair of `R_S` if `pairs` is empty). The [`Ticket`]'s
+    /// answer carries one [`PairPaths`] per answered pair in
+    /// [`TicketAnswer::paths`], all enumerated against a single epoch
+    /// and clamped by [`ServiceConfig::path_quota`] — quota- or
+    /// limit-cut pages come back with `exhausted: false`, never silently
+    /// clipped.
+    pub fn enqueue_paths(
+        &self,
+        query: QueryId,
+        pairs: Vec<(u32, u32)>,
+        page: PageRequest,
+    ) -> Ticket {
+        assert!(
+            query.0 < self.inner.queries.read().expect("queries poisoned").len(),
+            "query not registered in this service"
+        );
+        self.push_request(QueueKey::Paths(query.0), pairs, Some(page))
     }
 
     /// Submits a single-path request to the scheduler (answers with the
@@ -682,10 +824,15 @@ impl<E: ServiceEngine> CfpqService<E> {
                     .len(),
             "query not registered in this service"
         );
-        self.push_request(QueueKey::Sp(query.0), pairs)
+        self.push_request(QueueKey::Sp(query.0), pairs, None)
     }
 
-    fn push_request(&self, key: QueueKey, pairs: Vec<(u32, u32)>) -> Ticket {
+    fn push_request(
+        &self,
+        key: QueueKey,
+        pairs: Vec<(u32, u32)>,
+        page: Option<PageRequest>,
+    ) -> Ticket {
         let state = Arc::new(TicketState::default());
         {
             let mut st = self.inner.sched.state.lock().expect("scheduler poisoned");
@@ -693,6 +840,7 @@ impl<E: ServiceEngine> CfpqService<E> {
             let was_empty = queue.is_empty();
             queue.push_back(Request {
                 pairs,
+                page,
                 ticket: Arc::clone(&state),
             });
             if was_empty {
@@ -829,6 +977,8 @@ impl<E: ServiceEngine> CfpqService<E> {
                 cold_products: r.counters.cold_products.load(Ordering::Relaxed),
                 repairs: r.counters.repairs.load(Ordering::Relaxed),
                 repair_products: r.counters.repair_products.load(Ordering::Relaxed),
+                paths_served: r.counters.paths_served.load(Ordering::Relaxed),
+                pages_truncated: r.counters.pages_truncated.load(Ordering::Relaxed),
             })
             .collect()
     }
@@ -1053,6 +1203,122 @@ mod tests {
             check(ParSparseEngine::new(Device::new(2)), &graph, &grammar),
             expect
         );
+    }
+
+    #[test]
+    fn paths_tickets_stream_valid_pages() {
+        use cfpq_core::single_path::validate_witness;
+        let grammar = Cfg::parse("S -> a S b | a b").unwrap();
+        let wcnf = grammar
+            .to_wcnf(cfpq_grammar::cnf::CnfOptions::default())
+            .unwrap();
+        let mut graph = Graph::new(1);
+        graph.add_edge_named(0, "a", 0);
+        graph.add_edge_named(0, "b", 0);
+        let service = CfpqService::new(SparseEngine, &graph);
+        let q = service.prepare(&grammar).unwrap();
+        let answer = service
+            .enqueue_paths(
+                q,
+                vec![],
+                PageRequest {
+                    offset: 0,
+                    limit: 10,
+                    max_len: 8,
+                },
+            )
+            .wait();
+        assert_eq!(answer.pairs, vec![(0, 0)]);
+        let pages = answer.paths.expect("paths request answers with pages");
+        assert_eq!(pages.len(), 1);
+        let page = &pages[0];
+        assert_eq!(page.paths.len(), 4, "a^n b^n for n in 1..=4");
+        assert!(page.exhausted);
+        for p in &page.paths {
+            assert!(validate_witness(p, &graph, &wcnf, wcnf.start, 0, 0));
+        }
+        let stats = service.stats();
+        assert_eq!(stats[0].paths_served, 4);
+        assert_eq!(stats[0].pages_truncated, 0);
+    }
+
+    #[test]
+    fn path_quota_truncates_loudly() {
+        let grammar = Cfg::parse("S -> a S b | a b").unwrap();
+        let mut graph = Graph::new(1);
+        graph.add_edge_named(0, "a", 0);
+        graph.add_edge_named(0, "b", 0);
+        let service = CfpqService::with_config(
+            SparseEngine,
+            &graph,
+            ServiceConfig::new(1).with_path_quota(2),
+        );
+        let q = service.prepare(&grammar).unwrap();
+        let answer = service
+            .enqueue_paths(
+                q,
+                vec![],
+                PageRequest {
+                    offset: 0,
+                    limit: 10,
+                    max_len: 12,
+                },
+            )
+            .wait();
+        let page = &answer.paths.unwrap()[0];
+        assert_eq!(page.paths.len(), 2, "quota clamps the page");
+        assert!(!page.exhausted, "the cut is reported, not silent");
+        let stats = service.stats();
+        assert_eq!(stats[0].paths_served, 2);
+        assert_eq!(stats[0].pages_truncated, 1);
+    }
+
+    #[test]
+    fn paths_pages_are_epoch_consistent_across_updates() {
+        use cfpq_core::all_paths::enumerate_paths;
+        use cfpq_core::all_paths::EnumLimits;
+        use cfpq_core::relational::solve_on_engine;
+        let grammar = Cfg::parse("S -> a S b | a b").unwrap();
+        let wcnf = grammar
+            .to_wcnf(cfpq_grammar::cnf::CnfOptions::default())
+            .unwrap();
+        let chain = generators::word_chain(&["a", "a", "b"]);
+        let service = CfpqService::new(SparseEngine, &chain);
+        let q = service.prepare(&grammar).unwrap();
+        let req = PageRequest {
+            offset: 0,
+            limit: 16,
+            max_len: 8,
+        };
+        let before = service.enqueue_paths(q, vec![], req).wait();
+        service.add_edges(&[(3, "b", 4)]);
+        let after = service.enqueue_paths(q, vec![], req).wait();
+        assert_eq!(before.epoch, 0);
+        assert_eq!(after.epoch, 1);
+        // Each answer equals a from-scratch enumeration over the graph
+        // of its own epoch — pages never mix epochs.
+        let mut full = generators::word_chain(&["a", "a", "b"]);
+        full.add_edge_named(3, "b", 4);
+        for (answer, graph) in [(&before, &chain), (&after, &full)] {
+            let rel = solve_on_engine(&SparseEngine, graph, &wcnf);
+            for pp in answer.paths.as_ref().unwrap() {
+                let expect = enumerate_paths(
+                    &rel,
+                    graph,
+                    &wcnf,
+                    wcnf.start,
+                    pp.from,
+                    pp.to,
+                    EnumLimits {
+                        max_len: req.max_len,
+                        max_paths: req.limit,
+                    },
+                );
+                assert_eq!(pp.paths, expect.paths);
+                assert_eq!(pp.exhausted, expect.exhausted);
+            }
+        }
+        assert_eq!(after.pairs, vec![(0, 4), (1, 3)]);
     }
 
     #[test]

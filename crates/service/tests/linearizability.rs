@@ -1,27 +1,30 @@
 //! Fixed-seed linearizability suite for the concurrent query service.
 //!
-//! N reader threads evaluate prepared queries — relational *and*
-//! single-path, through direct snapshot reads *and* scheduler tickets —
-//! while a writer applies a fixed sequence of `add_edges` batches. Every
-//! answer the service hands out is tagged with the epoch it was computed
-//! against, and epochs are totally ordered (writers are serialized), so
+//! N reader threads evaluate prepared queries — relational,
+//! single-path, *and* paged all-path enumeration, through direct
+//! snapshot reads *and* scheduler tickets — while a writer applies a
+//! fixed sequence of `add_edges` batches. Every answer the service
+//! hands out is tagged with the epoch it was computed against, and
+//! epochs are totally ordered (writers are serialized), so
 //! linearizability reduces to: **every observation must equal the
 //! sequential answer on the graph state of its epoch**. The suite
 //! replays the epoch sequence after the threads join and checks each
 //! recorded `(epoch, pairs)` observation against a from-scratch solve of
-//! that epoch's graph, on all four engines.
+//! that epoch's graph — and each `(epoch, pages)` paths observation
+//! against a from-scratch enumeration — on all four engines.
 //!
 //! Inputs are generated from a fixed RNG seed (same scheme as the other
 //! fixed-seed suites), so CI replays identical interleaving *inputs* on
 //! every run; the thread count is tunable via `CFPQ_LIN_THREADS` (the CI
 //! stress job bumps it).
 
+use cfpq_core::all_paths::{PageRequest, PathEnumerator};
 use cfpq_core::relational::FixpointSolver;
 use cfpq_grammar::cnf::CnfOptions;
 use cfpq_grammar::{Cfg, Wcnf};
 use cfpq_graph::{generators, Graph};
 use cfpq_matrix::{DenseEngine, Device, ParDenseEngine, ParSparseEngine, SparseEngine};
-use cfpq_service::{CfpqService, ServiceConfig, ServiceEngine};
+use cfpq_service::{CfpqService, PairPaths, ServiceConfig, ServiceEngine};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -88,6 +91,52 @@ fn workload(seed: u64) -> Workload {
     Workload { base, batches }
 }
 
+/// The fixed page bounds every paths-ticket reader uses (small enough
+/// to stay far under the default service quota, large enough that pages
+/// are usually exhausted).
+fn path_req() -> PageRequest {
+    PageRequest {
+        offset: 0,
+        limit: 8,
+        max_len: 8,
+    }
+}
+
+/// The sequential all-path reference: for each epoch, a from-scratch
+/// enumeration of every start pair on that epoch's replayed graph. The
+/// replay interns labels in the same first-appearance order as the
+/// service's evolving index, so pages compare by raw label id.
+fn reference_paths(workload: &Workload, wcnf: &Wcnf) -> Vec<Vec<PairPaths>> {
+    let mut graph = workload.base.clone();
+    let mut expected = Vec::new();
+    let mut push_epoch = |graph: &Graph| {
+        let rel = FixpointSolver::new(&SparseEngine).solve(graph, wcnf);
+        let mut enumerator = PathEnumerator::from_graph(graph, wcnf);
+        expected.push(
+            rel.pairs(wcnf.start)
+                .into_iter()
+                .map(|(i, j)| {
+                    let page = enumerator.page(&rel, wcnf.start, i, j, path_req());
+                    PairPaths {
+                        from: i,
+                        to: j,
+                        paths: page.paths,
+                        exhausted: page.exhausted,
+                    }
+                })
+                .collect(),
+        );
+    };
+    push_epoch(&graph);
+    for batch in &workload.batches {
+        for (u, label, v) in batch {
+            graph.add_edge_named(*u, label, *v);
+        }
+        push_epoch(&graph);
+    }
+    expected
+}
+
 /// The sequential reference: graph states epoch by epoch, solved from
 /// scratch.
 fn reference_answers(workload: &Workload, wcnf: &Wcnf) -> Vec<Vec<(u32, u32)>> {
@@ -112,20 +161,24 @@ fn reference_answers(workload: &Workload, wcnf: &Wcnf) -> Vec<Vec<(u32, u32)>> {
 /// observation against its epoch's sequential answer.
 fn check_engine<E: ServiceEngine>(engine: E, workload: &Workload, grammar: &Cfg, wcnf: &Wcnf) {
     let expected = reference_answers(workload, wcnf);
+    let expected_paths = reference_paths(workload, wcnf);
     let service = CfpqService::with_config(engine, &workload.base, ServiceConfig::new(2));
     let rel = service.prepare(grammar).unwrap();
     let sp = service.prepare_single_path(grammar).unwrap();
 
-    // (epoch, pairs, what) observations from every reader.
+    // (epoch, pairs, what) observations from every reader, plus
+    // (epoch, pages) observations from the paths-ticket rounds.
     type Obs = (u64, Vec<(u32, u32)>, &'static str);
+    type PathObs = (u64, Vec<PairPaths>);
     let done = AtomicBool::new(false);
-    let observations: Vec<Obs> = std::thread::scope(|s| {
+    let (observations, path_observations): (Vec<Obs>, Vec<PathObs>) = std::thread::scope(|s| {
         let readers: Vec<_> = (0..n_readers())
             .map(|r| {
                 let service = &service;
                 let done = &done;
                 s.spawn(move || {
                     let mut obs: Vec<Obs> = Vec::new();
+                    let mut path_obs: Vec<PathObs> = Vec::new();
                     let mut round = 0usize;
                     // Keep reading until the writer finished, then once
                     // more so the final epoch is always observed.
@@ -134,7 +187,7 @@ fn check_engine<E: ServiceEngine>(engine: E, workload: &Workload, grammar: &Cfg,
                         if done.load(Ordering::Relaxed) {
                             after_done += 1;
                         }
-                        match (round + r) % 3 {
+                        match (round + r) % 4 {
                             0 => {
                                 let snap = service.snapshot();
                                 obs.push((
@@ -148,15 +201,23 @@ fn check_engine<E: ServiceEngine>(engine: E, workload: &Workload, grammar: &Cfg,
                                 let a = t.wait();
                                 obs.push((a.epoch, a.pairs, "ticket"));
                             }
-                            _ => {
+                            2 => {
                                 let snap = service.snapshot();
                                 let idx = snap.evaluate_single_path(sp);
                                 obs.push((snap.epoch(), idx.pairs(wcnf.start), "single-path"));
                             }
+                            _ => {
+                                let t = service.enqueue_paths(rel, vec![], path_req());
+                                let a = t.wait();
+                                path_obs.push((
+                                    a.epoch,
+                                    a.paths.expect("paths ticket answers with pages"),
+                                ));
+                            }
                         }
                         round += 1;
                     }
-                    obs
+                    (obs, path_obs)
                 })
             })
             .collect();
@@ -171,10 +232,14 @@ fn check_engine<E: ServiceEngine>(engine: E, workload: &Workload, grammar: &Cfg,
         }
         done.store(true, Ordering::Relaxed);
 
-        readers
-            .into_iter()
-            .flat_map(|r| r.join().expect("reader panicked"))
-            .collect()
+        let mut obs = Vec::new();
+        let mut path_obs = Vec::new();
+        for r in readers {
+            let (o, p) = r.join().expect("reader panicked");
+            obs.extend(o);
+            path_obs.extend(p);
+        }
+        (obs, path_obs)
     });
 
     assert_eq!(
@@ -189,6 +254,17 @@ fn check_engine<E: ServiceEngine>(engine: E, workload: &Workload, grammar: &Cfg,
         assert_eq!(
             &pairs, &expected[epoch as usize],
             "{what} observation at epoch {epoch} diverges from the sequential execution"
+        );
+    }
+    // Every paths ticket must have streamed exactly the pages a
+    // sequential enumeration of its epoch's graph streams: answered
+    // within one epoch (never mixing two), deterministically ordered,
+    // truncation flags included.
+    for (epoch, pages) in path_observations {
+        seen_epochs.insert(epoch);
+        assert_eq!(
+            &pages, &expected_paths[epoch as usize],
+            "paths observation at epoch {epoch} diverges from the sequential enumeration"
         );
     }
     // The post-writer read guarantees the final state was observed.

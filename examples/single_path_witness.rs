@@ -54,7 +54,7 @@ fn main() {
     cyclic.add_edge_named(0, "subClassOf_r", 0);
     cyclic.add_edge_named(0, "subClassOf", 0);
     let rel = FixpointSolver::new(&SparseEngine).solve(&cyclic, &wcnf);
-    let paths = enumerate_paths(
+    let page = enumerate_paths(
         &rel,
         &cyclic,
         &wcnf,
@@ -68,11 +68,21 @@ fn main() {
     );
     println!(
         "\nCyclic graph (self loops): {} distinct witnesses of length <= 6 for (S, 0, 0):",
-        paths.len()
+        page.paths.len()
     );
-    for p in &paths {
+    for p in &page.paths {
         let labels: Vec<&str> = p.iter().map(|e| cyclic.label_name(e.label)).collect();
         println!("  {}", labels.join(" "));
         assert!(validate_witness(p, &cyclic, &wcnf, s, 0, 0));
     }
+    // Truncation is explicit: `exhausted` distinguishes "that's all of
+    // them" from "the caps cut the stream".
+    println!(
+        "{}",
+        if page.exhausted {
+            "Complete: no further witnesses within the length bound."
+        } else {
+            "Truncated by the path cap: page on for more witnesses."
+        }
+    );
 }

@@ -42,11 +42,16 @@ pub use cfpq_service as service;
 
 /// Commonly used items in one import.
 pub mod prelude {
+    pub use cfpq_core::all_paths::{
+        enumerate_paths, EnumLimits, PageRequest, PathEnumerator, PathPage,
+    };
     pub use cfpq_core::query::{solve, solve_with, Backend, QueryAnswer};
     pub use cfpq_core::relational::{
         solve_on_engine, solve_set_matrix, FixpointSolver, SolveStats, Strategy,
     };
-    pub use cfpq_core::session::{CfpqSession, GraphIndex, PreparedQuery, QueryId, SinglePathId};
+    pub use cfpq_core::session::{
+        AllPathsId, CfpqSession, GraphIndex, PreparedQuery, QueryId, SinglePathId,
+    };
     pub use cfpq_core::single_path::{
         extract_path, solve_single_path, validate_witness, SinglePathSolver,
     };

@@ -58,7 +58,7 @@ fn all_paths_on_binary_tree_counts_descend_ascend_pairs() {
     let graph = generators::binary_tree(3, "down", "up");
     let rel = solve_on_engine(&SparseEngine, &graph, &wcnf);
     assert!(rel.contains(s, 0, 0));
-    let paths = enumerate_paths(
+    let page = enumerate_paths(
         &rel,
         &graph,
         &wcnf,
@@ -70,10 +70,11 @@ fn all_paths_on_binary_tree_counts_descend_ascend_pairs() {
             max_paths: 1000,
         },
     );
+    assert!(page.exhausted, "1000-path cap was not hit");
     // Witness of length 2: down to a child and back (2 children);
     // length 4: down 2 and back (4 grandchildren); length 6: 8.
     let mut by_len = std::collections::BTreeMap::new();
-    for p in &paths {
+    for p in &page.paths {
         *by_len.entry(p.len()).or_insert(0usize) += 1;
         assert!(validate_witness(p, &graph, &wcnf, s, 0, 0));
     }
