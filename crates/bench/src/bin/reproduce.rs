@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! cargo run --release -p cfpq-bench --bin reproduce -- \
-//!     [table1|table2|incremental|single-path|service|all-paths|all] \
+//!     [table1|table2|incremental|single-path|service|all-paths|faults|all] \
 //!     [--workers N] [--json PATH] [--smoke]
 //! ```
 //!
@@ -51,11 +51,22 @@
 //! CYK-valid under a racing `add_edges` batch, and a tight-quota probe
 //! asserting truncation is loud. Full mode raises the eager bound (the
 //! numbers committed as `BENCH_pr6.json`); smoke keeps it small.
+//!
+//! The `faults` scenario (part of `all`) runs the deterministic chaos
+//! workload: a `FaultInjector`-wrapped engine executes a fixed fault
+//! schedule against the service — scheduled worker panics recovered by
+//! client retries (answers asserted byte-identical to sequential),
+//! forced overload shedding plus deadline expiry, and a bounded
+//! shutdown drain. The emitted rows carry the `worker_panics`,
+//! `requests_shed`, and `deadline_expired` counters CI greps for. Fault
+//! handling is size-independent, so both modes run small ontologies:
+//! smoke the two smallest, full the four-dataset smoke suite (the full
+//! rows are part of `BENCH_pr7.json`).
 
 use cfpq_bench::{
-    render_all_paths, render_incremental, render_service, render_single_path, render_table,
-    run_all_paths, run_incremental, run_row, run_service, run_single_path, run_table, small_suite,
-    Query,
+    render_all_paths, render_faults, render_incremental, render_service, render_single_path,
+    render_table, run_all_paths, run_faults, run_incremental, run_row, run_service,
+    run_single_path, run_table, small_suite, Query,
 };
 use cfpq_graph::ontology::evaluation_suite;
 use std::io::Write;
@@ -71,7 +82,7 @@ fn main() {
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "table1" | "table2" | "incremental" | "single-path" | "service" | "all-paths"
-            | "all" => which = arg,
+            | "faults" | "all" => which = arg,
             "--workers" => {
                 workers = match it.next().and_then(|v| v.parse().ok()) {
                     Some(n) => n,
@@ -94,7 +105,7 @@ fn main() {
             other => {
                 eprintln!("unknown argument `{other}`");
                 eprintln!(
-                    "usage: reproduce [table1|table2|incremental|single-path|service|all-paths|all] \
+                    "usage: reproduce [table1|table2|incremental|single-path|service|all-paths|faults|all] \
                      [--workers N] [--json PATH] [--smoke]"
                 );
                 std::process::exit(2);
@@ -105,13 +116,14 @@ fn main() {
     let queries: Vec<Query> = match which.as_str() {
         "table1" => vec![Query::Q1],
         "table2" => vec![Query::Q2],
-        "incremental" | "single-path" | "service" | "all-paths" => vec![],
+        "incremental" | "single-path" | "service" | "all-paths" | "faults" => vec![],
         _ => vec![Query::Q1, Query::Q2],
     };
     let run_incremental_scenario = matches!(which.as_str(), "incremental" | "all");
     let run_single_path_scenario = matches!(which.as_str(), "single-path" | "all");
     let run_service_scenario = matches!(which.as_str(), "service" | "all");
     let run_all_paths_scenario = matches!(which.as_str(), "all-paths" | "all");
+    let run_faults_scenario = matches!(which.as_str(), "faults" | "all");
 
     let mut sections: Vec<serde_json::Value> = Vec::new();
     for q in queries {
@@ -214,6 +226,19 @@ fn main() {
         print!("{}", render_all_paths(&rows));
         println!();
         sections.push(serde_json::json!({ "query": "AllPaths", "rows": rows }));
+    }
+
+    if run_faults_scenario {
+        // Deterministic chaos on small ontologies (fault handling is
+        // size-independent; the stall schedule makes big graphs pure
+        // waste). Smoke: the two smallest. Full: the four-dataset smoke
+        // suite — the rows committed as part of BENCH_pr7.json.
+        let take = if smoke { 2 } else { 4 };
+        eprintln!("running faults scenario (scheduled panics, overload, bounded shutdown)...");
+        let rows: Vec<_> = small_suite().iter().take(take).map(run_faults).collect();
+        print!("{}", render_faults(&rows));
+        println!();
+        sections.push(serde_json::json!({ "query": "Faults", "rows": rows }));
     }
 
     if let Some(path) = json_path {

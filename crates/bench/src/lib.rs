@@ -766,10 +766,14 @@ pub fn run_service(
             let mut tickets: Vec<Ticket> = Vec::with_capacity(ids.len() * per_query);
             for &id in &ids {
                 for _ in 0..per_query {
-                    tickets.push(service.enqueue(id, vec![]));
+                    tickets.push(service.enqueue(id, vec![]).expect("id is registered"));
                 }
             }
-            answers.extend(tickets.into_iter().map(|t| t.wait().pairs));
+            answers.extend(
+                tickets
+                    .into_iter()
+                    .map(|t| t.wait().expect("no faults injected in this bench").pairs),
+            );
         }
         answers
     });
@@ -870,6 +874,209 @@ pub fn render_service(rows: &[ServiceRow]) -> String {
             r.publish_ms,
             r.cold_products,
             r.repair_products,
+        ));
+    }
+    out
+}
+
+/// One row of the faults scenario: a deterministic chaos run over one
+/// dataset, exercising the service's failure contract end to end.
+///
+/// Three sub-scenarios, all schedule-driven via
+/// [`cfpq_service::faults::FaultInjector`] (no sleeps-and-hope):
+///
+/// * **Recovery** — scheduled panics kill the first two cold-solve
+///   attempts; the client retries on `WorkerPanicked` and the third
+///   attempt's answer is asserted byte-identical to a sequential solve.
+/// * **Overload + deadlines** — a stall schedule pins the only worker
+///   inside a cold solve while a burst overruns `max_queued`: the
+///   surplus sheds `Overloaded` at enqueue, the queued remainder expires
+///   to `Deadline` at dispatch.
+/// * **Shutdown** — a bounded drain under a stalled worker resolves
+///   everything still queued to `ShuttingDown`.
+#[derive(Clone, Debug, Serialize)]
+pub struct FaultsRow {
+    /// Dataset name.
+    pub dataset: String,
+    /// Panics the schedule injected (asserted == 2).
+    pub injected_panics: u64,
+    /// Worker batches killed by those panics (asserted == injected).
+    pub worker_panics: u64,
+    /// Workers respawned by their supervisors (converges to
+    /// `worker_panics`; asserted).
+    pub worker_restarts: u64,
+    /// Client retries needed before the recovery answer (== injected).
+    pub retries: u64,
+    /// Wall time from first enqueue to the recovered answer, ms.
+    pub recovered_ms: f64,
+    /// Recovered answer matches the sequential solve (asserted).
+    pub answers_match: bool,
+    /// Burst requests shed `Overloaded` at enqueue (asserted ≥ burst −
+    /// max_queued).
+    pub requests_shed: u64,
+    /// Queued requests that expired to `Deadline` at dispatch.
+    pub deadline_expired: u64,
+    /// Tickets a zero-bound shutdown resolved to `ShuttingDown`.
+    pub shutdown_drained: usize,
+}
+
+/// Runs the faults scenario on one dataset. See [`FaultsRow`] for the
+/// three sub-scenarios and what each asserts.
+pub fn run_faults(dataset: &Dataset) -> FaultsRow {
+    use cfpq_service::faults::{silence_injected_panics, FaultInjector, FaultPlan};
+    use cfpq_service::{CfpqService, ServiceConfig, ServiceError, ServiceStats, Ticket};
+    use std::time::Duration;
+
+    silence_injected_panics();
+    let graph = &dataset.graph;
+    let wcnf = Query::Q1
+        .grammar()
+        .to_wcnf(CnfOptions::default())
+        .expect("query normalizes");
+    let expected = FixpointSolver::new(&SparseEngine)
+        .solve(graph, &wcnf)
+        .pairs(wcnf.start);
+    let total = |svc: &CfpqService<FaultInjector<SparseEngine>>, f: fn(&ServiceStats) -> u64| {
+        svc.stats().iter().map(f).sum::<u64>()
+    };
+
+    // Recovery: ops 0 and 1 — the first two kernel launches — panic, so
+    // the cold solve dies twice and the third client retry lands it.
+    let injector = FaultInjector::new(SparseEngine, FaultPlan::panic_on([0, 1]));
+    let service = CfpqService::with_config(injector.clone(), graph, ServiceConfig::new(2));
+    let q = service.prepare_query(PreparedQuery::from_wcnf(wcnf.clone()));
+    let mut retries = 0u64;
+    let (pairs, recovered_ms) = time_ms(|| loop {
+        match service.enqueue(q, vec![]).expect("q is registered").wait() {
+            Ok(a) => break a.pairs,
+            Err(ServiceError::WorkerPanicked) => retries += 1,
+            Err(e) => panic!("unexpected error in the recovery scenario: {e}"),
+        }
+    });
+    let injected_panics = injector.panics_injected();
+    assert_eq!(injected_panics, 2, "the schedule fired exactly twice");
+    assert_eq!(retries, injected_panics, "one retry per injected panic");
+    let answers_match = pairs == expected;
+    assert!(answers_match, "recovered answer diverges from sequential");
+    let worker_panics = total(&service, |s| s.worker_panics);
+    assert_eq!(worker_panics, injected_panics);
+    let deadline = Instant::now() + Duration::from_secs(2);
+    while total(&service, |s| s.worker_restarts) < worker_panics {
+        assert!(
+            Instant::now() < deadline,
+            "supervisors must respawn workers"
+        );
+        std::thread::yield_now();
+    }
+    let worker_restarts = total(&service, |s| s.worker_restarts);
+
+    // Overload + deadlines: every kernel launch after the first stalls
+    // 10ms, pinning the only worker inside the cold solve while the
+    // burst lands. max_queued=2 sheds the surplus at enqueue; the two
+    // that queued expire at dispatch (deadline 25ms ≪ the stall).
+    let injector = FaultInjector::new(
+        SparseEngine,
+        FaultPlan::none().with_delay_every(1, Duration::from_millis(10)),
+    );
+    let config = ServiceConfig::new(1)
+        .with_max_queued(2)
+        .with_default_deadline(Duration::from_millis(25));
+    let service = CfpqService::with_config(injector, graph, config);
+    let q = service.prepare_query(PreparedQuery::from_wcnf(wcnf.clone()));
+    let t0 = service.enqueue(q, vec![]).expect("q is registered");
+    std::thread::sleep(Duration::from_millis(50));
+    let mut kept: Vec<Ticket> = Vec::new();
+    for _ in 0..10 {
+        match service.enqueue(q, vec![]) {
+            Ok(t) => kept.push(t),
+            Err(ServiceError::Overloaded { retry_after, .. }) => {
+                assert!(retry_after > Duration::ZERO, "shed with a retry hint");
+            }
+            Err(e) => panic!("unexpected enqueue error in the overload scenario: {e}"),
+        }
+    }
+    assert!(
+        t0.wait().is_ok(),
+        "the in-flight request was dispatched before its deadline"
+    );
+    for t in kept {
+        assert_eq!(t.wait(), Err(ServiceError::Deadline));
+    }
+    let requests_shed = total(&service, |s| s.requests_shed);
+    let deadline_expired = total(&service, |s| s.deadline_expired);
+    assert!(requests_shed >= 8, "the burst overruns max_queued=2");
+    assert_eq!(requests_shed + deadline_expired, 10);
+
+    // Shutdown: stall the worker again on a fresh service, queue three
+    // requests behind it, and drain with a zero bound — everything
+    // still queued resolves `ShuttingDown`, typed, immediately.
+    let injector = FaultInjector::new(
+        SparseEngine,
+        FaultPlan::none().with_delay_every(1, Duration::from_millis(10)),
+    );
+    let service = CfpqService::with_config(injector, graph, ServiceConfig::new(1));
+    let q = service.prepare_query(PreparedQuery::from_wcnf(wcnf));
+    let t0 = service.enqueue(q, vec![]).expect("q is registered");
+    std::thread::sleep(Duration::from_millis(30));
+    let queued: Vec<Ticket> = (0..3)
+        .map(|_| service.enqueue(q, vec![]).expect("q is registered"))
+        .collect();
+    let shutdown_drained = service.shutdown_within(Duration::ZERO);
+    assert_eq!(shutdown_drained, 3, "the zero bound drains the whole queue");
+    for t in queued {
+        assert_eq!(t.wait(), Err(ServiceError::ShuttingDown));
+    }
+    assert!(t0.wait().is_ok(), "the in-flight batch runs to completion");
+    assert_eq!(
+        service.enqueue(q, vec![]).err(),
+        Some(ServiceError::ShuttingDown),
+        "post-shutdown enqueues are rejected"
+    );
+
+    FaultsRow {
+        dataset: dataset.name.clone(),
+        injected_panics,
+        worker_panics,
+        worker_restarts,
+        retries,
+        recovered_ms,
+        answers_match,
+        requests_shed,
+        deadline_expired,
+        shutdown_drained,
+    }
+}
+
+/// Renders the faults rows.
+pub fn render_faults(rows: &[FaultsRow]) -> String {
+    let mut out = String::new();
+    out.push_str("Fault tolerance (scheduled panics, overload shedding, bounded shutdown)\n");
+    out.push_str(&format!(
+        "{:<16} {:>8} {:>7} {:>8} {:>7} {:>12} {:>6} {:>8} {:>9} {:>8}\n",
+        "Dataset",
+        "injected",
+        "panics",
+        "restarts",
+        "retries",
+        "recover(ms)",
+        "match",
+        "shed",
+        "expired",
+        "drained"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<16} {:>8} {:>7} {:>8} {:>7} {:>12.1} {:>6} {:>8} {:>9} {:>8}\n",
+            r.dataset,
+            r.injected_panics,
+            r.worker_panics,
+            r.worker_restarts,
+            r.retries,
+            r.recovered_ms,
+            r.answers_match,
+            r.requests_shed,
+            r.deadline_expired,
+            r.shutdown_drained,
         ));
     }
     out
@@ -1037,7 +1244,11 @@ pub fn run_all_paths(smoke: bool) -> Vec<AllPathsRow> {
     let q = service.prepare_query(PreparedQuery::from_wcnf(wcnf.clone()));
     let per_wave = if smoke { 3 } else { 8 };
     let mut tickets: Vec<Ticket> = (0..per_wave)
-        .map(|_| service.enqueue_paths(q, vec![], req))
+        .map(|_| {
+            service
+                .enqueue_paths(q, vec![], req)
+                .expect("q is registered")
+        })
         .collect();
     // The update races the first wave: tickets land on whichever epoch
     // was current when the scheduler served their batch.
@@ -1047,10 +1258,14 @@ pub fn run_all_paths(smoke: bool) -> Vec<AllPathsRow> {
         held.len(),
         "held-out edges are new by construction"
     );
-    tickets.extend((0..per_wave).map(|_| service.enqueue_paths(q, vec![], req)));
+    tickets.extend((0..per_wave).map(|_| {
+        service
+            .enqueue_paths(q, vec![], req)
+            .expect("q is registered")
+    }));
     let mut pages_served = 0u64;
     for t in tickets {
-        let a = t.wait();
+        let a = t.wait().expect("no faults injected in this bench");
         let pages = a.paths.expect("paths ticket answers with pages");
         assert_eq!(
             &pages, &expected[a.epoch as usize],
@@ -1078,7 +1293,9 @@ pub fn run_all_paths(smoke: bool) -> Vec<AllPathsRow> {
     let pq = probe.prepare_query(PreparedQuery::from_wcnf(wcnf.clone()));
     let probe_pages = probe
         .enqueue_paths(pq, vec![], req)
+        .expect("pq is registered")
         .wait()
+        .expect("no faults injected in this bench")
         .paths
         .expect("paths ticket answers with pages");
     let probe_total: usize = probe_pages.iter().map(|p| p.paths.len()).sum();

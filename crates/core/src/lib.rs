@@ -43,7 +43,7 @@ pub use relational::{
     solve_on_engine, solve_set_matrix, FixpointSolver, RelationalIndex, SolveStats, Strategy,
 };
 pub use session::{
-    CfpqSession, EdgeBatch, GraphIndex, PreparedQuery, QueryId, RunInfo, SinglePathId,
+    CfpqSession, EdgeBatch, GraphIndex, PreparedQuery, QueryId, RunInfo, SessionError, SinglePathId,
 };
 pub use single_path::{
     solve_single_path, solve_single_path_oracle, solve_single_path_with, SinglePathIndex,

@@ -390,6 +390,39 @@ pub struct SinglePathId(usize);
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct AllPathsId(usize);
 
+/// Typed failure of the fallible session entry points
+/// ([`CfpqSession::try_evaluate`] and friends). The session is
+/// single-caller, so the only runtime failure is handle confusion —
+/// but layers that serve many callers (the service crate) need it as a
+/// value, not a panic: a request must be rejectable without unwinding
+/// the thread that carries everyone else's work.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SessionError {
+    /// The handle's index is out of range for this session — it was
+    /// forged, or belongs to a different session.
+    UnknownQuery {
+        /// The offending raw id.
+        id: usize,
+        /// How many queries of that kind this session holds.
+        registered: usize,
+    },
+}
+
+impl std::fmt::Display for SessionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::UnknownQuery { id, registered } => {
+                write!(
+                    f,
+                    "query {id} is not registered in this session (have {registered})"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
 /// What the most recent evaluation of a query actually did: a cold solve
 /// or an incremental repair, and how much kernel work it launched. This
 /// is the observable behind the incremental-beats-cold acceptance check.
@@ -703,8 +736,23 @@ impl<E: BoolEngine + LenEngine> CfpqSession<E> {
     ///
     /// # Panics
     ///
-    /// If `id` does not belong to this session.
+    /// If `id` does not belong to this session. Multi-caller layers
+    /// should use [`CfpqSession::try_evaluate`] so a forged handle is a
+    /// value error instead of an unwind.
     pub fn evaluate(&mut self, id: QueryId) -> QueryAnswer {
+        self.try_evaluate(id)
+            .expect("query not registered in this session")
+    }
+
+    /// [`CfpqSession::evaluate`] with the handle check surfaced as a
+    /// typed [`SessionError`] instead of a panic.
+    pub fn try_evaluate(&mut self, id: QueryId) -> Result<QueryAnswer, SessionError> {
+        if id.0 >= self.queries.len() {
+            return Err(SessionError::UnknownQuery {
+                id: id.0,
+                registered: self.queries.len(),
+            });
+        }
         let state = &mut self.queries[id.0];
         let wcnf = &state.query.wcnf;
         let n = self.index.n_nodes;
@@ -759,7 +807,7 @@ impl<E: BoolEngine + LenEngine> CfpqSession<E> {
         // `Arc`), not a deep copy.
         let answer = state.answer.clone().expect("answer just materialized");
         self.compact_batches();
-        answer
+        Ok(answer)
     }
 
     /// The closed relational index of a query, if it has been evaluated.
@@ -808,8 +856,25 @@ impl<E: BoolEngine + LenEngine> CfpqSession<E> {
     ///
     /// # Panics
     ///
-    /// If `id` does not belong to this session.
+    /// If `id` does not belong to this session. Multi-caller layers
+    /// should use [`CfpqSession::try_evaluate_single_path`].
     pub fn evaluate_single_path(&mut self, id: SinglePathId) -> &SinglePathIndex<E::LenMatrix> {
+        self.try_evaluate_single_path(id)
+            .expect("query not registered in this session")
+    }
+
+    /// [`CfpqSession::evaluate_single_path`] with the handle check
+    /// surfaced as a typed [`SessionError`] instead of a panic.
+    pub fn try_evaluate_single_path(
+        &mut self,
+        id: SinglePathId,
+    ) -> Result<&SinglePathIndex<E::LenMatrix>, SessionError> {
+        if id.0 >= self.sp_queries.len() {
+            return Err(SessionError::UnknownQuery {
+                id: id.0,
+                registered: self.sp_queries.len(),
+            });
+        }
         let state = &mut self.sp_queries[id.0];
         let wcnf = &state.query.wcnf;
         let n = self.index.n_nodes;
@@ -854,10 +919,10 @@ impl<E: BoolEngine + LenEngine> CfpqSession<E> {
             }
         }
         self.compact_batches();
-        self.sp_queries[id.0]
+        Ok(self.sp_queries[id.0]
             .solved
             .as_ref()
-            .expect("closure just materialized")
+            .expect("closure just materialized"))
     }
 
     /// The solved single-path index of a query, if it has been

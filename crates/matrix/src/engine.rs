@@ -69,6 +69,24 @@ impl BoolMat for CsrMatrix {
 pub type MaskedJob<'a, M> = (&'a M, &'a M, Option<&'a M>);
 
 /// A matrix backend: representation + execution strategy.
+///
+/// # Decorating an engine
+///
+/// Engines compose: a wrapper type (instrumentation, fault injection —
+/// see `cfpq-service`'s `FaultInjector`) can implement `BoolEngine` by
+/// delegating to an inner engine. Two rules keep a decorator
+/// transparent to the solvers:
+///
+/// * **Delegate batches whole.** The batch entry points exist so
+///   device-backed engines can overlap independent kernels; a decorator
+///   that re-implements `multiply_batch`/`multiply_masked_batch` as a
+///   per-job loop over its own scalar methods silently serializes them.
+///   Do any per-job bookkeeping up front, then hand the intact job
+///   slice to the inner engine.
+/// * **Keep defaults consistent.** If the decorator overrides a method
+///   with a default body (e.g. `union_pairs`), it must forward to the
+///   inner engine's version, not the trait default — the inner engine
+///   may have a faster override the solvers rely on.
 pub trait BoolEngine: Send + Sync {
     /// The matrix type this engine operates on.
     type Matrix: BoolMat;

@@ -43,6 +43,24 @@
 //!   truncation reported explicitly — per page via
 //!   [`PairPaths::exhausted`], per epoch via
 //!   [`ServiceStats::pages_truncated`].
+//! * **An explicit failure contract.** Every request enqueued into the
+//!   service resolves to an answer *or* a typed [`ServiceError`] —
+//!   never a hang. Per-batch execution is isolated with
+//!   `catch_unwind`, so a panicking worker resolves its batch to
+//!   [`ServiceError::WorkerPanicked`] and is respawned by its
+//!   supervisor loop instead of poisoning the scheduler; every lock is
+//!   taken through poison-recovering helpers. [`ServiceConfig`] bounds
+//!   the queue ([`ServiceError::Overloaded`] with a retry-after hint —
+//!   pair it with the seeded-jitter [`Backoff`] client helper) and
+//!   attaches a default deadline to requests (expired requests are
+//!   dropped loudly at dispatch as [`ServiceError::Deadline`]);
+//!   [`Ticket::wait_timeout`] / [`Ticket::wait_deadline`] bound the
+//!   caller side. [`CfpqService::shutdown`] drains within a bounded
+//!   deadline and resolves whatever could not be drained to
+//!   [`ServiceError::ShuttingDown`]. The deterministic
+//!   [`faults::FaultInjector`] engine wrapper plus the chaos suite
+//!   (`tests/chaos.rs`) hold the contract under injected worker
+//!   panics, overload, and racing updates.
 //!
 //! Thread-pool sizing composes with the kernel pool through
 //! [`cfpq_matrix::Parallelism`]: split one budget between scheduler
@@ -65,10 +83,13 @@
 //!
 //! // Scheduler path: enqueue returns immediately; wait() blocks until a
 //! // worker served the request (batched with others on the same query).
-//! let t1 = service.enqueue(q, vec![]);
-//! let t2 = service.enqueue(q, vec![(1, 3), (0, 4)]);
-//! assert_eq!(t1.wait().pairs, vec![(1, 3)]);
-//! assert_eq!(t2.wait().pairs, vec![(1, 3)]); // (0, 4) not yet related
+//! // Both steps are fallible by contract: enqueue sheds load with a
+//! // typed error instead of growing an unbounded queue, and the ticket
+//! // resolves to an answer or a typed error — never a hang.
+//! let t1 = service.enqueue(q, vec![]).unwrap();
+//! let t2 = service.enqueue(q, vec![(1, 3), (0, 4)]).unwrap();
+//! assert_eq!(t1.wait().unwrap().pairs, vec![(1, 3)]);
+//! assert_eq!(t2.wait().unwrap().pairs, vec![(1, 3)]); // (0, 4) not yet related
 //!
 //! // Readers pin an epoch; updates publish the next one off to the side.
 //! let before = service.snapshot();
@@ -93,18 +114,51 @@ use cfpq_graph::{Edge, Graph, NodeId};
 use cfpq_matrix::{BoolEngine, BoolMat, LenEngine, Parallelism};
 use std::cell::Cell;
 use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, OnceLock, RwLock};
+use std::sync::{
+    Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError, RwLock, RwLockReadGuard,
+    RwLockWriteGuard,
+};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+pub mod faults;
 
 pub use cfpq_core::all_paths::PageRequest as PathPageRequest;
+
+// ---------------------------------------------------------------------------
+// Poison-recovering lock helpers
+// ---------------------------------------------------------------------------
+//
+// A worker that panics mid-batch must not take the whole service down,
+// and `std::sync` poisoning would do exactly that: every later
+// `.lock().expect(..)` on the same mutex dies in sympathy. All the
+// state these locks guard stays consistent under unwind — scheduler
+// queue edits are single push/pop operations, the current epoch is an
+// `Arc` swap, counters are atomics, ticket slots are single writes —
+// so recovering from poison (taking the inner guard) is always sound
+// here. Request- and worker-path code must take locks through these
+// helpers, never by expecting a clean lock.
+
+fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn read_recover<T>(l: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    l.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn write_recover<T>(l: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    l.write().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// The engine bound the service needs: both kernel families (relational
 /// Boolean closures and §5 length closures), cheap cloning (snapshots
 /// clone the engine handle, not the pool), and `'static` so worker
 /// threads can own it. Blanket-implemented — all four paper engines
-/// qualify.
+/// qualify, as does any wrapper around them (e.g.
+/// [`faults::FaultInjector`]).
 pub trait ServiceEngine: BoolEngine + LenEngine + Clone + 'static {}
 
 impl<E: BoolEngine + LenEngine + Clone + 'static> ServiceEngine for E {}
@@ -116,6 +170,162 @@ pub struct QueryId(usize);
 /// Handle to a single-path (§5) query registered in a [`CfpqService`].
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct SinglePathId(usize);
+
+/// The typed failure taxonomy of the service. Every enqueued request
+/// resolves to a [`TicketAnswer`] *or* one of these — the service never
+/// leaves a [`Ticket::wait`] hanging.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServiceError {
+    /// The request named a query id that was never registered with this
+    /// service (`id` out of the `registered` handles). Rejected at
+    /// enqueue time.
+    UnknownQuery {
+        /// The offending raw id.
+        id: usize,
+        /// How many queries of that kind are registered.
+        registered: usize,
+    },
+    /// The scheduler queue is full ([`ServiceConfig::max_queued`]); the
+    /// request was shed at enqueue time instead of growing the queue
+    /// without bound. `retry_after` is the service's backoff hint —
+    /// clients should wait at least that long (see [`Backoff`] for a
+    /// jittered retry loop) before re-enqueueing.
+    Overloaded {
+        /// Requests queued at the moment the request was shed.
+        queued: usize,
+        /// The configured queue bound.
+        max_queued: usize,
+        /// Suggested minimum wait before retrying.
+        retry_after: Duration,
+    },
+    /// The request's deadline expired before a worker dispatched it
+    /// ([`ServiceConfig::default_deadline`]), or a bounded wait
+    /// ([`Ticket::wait_timeout`]) gave up. Expired requests are dropped
+    /// *loudly* at dispatch: the ticket resolves with this error and
+    /// [`ServiceStats::deadline_expired`] counts it.
+    Deadline,
+    /// The worker serving the request's batch panicked. The batch is
+    /// the isolation unit: its tickets resolve with this error, the
+    /// worker is respawned, and the per-epoch closure cache stays
+    /// usable (an interrupted cold solve is simply retried by the next
+    /// request). Counted in [`ServiceStats::worker_panics`].
+    WorkerPanicked,
+    /// The service is shutting down: either the request arrived after
+    /// [`CfpqService::shutdown`] (rejected at enqueue), or it was still
+    /// queued when the bounded drain deadline expired (resolved at
+    /// shutdown).
+    ShuttingDown,
+}
+
+impl ServiceError {
+    /// The retry-after hint of an [`ServiceError::Overloaded`] error,
+    /// `None` for every other variant (retrying does not help an
+    /// unknown query, and a shutting-down service will not come back).
+    pub fn retry_after(&self) -> Option<Duration> {
+        match self {
+            Self::Overloaded { retry_after, .. } => Some(*retry_after),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::UnknownQuery { id, registered } => {
+                write!(f, "query {id} is not registered (have {registered})")
+            }
+            Self::Overloaded {
+                queued,
+                max_queued,
+                retry_after,
+            } => write!(
+                f,
+                "scheduler overloaded ({queued}/{max_queued} queued); retry after {retry_after:?}"
+            ),
+            Self::Deadline => write!(f, "request deadline expired"),
+            Self::WorkerPanicked => write!(f, "worker panicked while serving the request's batch"),
+            Self::ShuttingDown => write!(f, "service is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// Deterministic exponential backoff with seeded full jitter — the
+/// client-side companion of [`ServiceError::Overloaded`]. Delays grow
+/// `base · 2^attempt` up to `cap`, each drawn uniformly from
+/// `[base, current]` by a fixed-seed xorshift generator, so retry storms
+/// decorrelate without making tests flaky.
+///
+/// ```
+/// use cfpq_service::Backoff;
+/// use std::time::Duration;
+///
+/// let mut b = Backoff::new(42);
+/// let first = b.next_delay();
+/// assert!(first >= Duration::from_millis(1));
+/// assert!(b.next_delay() <= Duration::from_millis(100)); // capped
+/// let mut b2 = Backoff::new(42);
+/// assert_eq!(b2.next_delay(), first); // same seed, same schedule
+/// ```
+#[derive(Clone, Debug)]
+pub struct Backoff {
+    state: u64,
+    base: Duration,
+    cap: Duration,
+    attempt: u32,
+}
+
+impl Backoff {
+    /// A backoff with the default bounds (base 1 ms, cap 100 ms) and the
+    /// given jitter seed.
+    pub fn new(seed: u64) -> Self {
+        Self::with_bounds(seed, Duration::from_millis(1), Duration::from_millis(100))
+    }
+
+    /// A backoff with explicit bounds: delays start at `base` and the
+    /// exponential growth saturates at `cap`.
+    pub fn with_bounds(seed: u64, base: Duration, cap: Duration) -> Self {
+        Self {
+            // xorshift must not start at 0; fold the seed with a golden-
+            // ratio constant (splitmix-style) so seed 0 is fine too.
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+            base,
+            cap: cap.max(base),
+            attempt: 0,
+        }
+    }
+
+    /// The next delay of the schedule: `base · 2^attempt` (saturating at
+    /// the cap), jittered uniformly down towards `base`.
+    pub fn next_delay(&mut self) -> Duration {
+        // xorshift64* — tiny, deterministic, and plenty for jitter.
+        self.state ^= self.state << 13;
+        self.state ^= self.state >> 7;
+        self.state ^= self.state << 17;
+        let ceiling = self
+            .base
+            .saturating_mul(1u32 << self.attempt.min(16))
+            .min(self.cap);
+        self.attempt = self.attempt.saturating_add(1);
+        let base_ns = self.base.as_nanos() as u64;
+        let ceil_ns = (ceiling.as_nanos() as u64).max(base_ns);
+        let span = ceil_ns - base_ns;
+        let jittered = if span == 0 {
+            base_ns
+        } else {
+            base_ns + self.state % (span + 1)
+        };
+        Duration::from_nanos(jittered)
+    }
+
+    /// Restarts the schedule (the jitter stream keeps advancing, so a
+    /// reset schedule does not replay the same delays).
+    pub fn reset(&mut self) {
+        self.attempt = 0;
+    }
+}
 
 /// Scheduler/worker-pool configuration.
 #[derive(Clone, Copy, Debug)]
@@ -129,21 +339,61 @@ pub struct ServiceConfig {
     /// can resume with `offset` paging instead of silently losing tail
     /// results.
     pub path_quota: usize,
+    /// Backpressure bound: the maximum number of requests that may sit
+    /// in the scheduler queues at once. `enqueue*` beyond this point
+    /// sheds the request with [`ServiceError::Overloaded`] (counted in
+    /// [`ServiceStats::requests_shed`]) instead of queueing without
+    /// bound.
+    pub max_queued: usize,
+    /// Deadline attached to every enqueued request, measured from
+    /// enqueue time. A request still queued past its deadline is
+    /// dropped loudly at dispatch ([`ServiceError::Deadline`], counted
+    /// in [`ServiceStats::deadline_expired`]). `None` (the default)
+    /// disables service-side deadlines; [`Ticket::wait_timeout`] bounds
+    /// the caller side independently.
+    pub default_deadline: Option<Duration>,
+    /// Bound on the [`CfpqService::shutdown`] /
+    /// `Drop` drain: workers get this long to serve what is queued,
+    /// then every still-queued ticket resolves to
+    /// [`ServiceError::ShuttingDown`]. The drop path must never block
+    /// forever on queued work.
+    pub drain_deadline: Duration,
 }
 
 impl ServiceConfig {
     /// A config with `workers` scheduler threads and the default path
-    /// quota.
+    /// quota, queue bound, and drain deadline (no request deadline).
     pub fn new(workers: usize) -> Self {
         Self {
             workers: workers.max(1),
             path_quota: 1024,
+            max_queued: 4096,
+            default_deadline: None,
+            drain_deadline: Duration::from_secs(5),
         }
     }
 
     /// Overrides the per-request all-path result quota.
     pub fn with_path_quota(mut self, quota: usize) -> Self {
         self.path_quota = quota;
+        self
+    }
+
+    /// Overrides the backpressure bound (clamped to at least 1).
+    pub fn with_max_queued(mut self, max_queued: usize) -> Self {
+        self.max_queued = max_queued.max(1);
+        self
+    }
+
+    /// Attaches a deadline to every enqueued request.
+    pub fn with_default_deadline(mut self, deadline: Duration) -> Self {
+        self.default_deadline = Some(deadline);
+        self
+    }
+
+    /// Overrides the bounded shutdown drain.
+    pub fn with_drain_deadline(mut self, deadline: Duration) -> Self {
+        self.drain_deadline = deadline;
         self
     }
 
@@ -200,6 +450,20 @@ pub struct ServiceStats {
     /// or the service's `path_quota`) — nonzero means some client saw a
     /// truncated page and may want to resume with `offset` paging.
     pub pages_truncated: u64,
+    /// Batches whose worker panicked mid-serve; each resolved its
+    /// tickets to [`ServiceError::WorkerPanicked`] instead of hanging
+    /// them or poisoning the scheduler.
+    pub worker_panics: u64,
+    /// Workers respawned by their supervisor loop after a panic
+    /// escaped a batch. Pairs with `worker_panics`: the pool heals
+    /// itself instead of shrinking.
+    pub worker_restarts: u64,
+    /// Requests shed at enqueue time because the queue was at
+    /// [`ServiceConfig::max_queued`] ([`ServiceError::Overloaded`]).
+    pub requests_shed: u64,
+    /// Requests dropped at dispatch because their deadline had expired
+    /// ([`ServiceError::Deadline`]).
+    pub deadline_expired: u64,
 }
 
 #[derive(Default)]
@@ -213,11 +477,17 @@ struct EpochCounters {
     repair_products: AtomicU64,
     paths_served: AtomicU64,
     pages_truncated: AtomicU64,
+    worker_panics: AtomicU64,
+    worker_restarts: AtomicU64,
+    requests_shed: AtomicU64,
+    deadline_expired: AtomicU64,
 }
 
 /// A per-epoch cache of lazily-solved values: one `OnceLock` cell per
 /// query, so concurrent readers of the same unsolved query block on a
-/// single solve instead of racing duplicates.
+/// single solve instead of racing duplicates. If a solve panics, the
+/// cell stays empty (`OnceLock::get_or_init` leaves an uninitialized
+/// cell on unwind) — the next reader simply retries the solve.
 struct CacheMap<V> {
     cells: Mutex<HashMap<usize, Arc<OnceLock<Arc<V>>>>>,
 }
@@ -232,12 +502,7 @@ impl<V> CacheMap<V> {
     /// The cell of query `k` (created empty on first touch). The map
     /// lock is only held for the lookup; solving happens on the cell.
     fn cell(&self, k: usize) -> Arc<OnceLock<Arc<V>>> {
-        self.cells
-            .lock()
-            .expect("cache map poisoned")
-            .entry(k)
-            .or_default()
-            .clone()
+        lock_recover(&self.cells).entry(k).or_default().clone()
     }
 
     /// Pre-fills query `k` (the epoch builder installing a repaired
@@ -250,9 +515,7 @@ impl<V> CacheMap<V> {
     /// Every solved entry at this moment (cells still solving are
     /// skipped; their result stays usable on the epoch that owns them).
     fn filled(&self) -> Vec<(usize, Arc<V>)> {
-        self.cells
-            .lock()
-            .expect("cache map poisoned")
+        lock_recover(&self.cells)
             .iter()
             .filter_map(|(&k, cell)| cell.get().map(|v| (k, v.clone())))
             .collect()
@@ -298,6 +561,9 @@ struct Request {
     pairs: Vec<(u32, u32)>,
     /// Page bounds for `QueueKey::Paths` requests; `None` elsewhere.
     page: Option<PageRequest>,
+    /// Absolute expiry instant ([`ServiceConfig::default_deadline`]);
+    /// checked at dispatch time.
+    deadline: Option<Instant>,
     ticket: Arc<TicketState>,
 }
 
@@ -306,12 +572,21 @@ struct SchedState {
     /// Keys with pending requests, in arrival order (a key appears here
     /// iff its queue exists and is non-empty).
     round_robin: VecDeque<QueueKey>,
+    /// Total requests currently queued (the backpressure gauge; freed
+    /// when a worker takes the batch, whether or not anyone waits on
+    /// its tickets).
+    queued: usize,
+    /// Set by [`CfpqService::shutdown`]: no new requests are accepted,
+    /// and workers exit once the queues are empty.
     shutdown: bool,
 }
 
 struct SchedShared {
     state: Mutex<SchedState>,
     available: Condvar,
+    /// Notified whenever a worker empties the queues — the bounded
+    /// shutdown drain waits on this instead of polling.
+    drained: Condvar,
 }
 
 struct Inner<E: ServiceEngine> {
@@ -324,6 +599,14 @@ struct Inner<E: ServiceEngine> {
     writer: Mutex<()>,
     epochs: Mutex<Vec<EpochRecord>>,
     sched: SchedShared,
+}
+
+impl<E: ServiceEngine> Inner<E> {
+    /// The counters of the currently-published epoch — where
+    /// service-level events (sheds, panics, restarts) are charged.
+    fn current_counters(&self) -> Arc<EpochCounters> {
+        Arc::clone(&read_recover(&self.current).counters)
+    }
 }
 
 /// One endpoint pair's page of an [`CfpqService::enqueue_paths`]
@@ -357,44 +640,98 @@ pub struct TicketAnswer {
     pub paths: Option<Vec<PairPaths>>,
 }
 
+/// What a ticket resolves to: the answer, or a typed error.
+pub type TicketResult = Result<TicketAnswer, ServiceError>;
+
 #[derive(Default)]
 struct TicketState {
-    slot: Mutex<Option<TicketAnswer>>,
+    slot: Mutex<Option<TicketResult>>,
     ready: Condvar,
 }
 
 impl TicketState {
-    fn fulfill(&self, answer: TicketAnswer) {
-        let mut slot = self.slot.lock().expect("ticket poisoned");
-        *slot = Some(answer);
+    /// Resolves the ticket — first write wins, so a panic-recovery
+    /// sweep can blanket-fail a batch without clobbering requests the
+    /// worker already answered. Returns whether this call resolved it.
+    fn resolve(&self, outcome: TicketResult) -> bool {
+        let mut slot = lock_recover(&self.slot);
+        if slot.is_some() {
+            return false;
+        }
+        *slot = Some(outcome);
         self.ready.notify_all();
+        true
     }
 }
 
 /// A claim on an enqueued request; [`Ticket::wait`] blocks until a
-/// scheduler worker has served it.
+/// scheduler worker has resolved it — to an answer or a typed
+/// [`ServiceError`], never a hang. Dropping a ticket without waiting is
+/// fine: its queue slot is freed when the batch is dispatched, and the
+/// un-awaited answer is simply discarded.
 pub struct Ticket {
     state: Arc<TicketState>,
 }
 
+impl std::fmt::Debug for Ticket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ticket")
+            .field("resolved", &self.try_peek())
+            .finish()
+    }
+}
+
 impl Ticket {
-    /// Blocks until the request is served and returns the answer
+    /// Blocks until the request is resolved and returns the outcome
     /// (consuming the ticket — the answer is moved out, not copied,
     /// which matters for relation-sized results).
-    pub fn wait(self) -> TicketAnswer {
-        let mut slot = self.state.slot.lock().expect("ticket poisoned");
+    pub fn wait(self) -> TicketResult {
+        let mut slot = lock_recover(&self.state.slot);
         loop {
-            if let Some(answer) = slot.take() {
-                return answer;
+            if let Some(outcome) = slot.take() {
+                return outcome;
             }
-            slot = self.state.ready.wait(slot).expect("ticket poisoned");
+            slot = self
+                .state
+                .ready
+                .wait(slot)
+                .unwrap_or_else(PoisonError::into_inner);
         }
     }
 
-    /// The answer, if already served (never blocks; leaves the ticket
-    /// waitable).
-    pub fn try_peek(&self) -> Option<TicketAnswer> {
-        self.state.slot.lock().expect("ticket poisoned").clone()
+    /// [`Ticket::wait`] bounded by a timeout: `Ok(outcome)` if the
+    /// request resolved in time, `Err(self)` (the ticket, still
+    /// waitable) if the timeout elapsed first — a local timeout does
+    /// not cancel the queued request, it only stops this wait.
+    pub fn wait_timeout(self, timeout: Duration) -> Result<TicketResult, Ticket> {
+        self.wait_deadline(Instant::now() + timeout)
+    }
+
+    /// [`Ticket::wait_timeout`] against an absolute deadline.
+    pub fn wait_deadline(self, deadline: Instant) -> Result<TicketResult, Ticket> {
+        let mut slot = lock_recover(&self.state.slot);
+        loop {
+            if let Some(outcome) = slot.take() {
+                return Ok(outcome);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                drop(slot);
+                return Err(self);
+            }
+            let (s, _timed_out) = self
+                .state
+                .ready
+                .wait_timeout(slot, deadline - now)
+                .unwrap_or_else(PoisonError::into_inner);
+            slot = s;
+        }
+    }
+
+    /// The outcome, if already resolved (never blocks; leaves the
+    /// ticket waitable).
+    pub fn try_peek(&self) -> Option<TicketResult> {
+        lock_recover(&self.state.slot).clone()
     }
 }
 
@@ -476,7 +813,7 @@ fn solve_rel<E: ServiceEngine>(
     epoch: &Epoch<E>,
     q: usize,
 ) -> Arc<SolvedRel<E::Matrix>> {
-    let prepared = inner.queries.read().expect("queries poisoned")[q].clone();
+    let prepared = read_recover(&inner.queries)[q].clone();
     let cell = epoch.rel.cell(q);
     let cold = Cell::new(false);
     let solved = cell
@@ -505,7 +842,7 @@ fn solve_sp<E: ServiceEngine>(
     epoch: &Epoch<E>,
     q: usize,
 ) -> Arc<SinglePathIndex<<E as LenEngine>::LenMatrix>> {
-    let prepared = inner.sp_queries.read().expect("queries poisoned")[q].clone();
+    let prepared = read_recover(&inner.sp_queries)[q].clone();
     let cell = epoch.sp.cell(q);
     let cold = Cell::new(false);
     let solved = cell
@@ -544,27 +881,97 @@ fn filter_pairs(full: &[(u32, u32)], wanted: &[(u32, u32)]) -> Vec<(u32, u32)> {
 
 /// One scheduler worker: drain a query's whole queue, evaluate that
 /// query once against the current epoch, answer every request from it.
+///
+/// Each batch runs under `catch_unwind`: a panic mid-serve (a buggy or
+/// fault-injected engine, a malformed query) resolves the batch's
+/// still-pending tickets to [`ServiceError::WorkerPanicked`] and is
+/// then propagated to the supervisor loop in [`spawn_worker`], which
+/// respawns the worker logic. The batch is the blast radius; the
+/// scheduler, the epoch caches, and every other queue keep serving.
 fn worker_loop<E: ServiceEngine>(inner: &Inner<E>) {
     loop {
         let (key, batch) = {
-            let mut st = inner.sched.state.lock().expect("scheduler poisoned");
+            let mut st = lock_recover(&inner.sched.state);
             loop {
                 if let Some(key) = st.round_robin.pop_front() {
                     let queue = st.queues.remove(&key).expect("round-robin key has a queue");
+                    st.queued -= queue.len();
+                    if st.queued == 0 {
+                        inner.sched.drained.notify_all();
+                    }
                     break (key, queue);
                 }
                 if st.shutdown {
                     return;
                 }
-                st = inner.sched.available.wait(st).expect("scheduler poisoned");
+                st = inner
+                    .sched
+                    .available
+                    .wait(st)
+                    .unwrap_or_else(PoisonError::into_inner);
             }
         };
-        serve_batch(inner, key, batch);
+        // Deadline-expired requests are dropped loudly *before* the
+        // batch pays for any kernel work on their behalf.
+        let now = Instant::now();
+        let (live, expired): (VecDeque<Request>, VecDeque<Request>) = batch
+            .into_iter()
+            .partition(|r| r.deadline.is_none_or(|d| now < d));
+        if !expired.is_empty() {
+            let counters = inner.current_counters();
+            counters
+                .deadline_expired
+                .fetch_add(expired.len() as u64, Ordering::Relaxed);
+            for req in expired {
+                req.ticket.resolve(Err(ServiceError::Deadline));
+            }
+        }
+        if live.is_empty() {
+            continue;
+        }
+        let tickets: Vec<Arc<TicketState>> = live.iter().map(|r| Arc::clone(&r.ticket)).collect();
+        let outcome = catch_unwind(AssertUnwindSafe(|| serve_batch(inner, key, live)));
+        if let Err(payload) = outcome {
+            inner
+                .current_counters()
+                .worker_panics
+                .fetch_add(1, Ordering::Relaxed);
+            // First-write-wins: requests the worker answered before the
+            // panic keep their answers; the rest fail typed.
+            for t in &tickets {
+                t.resolve(Err(ServiceError::WorkerPanicked));
+            }
+            // Hand the panic to the supervisor so the worker is
+            // accounted as died-and-respawned.
+            resume_unwind(payload);
+        }
     }
 }
 
+/// Spawns one supervised scheduler worker: the supervisor loop catches
+/// panics escaping [`worker_loop`], counts the restart, and re-enters
+/// the loop — the pool never shrinks below its configured size while
+/// the service lives.
+fn spawn_worker<E: ServiceEngine>(inner: Arc<Inner<E>>, i: usize) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name(format!("cfpq-service-{i}"))
+        .spawn(move || loop {
+            match catch_unwind(AssertUnwindSafe(|| worker_loop(&inner))) {
+                // Clean exit: shutdown with drained queues.
+                Ok(()) => return,
+                Err(_) => {
+                    inner
+                        .current_counters()
+                        .worker_restarts
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        })
+        .expect("spawn service worker")
+}
+
 fn serve_batch<E: ServiceEngine>(inner: &Inner<E>, key: QueueKey, batch: VecDeque<Request>) {
-    let epoch = inner.current.read().expect("current poisoned").clone();
+    let epoch = read_recover(&inner.current).clone();
     let counters = &epoch.counters;
     counters.batches.fetch_add(1, Ordering::Relaxed);
     counters
@@ -575,30 +982,28 @@ fn serve_batch<E: ServiceEngine>(inner: &Inner<E>, key: QueueKey, batch: VecDequ
             let solved = solve_rel(inner, &epoch, q);
             let full = solved.answer.start_pairs();
             for req in batch {
-                req.ticket.fulfill(TicketAnswer {
+                req.ticket.resolve(Ok(TicketAnswer {
                     epoch: epoch.epoch,
                     pairs: filter_pairs(full, &req.pairs),
                     paths: None,
-                });
+                }));
             }
         }
         QueueKey::Sp(q) => {
             let solved = solve_sp(inner, &epoch, q);
-            let start = inner.sp_queries.read().expect("queries poisoned")[q]
-                .wcnf()
-                .start;
+            let start = read_recover(&inner.sp_queries)[q].wcnf().start;
             let full = solved.pairs(start);
             for req in batch {
-                req.ticket.fulfill(TicketAnswer {
+                req.ticket.resolve(Ok(TicketAnswer {
                     epoch: epoch.epoch,
                     pairs: filter_pairs(&full, &req.pairs),
                     paths: None,
-                });
+                }));
             }
         }
         QueueKey::Paths(q) => {
             let solved = solve_rel(inner, &epoch, q);
-            let prepared = inner.queries.read().expect("queries poisoned")[q].clone();
+            let prepared = read_recover(&inner.queries)[q].clone();
             let wcnf = prepared.wcnf();
             let start = wcnf.start;
             // One enumerator per batch: its memoized length classes are
@@ -644,11 +1049,11 @@ fn serve_batch<E: ServiceEngine>(inner: &Inner<E>, key: QueueKey, batch: VecDequ
                         exhausted: result.exhausted,
                     });
                 }
-                req.ticket.fulfill(TicketAnswer {
+                req.ticket.resolve(Ok(TicketAnswer {
                     epoch: epoch.epoch,
                     pairs: targets,
                     paths: Some(answers),
-                });
+                }));
             }
         }
     }
@@ -697,19 +1102,15 @@ impl<E: ServiceEngine> CfpqService<E> {
                 state: Mutex::new(SchedState {
                     queues: BTreeMap::new(),
                     round_robin: VecDeque::new(),
+                    queued: 0,
                     shutdown: false,
                 }),
                 available: Condvar::new(),
+                drained: Condvar::new(),
             },
         });
         let workers = (0..config.workers.max(1))
-            .map(|i| {
-                let inner = Arc::clone(&inner);
-                std::thread::Builder::new()
-                    .name(format!("cfpq-service-{i}"))
-                    .spawn(move || worker_loop(&inner))
-                    .expect("spawn service worker")
-            })
+            .map(|i| spawn_worker(Arc::clone(&inner), i))
             .collect();
         Self { inner, workers }
     }
@@ -728,7 +1129,7 @@ impl<E: ServiceEngine> CfpqService<E> {
 
     /// Registers a fully-configured [`PreparedQuery`].
     pub fn prepare_query(&self, query: PreparedQuery) -> QueryId {
-        let mut queries = self.inner.queries.write().expect("queries poisoned");
+        let mut queries = write_recover(&self.inner.queries);
         queries.push(Arc::new(query));
         QueryId(queries.len() - 1)
     }
@@ -742,7 +1143,7 @@ impl<E: ServiceEngine> CfpqService<E> {
     /// Registers a fully-configured [`PreparedQuery`] for single-path
     /// evaluation.
     pub fn prepare_single_path_query(&self, query: PreparedQuery) -> SinglePathId {
-        let mut queries = self.inner.sp_queries.write().expect("queries poisoned");
+        let mut queries = write_recover(&self.inner.sp_queries);
         queries.push(Arc::new(query));
         SinglePathId(queries.len() - 1)
     }
@@ -753,7 +1154,7 @@ impl<E: ServiceEngine> CfpqService<E> {
     pub fn snapshot(&self) -> Snapshot<E> {
         Snapshot {
             inner: Arc::clone(&self.inner),
-            epoch: self.inner.current.read().expect("current poisoned").clone(),
+            epoch: read_recover(&self.inner.current).clone(),
         }
     }
 
@@ -774,18 +1175,18 @@ impl<E: ServiceEngine> CfpqService<E> {
     /// The current epoch number (starts at 0; each successful
     /// [`CfpqService::add_edges`] publishes the next).
     pub fn current_epoch(&self) -> u64 {
-        self.inner.current.read().expect("current poisoned").epoch
+        read_recover(&self.inner.current).epoch
     }
 
     /// Submits a relational request to the scheduler: answer `query`
     /// restricted to `pairs` (all of `R_S` if `pairs` is empty). Returns
     /// immediately; the [`Ticket`] resolves once a worker served the
-    /// batch the request landed in.
-    pub fn enqueue(&self, query: QueryId, pairs: Vec<(u32, u32)>) -> Ticket {
-        assert!(
-            query.0 < self.inner.queries.read().expect("queries poisoned").len(),
-            "query not registered in this service"
-        );
+    /// batch the request landed in. Fails fast with
+    /// [`ServiceError::UnknownQuery`], [`ServiceError::Overloaded`]
+    /// (queue at [`ServiceConfig::max_queued`]), or
+    /// [`ServiceError::ShuttingDown`].
+    pub fn enqueue(&self, query: QueryId, pairs: Vec<(u32, u32)>) -> Result<Ticket, ServiceError> {
+        self.check_rel(query.0)?;
         self.push_request(QueueKey::Rel(query.0), pairs, None)
     }
 
@@ -796,35 +1197,42 @@ impl<E: ServiceEngine> CfpqService<E> {
     /// [`TicketAnswer::paths`], all enumerated against a single epoch
     /// and clamped by [`ServiceConfig::path_quota`] — quota- or
     /// limit-cut pages come back with `exhausted: false`, never silently
-    /// clipped.
+    /// clipped. Fails fast like [`CfpqService::enqueue`].
     pub fn enqueue_paths(
         &self,
         query: QueryId,
         pairs: Vec<(u32, u32)>,
         page: PageRequest,
-    ) -> Ticket {
-        assert!(
-            query.0 < self.inner.queries.read().expect("queries poisoned").len(),
-            "query not registered in this service"
-        );
+    ) -> Result<Ticket, ServiceError> {
+        self.check_rel(query.0)?;
         self.push_request(QueueKey::Paths(query.0), pairs, Some(page))
     }
 
     /// Submits a single-path request to the scheduler (answers with the
     /// pair set of the start nonterminal, filtered like
-    /// [`CfpqService::enqueue`]).
-    pub fn enqueue_single_path(&self, query: SinglePathId, pairs: Vec<(u32, u32)>) -> Ticket {
-        assert!(
-            query.0
-                < self
-                    .inner
-                    .sp_queries
-                    .read()
-                    .expect("queries poisoned")
-                    .len(),
-            "query not registered in this service"
-        );
+    /// [`CfpqService::enqueue`]). Fails fast like
+    /// [`CfpqService::enqueue`].
+    pub fn enqueue_single_path(
+        &self,
+        query: SinglePathId,
+        pairs: Vec<(u32, u32)>,
+    ) -> Result<Ticket, ServiceError> {
+        let registered = read_recover(&self.inner.sp_queries).len();
+        if query.0 >= registered {
+            return Err(ServiceError::UnknownQuery {
+                id: query.0,
+                registered,
+            });
+        }
         self.push_request(QueueKey::Sp(query.0), pairs, None)
+    }
+
+    fn check_rel(&self, id: usize) -> Result<(), ServiceError> {
+        let registered = read_recover(&self.inner.queries).len();
+        if id >= registered {
+            return Err(ServiceError::UnknownQuery { id, registered });
+        }
+        Ok(())
     }
 
     fn push_request(
@@ -832,15 +1240,38 @@ impl<E: ServiceEngine> CfpqService<E> {
         key: QueueKey,
         pairs: Vec<(u32, u32)>,
         page: Option<PageRequest>,
-    ) -> Ticket {
+    ) -> Result<Ticket, ServiceError> {
+        let config = &self.inner.config;
         let state = Arc::new(TicketState::default());
         {
-            let mut st = self.inner.sched.state.lock().expect("scheduler poisoned");
+            let mut st = lock_recover(&self.inner.sched.state);
+            if st.shutdown {
+                return Err(ServiceError::ShuttingDown);
+            }
+            if st.queued >= config.max_queued {
+                let queued = st.queued;
+                drop(st);
+                self.inner
+                    .current_counters()
+                    .requests_shed
+                    .fetch_add(1, Ordering::Relaxed);
+                // The hint scales with how deep the backlog is per
+                // worker: a fuller pool needs a longer pause.
+                let per_worker = queued / config.workers.max(1);
+                return Err(ServiceError::Overloaded {
+                    queued,
+                    max_queued: config.max_queued,
+                    retry_after: Duration::from_millis(1 + per_worker as u64),
+                });
+            }
+            st.queued += 1;
+            let deadline = config.default_deadline.map(|d| Instant::now() + d);
             let queue = st.queues.entry(key).or_default();
             let was_empty = queue.is_empty();
             queue.push_back(Request {
                 pairs,
                 page,
+                deadline,
                 ticket: Arc::clone(&state),
             });
             if was_empty {
@@ -848,7 +1279,7 @@ impl<E: ServiceEngine> CfpqService<E> {
             }
         }
         self.inner.sched.available.notify_one();
-        Ticket { state }
+        Ok(Ticket { state })
     }
 
     /// Inserts a batch of edges and publishes the next epoch; returns
@@ -863,10 +1294,17 @@ impl<E: ServiceEngine> CfpqService<E> {
     /// concurrent readers keep answering from the published epoch the
     /// whole time and switch only when the new one is complete. Writers
     /// are serialized with each other (epochs are totally ordered).
+    ///
+    /// Publishing is all-or-nothing under panics, too: every
+    /// intermediate lives on the stack until the final atomic swap, so
+    /// if a repair panics (a faulty engine, resource exhaustion) the
+    /// half-built epoch is simply dropped, the panic propagates to the
+    /// *caller*, and readers keep answering from the old epoch — the
+    /// service keeps serving.
     pub fn add_edges(&self, edges: &[(NodeId, &str, NodeId)]) -> usize {
-        let _writer = self.inner.writer.lock().expect("writer poisoned");
+        let _writer = lock_recover(&self.inner.writer);
         let started = Instant::now();
-        let cur = self.inner.current.read().expect("current poisoned").clone();
+        let cur = read_recover(&self.inner.current).clone();
         // All-duplicate batches (idempotent retries) must not pay the
         // index clone below: an edge can only be new if it names an
         // unseen node, an unseen label, or an unset cell.
@@ -888,7 +1326,7 @@ impl<E: ServiceEngine> CfpqService<E> {
         let sp = CacheMap::new();
         let batches = [batch];
 
-        let queries = self.inner.queries.read().expect("queries poisoned").clone();
+        let queries = read_recover(&self.inner.queries).clone();
         for (q, solved) in cur.rel.filled() {
             let prepared = &queries[q];
             let wcnf = prepared.wcnf();
@@ -913,12 +1351,7 @@ impl<E: ServiceEngine> CfpqService<E> {
                 }),
             );
         }
-        let sp_queries = self
-            .inner
-            .sp_queries
-            .read()
-            .expect("queries poisoned")
-            .clone();
+        let sp_queries = read_recover(&self.inner.sp_queries).clone();
         for (q, solved) in cur.sp.filled() {
             let prepared = &sp_queries[q];
             let wcnf = prepared.wcnf();
@@ -946,26 +1379,69 @@ impl<E: ServiceEngine> CfpqService<E> {
             counters: Arc::clone(&counters),
         });
         let publish_ms = started.elapsed().as_secs_f64() * 1e3;
-        *self.inner.current.write().expect("current poisoned") = next;
-        self.inner
-            .epochs
-            .lock()
-            .expect("epoch log poisoned")
-            .push(EpochRecord {
-                epoch: cur.epoch + 1,
-                publish_ms,
-                counters,
-            });
+        *write_recover(&self.inner.current) = next;
+        lock_recover(&self.inner.epochs).push(EpochRecord {
+            epoch: cur.epoch + 1,
+            publish_ms,
+            counters,
+        });
         batches[0].inserted
+    }
+
+    /// Stops accepting requests and drains the queues within the
+    /// configured [`ServiceConfig::drain_deadline`]; see
+    /// [`CfpqService::shutdown_within`]. Idempotent — `Drop` calls this
+    /// too, so calling it explicitly just makes the bound yours.
+    pub fn shutdown(&self) -> usize {
+        self.shutdown_within(self.inner.config.drain_deadline)
+    }
+
+    /// Stops accepting requests ([`ServiceError::ShuttingDown`] at
+    /// enqueue from now on) and gives workers up to `drain` to serve
+    /// what is already queued. Whatever is still queued when the bound
+    /// expires is resolved to [`ServiceError::ShuttingDown`] — returns
+    /// how many tickets that was (0 = everything drained in time). The
+    /// drain bound covers *queued* requests; a batch already being
+    /// served runs to completion (its kernel work is finite).
+    pub fn shutdown_within(&self, drain: Duration) -> usize {
+        let deadline = Instant::now() + drain;
+        let mut st = lock_recover(&self.inner.sched.state);
+        st.shutdown = true;
+        self.inner.sched.available.notify_all();
+        while st.queued > 0 {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            let (s, _timed_out) = self
+                .inner
+                .sched
+                .drained
+                .wait_timeout(st, deadline - now)
+                .unwrap_or_else(PoisonError::into_inner);
+            st = s;
+        }
+        // Past the bound: fail what could not be drained, loudly.
+        let undrained: Vec<Request> = st
+            .queues
+            .iter_mut()
+            .flat_map(|(_, q)| q.drain(..))
+            .collect();
+        st.queues.clear();
+        st.round_robin.clear();
+        st.queued = 0;
+        drop(st);
+        self.inner.sched.available.notify_all();
+        for req in &undrained {
+            req.ticket.resolve(Err(ServiceError::ShuttingDown));
+        }
+        undrained.len()
     }
 
     /// Per-epoch service statistics, in epoch order. Counters of the
     /// current epoch are still live (they advance as requests arrive).
     pub fn stats(&self) -> Vec<ServiceStats> {
-        self.inner
-            .epochs
-            .lock()
-            .expect("epoch log poisoned")
+        lock_recover(&self.inner.epochs)
             .iter()
             .map(|r| ServiceStats {
                 epoch: r.epoch,
@@ -979,21 +1455,24 @@ impl<E: ServiceEngine> CfpqService<E> {
                 repair_products: r.counters.repair_products.load(Ordering::Relaxed),
                 paths_served: r.counters.paths_served.load(Ordering::Relaxed),
                 pages_truncated: r.counters.pages_truncated.load(Ordering::Relaxed),
+                worker_panics: r.counters.worker_panics.load(Ordering::Relaxed),
+                worker_restarts: r.counters.worker_restarts.load(Ordering::Relaxed),
+                requests_shed: r.counters.requests_shed.load(Ordering::Relaxed),
+                deadline_expired: r.counters.deadline_expired.load(Ordering::Relaxed),
             })
             .collect()
     }
 }
 
 impl<E: ServiceEngine> Drop for CfpqService<E> {
-    /// Workers drain every queued request before exiting (the shutdown
-    /// flag is only honoured once the queues are empty), so no
-    /// outstanding [`Ticket::wait`] is left hanging.
+    /// Shuts down with the configured bounded drain
+    /// ([`CfpqService::shutdown_within`]): workers get
+    /// [`ServiceConfig::drain_deadline`] to serve what is queued, every
+    /// still-queued ticket then resolves to
+    /// [`ServiceError::ShuttingDown`], and the workers are joined — the
+    /// drop path never blocks forever on queued work.
     fn drop(&mut self) {
-        {
-            let mut st = self.inner.sched.state.lock().expect("scheduler poisoned");
-            st.shutdown = true;
-        }
-        self.inner.sched.available.notify_all();
+        self.shutdown();
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
@@ -1069,9 +1548,11 @@ mod tests {
         let reference = solve(&graph, &grammar, Backend::Sparse).unwrap();
         let service = CfpqService::with_config(SparseEngine, &graph, ServiceConfig::new(3));
         let q = service.prepare(&grammar).unwrap();
-        let tickets: Vec<Ticket> = (0..16).map(|_| service.enqueue(q, vec![])).collect();
+        let tickets: Vec<Ticket> = (0..16)
+            .map(|_| service.enqueue(q, vec![]).unwrap())
+            .collect();
         for t in tickets {
-            assert_eq!(t.wait().pairs, reference.start_pairs());
+            assert_eq!(t.wait().unwrap().pairs, reference.start_pairs());
         }
         let stats = service.stats();
         assert_eq!(stats[0].cold_solves, 1, "one solve serves every request");
@@ -1086,8 +1567,135 @@ mod tests {
         let service = CfpqService::new(SparseEngine, &graph);
         let q = service.prepare(&grammar).unwrap();
         // Full R_S = [(0,0), (0,2), (1,2)].
-        let t = service.enqueue(q, vec![(1, 2), (2, 2), (0, 0), (1, 2)]);
-        assert_eq!(t.wait().pairs, vec![(0, 0), (1, 2)]);
+        let t = service
+            .enqueue(q, vec![(1, 2), (2, 2), (0, 0), (1, 2)])
+            .unwrap();
+        assert_eq!(t.wait().unwrap().pairs, vec![(0, 0), (1, 2)]);
+    }
+
+    #[test]
+    fn unknown_queries_fail_typed_at_enqueue() {
+        let graph = generators::paper_example();
+        let service = CfpqService::new(SparseEngine, &graph);
+        let q = service.prepare(&queries::query1()).unwrap();
+        // Handles are indices; forge out-of-range ones.
+        let bad_rel = QueryId(7);
+        let bad_sp = SinglePathId(0);
+        assert_eq!(
+            service.enqueue(bad_rel, vec![]).err(),
+            Some(ServiceError::UnknownQuery {
+                id: 7,
+                registered: 1
+            })
+        );
+        assert_eq!(
+            service
+                .enqueue_paths(bad_rel, vec![], PageRequest::default())
+                .err(),
+            Some(ServiceError::UnknownQuery {
+                id: 7,
+                registered: 1
+            })
+        );
+        assert_eq!(
+            service.enqueue_single_path(bad_sp, vec![]).err(),
+            Some(ServiceError::UnknownQuery {
+                id: 0,
+                registered: 0
+            })
+        );
+        // The registered query still serves.
+        assert!(service.enqueue(q, vec![]).unwrap().wait().is_ok());
+    }
+
+    #[test]
+    fn wait_timeout_returns_the_ticket_on_timeout() {
+        let graph = generators::paper_example();
+        let service = CfpqService::new(SparseEngine, &graph);
+        let q = service.prepare(&queries::query1()).unwrap();
+        let t = service.enqueue(q, vec![]).unwrap();
+        // Either the worker already resolved it (fine) or the zero
+        // timeout hands the ticket back — and a later bounded wait gets
+        // the answer. Never a hang.
+        match t.wait_timeout(Duration::ZERO) {
+            Ok(outcome) => assert!(outcome.is_ok()),
+            Err(ticket) => {
+                let outcome = ticket
+                    .wait_timeout(Duration::from_secs(10))
+                    .expect("ticket must resolve well within the bound");
+                assert!(outcome.is_ok());
+            }
+        }
+    }
+
+    #[test]
+    fn dropped_tickets_leak_nothing() {
+        // Satellite regression: dropping a ticket without waiting must
+        // not leak its queue slot (the backpressure gauge) or block
+        // shutdown; try_peek on a sibling stays consistent.
+        let graph = generators::paper_example();
+        let service = CfpqService::with_config(
+            SparseEngine,
+            &graph,
+            ServiceConfig::new(1).with_max_queued(4),
+        );
+        let q = service.prepare(&queries::query1()).unwrap();
+        for _ in 0..16 {
+            // 4× the queue bound of fire-and-forget requests: if drops
+            // leaked their slot, enqueue would start shedding.
+            let t = service.enqueue(q, vec![]);
+            assert!(!matches!(t, Err(ServiceError::Overloaded { .. })));
+            drop(t);
+            // Let the single worker drain between drops so the queue
+            // depth stays bounded by live requests, not by leaks.
+            let keep = service.enqueue(q, vec![]).unwrap();
+            let outcome = keep
+                .wait_timeout(Duration::from_secs(10))
+                .expect("sibling of a dropped ticket must still resolve");
+            let answer = outcome.unwrap();
+            assert_eq!(answer.pairs, vec![(0, 0), (0, 2), (1, 2)]);
+        }
+        // A resolved ticket peeks consistently as long as it is held.
+        let held = service.enqueue(q, vec![]).unwrap();
+        while held.try_peek().is_none() {
+            std::thread::yield_now();
+        }
+        assert_eq!(held.try_peek(), held.try_peek());
+        drop(held);
+        assert_eq!(service.shutdown(), 0, "nothing left queued");
+    }
+
+    #[test]
+    fn shutdown_fails_queued_requests_typed_and_rejects_new_ones() {
+        let graph = generators::paper_example();
+        let service = CfpqService::with_config(SparseEngine, &graph, ServiceConfig::new(1));
+        let q = service.prepare(&graph_grammar()).unwrap();
+        // Stall the single worker with a slow handmade queue? Not
+        // needed: shutdown with a zero drain bound fails whatever the
+        // worker has not picked up yet, and everything it did pick up
+        // resolves normally. Either way every ticket resolves.
+        let tickets: Vec<Ticket> = (0..32)
+            .map(|_| service.enqueue(q, vec![]).unwrap())
+            .collect();
+        let failed = service.shutdown_within(Duration::ZERO);
+        for t in tickets {
+            match t.wait_timeout(Duration::from_secs(10)) {
+                Ok(Ok(_)) | Ok(Err(ServiceError::ShuttingDown)) => {}
+                other => panic!("unexpected post-shutdown outcome: {other:?}"),
+            }
+        }
+        // New requests are rejected typed.
+        assert_eq!(
+            service.enqueue(q, vec![]).err(),
+            Some(ServiceError::ShuttingDown)
+        );
+        // Second shutdown is an idempotent no-op.
+        assert_eq!(service.shutdown(), 0);
+        let _ = failed; // zero or more depending on worker timing
+    }
+
+    fn graph_grammar() -> Cfg {
+        Cfg::parse("S -> a S b | a b").unwrap()
     }
 
     #[test]
@@ -1111,8 +1719,8 @@ mod tests {
         assert_eq!(path.len() as u32, len);
         assert!(validate_witness(&path, &graph, &wcnf, wcnf.start, i, j));
         // Scheduler path agrees.
-        let t = service.enqueue_single_path(q, vec![]);
-        assert_eq!(t.wait().pairs, expect);
+        let t = service.enqueue_single_path(q, vec![]).unwrap();
+        assert_eq!(t.wait().unwrap().pairs, expect);
     }
 
     #[test]
@@ -1190,8 +1798,8 @@ mod tests {
         fn check<E: ServiceEngine>(engine: E, graph: &Graph, grammar: &Cfg) -> Vec<(u32, u32)> {
             let service = CfpqService::new(engine, graph);
             let q = service.prepare(grammar).unwrap();
-            let t = service.enqueue(q, vec![]);
-            t.wait().pairs
+            let t = service.enqueue(q, vec![]).unwrap();
+            t.wait().unwrap().pairs
         }
         assert_eq!(check(DenseEngine, &graph, &grammar), expect);
         assert_eq!(check(SparseEngine, &graph, &grammar), expect);
@@ -1227,7 +1835,9 @@ mod tests {
                     max_len: 8,
                 },
             )
-            .wait();
+            .unwrap()
+            .wait()
+            .unwrap();
         assert_eq!(answer.pairs, vec![(0, 0)]);
         let pages = answer.paths.expect("paths request answers with pages");
         assert_eq!(pages.len(), 1);
@@ -1264,7 +1874,9 @@ mod tests {
                     max_len: 12,
                 },
             )
-            .wait();
+            .unwrap()
+            .wait()
+            .unwrap();
         let page = &answer.paths.unwrap()[0];
         assert_eq!(page.paths.len(), 2, "quota clamps the page");
         assert!(!page.exhausted, "the cut is reported, not silent");
@@ -1290,9 +1902,17 @@ mod tests {
             limit: 16,
             max_len: 8,
         };
-        let before = service.enqueue_paths(q, vec![], req).wait();
+        let before = service
+            .enqueue_paths(q, vec![], req)
+            .unwrap()
+            .wait()
+            .unwrap();
         service.add_edges(&[(3, "b", 4)]);
-        let after = service.enqueue_paths(q, vec![], req).wait();
+        let after = service
+            .enqueue_paths(q, vec![], req)
+            .unwrap()
+            .wait()
+            .unwrap();
         assert_eq!(before.epoch, 0);
         assert_eq!(after.epoch, 1);
         // Each answer equals a from-scratch enumeration over the graph
@@ -1331,8 +1951,26 @@ mod tests {
         assert_eq!(service.n_workers(), 3);
         let q = service.prepare(&queries::query1()).unwrap();
         assert_eq!(
-            service.enqueue(q, vec![]).wait().pairs,
+            service.enqueue(q, vec![]).unwrap().wait().unwrap().pairs,
             vec![(0, 0), (0, 2), (1, 2)]
+        );
+    }
+
+    #[test]
+    fn backoff_is_deterministic_bounded_and_growing() {
+        let mut a = Backoff::with_bounds(7, Duration::from_millis(2), Duration::from_millis(50));
+        let mut b = Backoff::with_bounds(7, Duration::from_millis(2), Duration::from_millis(50));
+        let delays: Vec<Duration> = (0..8).map(|_| a.next_delay()).collect();
+        let replay: Vec<Duration> = (0..8).map(|_| b.next_delay()).collect();
+        assert_eq!(delays, replay, "same seed, same schedule");
+        for d in &delays {
+            assert!(*d >= Duration::from_millis(2) && *d <= Duration::from_millis(50));
+        }
+        let mut c = Backoff::with_bounds(8, Duration::from_millis(2), Duration::from_millis(50));
+        assert_ne!(
+            (0..8).map(|_| c.next_delay()).collect::<Vec<_>>(),
+            delays,
+            "different seeds decorrelate"
         );
     }
 }

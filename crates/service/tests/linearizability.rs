@@ -24,10 +24,12 @@ use cfpq_grammar::cnf::CnfOptions;
 use cfpq_grammar::{Cfg, Wcnf};
 use cfpq_graph::{generators, Graph};
 use cfpq_matrix::{DenseEngine, Device, ParDenseEngine, ParSparseEngine, SparseEngine};
-use cfpq_service::{CfpqService, PairPaths, ServiceConfig, ServiceEngine};
+use cfpq_service::faults::{silence_injected_panics, FaultInjector, FaultPlan};
+use cfpq_service::{Backoff, CfpqService, PairPaths, ServiceConfig, ServiceEngine, ServiceError};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
 
 /// Base RNG seed shared with the workspace's other fixed-seed suites.
 const RNG_SEED: u64 = 0x5E4_71CE;
@@ -197,8 +199,8 @@ fn check_engine<E: ServiceEngine>(engine: E, workload: &Workload, grammar: &Cfg,
                                 ));
                             }
                             1 => {
-                                let t = service.enqueue(rel, vec![]);
-                                let a = t.wait();
+                                let t = service.enqueue(rel, vec![]).unwrap();
+                                let a = t.wait().unwrap();
                                 obs.push((a.epoch, a.pairs, "ticket"));
                             }
                             2 => {
@@ -207,8 +209,8 @@ fn check_engine<E: ServiceEngine>(engine: E, workload: &Workload, grammar: &Cfg,
                                 obs.push((snap.epoch(), idx.pairs(wcnf.start), "single-path"));
                             }
                             _ => {
-                                let t = service.enqueue_paths(rel, vec![], path_req());
-                                let a = t.wait();
+                                let t = service.enqueue_paths(rel, vec![], path_req()).unwrap();
+                                let a = t.wait().unwrap();
                                 path_obs.push((
                                     a.epoch,
                                     a.paths.expect("paths ticket answers with pages"),
@@ -284,6 +286,207 @@ fn concurrent_observations_match_a_sequential_execution() {
     }
 }
 
+/// The chaos variant: the same fixed-seed workload, served through a
+/// [`FaultInjector`] that panics workers at scheduled kernel launches,
+/// under a queue bound small enough that overload shedding fires
+/// mid-run, interleaved with the writer's `add_edges` batches (the
+/// writer retries batches whose repair a fault interrupts). The
+/// linearizability bar does not move: every *surviving* answer must
+/// equal the sequential answer of its epoch, every ticket must resolve
+/// within a bounded wait (zero hung waits), panics must be accounted
+/// exactly (injected = caught by the writer + isolated in workers =
+/// workers respawned), and the post-fault final epoch must match the
+/// sequential execution.
+#[test]
+fn chaos_observations_match_a_sequential_execution() {
+    silence_injected_panics();
+    const LONG: Duration = Duration::from_secs(30);
+    let grammar = Cfg::parse("S -> a S b | a b | S S").unwrap();
+    let wcnf = grammar.to_wcnf(CnfOptions::default()).unwrap();
+    let w = workload(RNG_SEED.wrapping_add(7));
+    let expected = reference_answers(&w, &wcnf);
+
+    // Ops 2/11/23 land inside the epoch-0 cold solves (served by
+    // workers) or the first repairs (run by the writer) — both recovery
+    // paths get exercised on every run; the stall keeps cold solves
+    // slow enough that the forced-overload window below is reliable.
+    let injector = FaultInjector::new(
+        SparseEngine,
+        FaultPlan::panic_on([2, 11, 23]).with_delay_every(2, Duration::from_millis(5)),
+    );
+    let service = CfpqService::with_config(
+        injector.clone(),
+        &w.base,
+        ServiceConfig::new(2).with_max_queued(4),
+    );
+    let rel = service.prepare(&grammar).unwrap();
+    let sp = service.prepare_single_path(&grammar).unwrap();
+
+    let done = AtomicBool::new(false);
+    let (observations, writer_caught, sheds) = std::thread::scope(|s| {
+        let readers: Vec<_> = (0..n_readers())
+            .map(|r| {
+                let service = &service;
+                let done = &done;
+                s.spawn(move || {
+                    let mut backoff = Backoff::new(RNG_SEED ^ r as u64);
+                    type Observation = (u64, Vec<(u32, u32)>, &'static str);
+                    let mut obs: Vec<Observation> = Vec::new();
+                    let mut round = 0usize;
+                    let mut after_done = 0;
+                    while after_done < 2 {
+                        if done.load(Ordering::Relaxed) {
+                            after_done += 1;
+                        }
+                        // Retry the request until it survives: shed load
+                        // backs off, a panicked batch re-enqueues (the
+                        // interrupted solve retries on the same epoch
+                        // cell), anything else is a contract violation.
+                        loop {
+                            let enqueued = if round.is_multiple_of(2) {
+                                service.enqueue(rel, vec![]).map(|t| (t, "ticket"))
+                            } else {
+                                service.enqueue_single_path(sp, vec![]).map(|t| (t, "sp"))
+                            };
+                            match enqueued {
+                                Ok((t, what)) => {
+                                    match t.wait_timeout(LONG).expect("ticket hung past bound") {
+                                        Ok(a) => {
+                                            backoff.reset();
+                                            obs.push((a.epoch, a.pairs, what));
+                                            break;
+                                        }
+                                        Err(ServiceError::WorkerPanicked) => continue,
+                                        Err(e) => panic!("unexpected ticket error: {e}"),
+                                    }
+                                }
+                                Err(ServiceError::Overloaded { retry_after, .. }) => {
+                                    std::thread::sleep(retry_after.min(backoff.next_delay()));
+                                }
+                                Err(e) => panic!("unexpected enqueue error: {e}"),
+                            }
+                        }
+                        round += 1;
+                    }
+                    obs
+                })
+            })
+            .collect();
+
+        // The writer: apply every batch (retrying when an injected
+        // fault interrupts the repair — the failed publish must leave
+        // the old epoch serving), and force an overload window halfway
+        // through by pinning both workers on cold solves of fresh
+        // queries while bursting past the queue bound.
+        let mut writer_caught = 0u64;
+        let mut sheds = 0u64;
+        let mut burst_tickets = Vec::new();
+        for (b, batch) in w.batches.iter().enumerate() {
+            let edges: Vec<(u32, &str, u32)> =
+                batch.iter().map(|(u, l, v)| (*u, l.as_str(), *v)).collect();
+            loop {
+                match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    service.add_edges(&edges)
+                })) {
+                    Ok(inserted) => {
+                        assert!(inserted > 0, "every generated batch publishes an epoch");
+                        break;
+                    }
+                    Err(_) => writer_caught += 1,
+                }
+            }
+            if b == 2 {
+                // Blockers: two fresh queries, cold in this epoch, one
+                // per worker queue — their stalled solves hold both
+                // workers long enough for the burst to hit the bound.
+                let blockers: Vec<_> = (0..2)
+                    .map(|_| {
+                        let q = service.prepare(&grammar).unwrap();
+                        service.enqueue(q, vec![]).unwrap()
+                    })
+                    .collect();
+                std::thread::sleep(Duration::from_millis(10));
+                for _ in 0..64 {
+                    match service.enqueue(rel, vec![]) {
+                        Ok(t) => burst_tickets.push(t),
+                        Err(ServiceError::Overloaded { retry_after, .. }) => {
+                            assert!(retry_after > Duration::ZERO);
+                            sheds += 1;
+                        }
+                        Err(e) => panic!("unexpected burst error: {e}"),
+                    }
+                }
+                for t in blockers {
+                    // A blocker may absorb a scheduled panic; either
+                    // way it resolves within the bound.
+                    let outcome = t.wait_timeout(LONG).expect("blocker hung past bound");
+                    assert!(matches!(outcome, Ok(_) | Err(ServiceError::WorkerPanicked)));
+                }
+            }
+        }
+        done.store(true, Ordering::Relaxed);
+
+        let mut obs = Vec::new();
+        for r in readers {
+            obs.extend(r.join().expect("reader panicked"));
+        }
+        for t in burst_tickets {
+            // A burst batch may land on an epoch whose rel closure was
+            // never demanded (so its serve is a cold solve) and absorb
+            // a scheduled panic — retry it like any other client.
+            let mut ticket = t;
+            let a = loop {
+                match ticket
+                    .wait_timeout(LONG)
+                    .expect("burst ticket hung past bound")
+                {
+                    Ok(a) => break a,
+                    Err(ServiceError::WorkerPanicked) => {
+                        ticket = service.enqueue(rel, vec![]).unwrap();
+                    }
+                    Err(e) => panic!("unexpected burst outcome: {e}"),
+                }
+            };
+            obs.push((a.epoch, a.pairs, "burst"));
+        }
+        (obs, writer_caught, sheds)
+    });
+
+    // Linearizability under faults: every surviving answer equals the
+    // sequential answer of its epoch.
+    assert!(!observations.is_empty());
+    for (epoch, pairs, what) in &observations {
+        assert_eq!(
+            pairs, &expected[*epoch as usize],
+            "{what} observation at epoch {epoch} diverges from the sequential execution"
+        );
+    }
+    assert_eq!(service.current_epoch(), w.batches.len() as u64);
+    let final_answer = service.enqueue(rel, vec![]).unwrap().wait().unwrap();
+    assert_eq!(final_answer.pairs, *expected.last().unwrap());
+
+    // Fault accounting: the whole schedule fired, and every injected
+    // panic was either caught by the writer's retry loop or isolated
+    // into a worker batch (and that worker respawned).
+    assert_eq!(injector.panics_injected(), 3, "the schedule fired fully");
+    let total =
+        |f: fn(&cfpq_service::ServiceStats) -> u64| -> u64 { service.stats().iter().map(f).sum() };
+    assert_eq!(writer_caught + total(|s| s.worker_panics), 3);
+    let deadline = std::time::Instant::now() + Duration::from_secs(2);
+    while total(|s| s.worker_restarts) < total(|s| s.worker_panics) {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "supervisors must respawn panicked workers promptly"
+        );
+        std::thread::yield_now();
+    }
+    assert_eq!(total(|s| s.worker_restarts), total(|s| s.worker_panics));
+    // The forced-overload window shed load (readers also shed under the
+    // tight bound; the burst guarantees at least one).
+    assert!(sheds >= 1, "the burst must overrun the queue bound");
+    assert!(total(|s| s.requests_shed) >= sheds);
+}
+
 #[test]
 fn ticket_epochs_are_monotone_per_thread() {
     // A single caller's tickets must never observe epochs going
@@ -295,14 +498,14 @@ fn ticket_epochs_are_monotone_per_thread() {
     let rel = service.prepare(&grammar).unwrap();
     let mut last = 0u64;
     for batch in &w.batches {
-        let t = service.enqueue(rel, vec![]);
-        let a = t.wait();
+        let t = service.enqueue(rel, vec![]).unwrap();
+        let a = t.wait().unwrap();
         assert!(a.epoch >= last, "epoch went backwards");
         last = a.epoch;
         let edges: Vec<(u32, &str, u32)> =
             batch.iter().map(|(u, l, v)| (*u, l.as_str(), *v)).collect();
         service.add_edges(&edges);
     }
-    let final_answer = service.enqueue(rel, vec![]).wait();
+    let final_answer = service.enqueue(rel, vec![]).unwrap().wait().unwrap();
     assert_eq!(final_answer.epoch, w.batches.len() as u64);
 }

@@ -1,0 +1,102 @@
+//! Failure semantics: the retry-with-backoff walkthrough.
+//!
+//! ```text
+//! cargo run --release --example faults
+//! ```
+//!
+//! Wraps an engine in a [`FaultInjector`] with a fixed fault schedule
+//! and drives a [`CfpqService`] through every arm of its failure
+//! contract: scheduled worker panics survived by a client retry loop
+//! with [`Backoff`], a burst that overruns `max_queued` and sheds
+//! `Overloaded` with a retry hint, deadline expiry under a stalled
+//! worker, and a bounded shutdown drain. Every request resolves to an
+//! answer or a typed [`ServiceError`] — nothing hangs, and the final
+//! answers are identical to a fault-free run.
+
+use cfpq::prelude::*;
+use cfpq::service::faults::{silence_injected_panics, FaultInjector, FaultPlan};
+use std::time::Duration;
+
+fn main() {
+    // Injected panics are expected here; keep them off stderr so the
+    // walkthrough output stays readable. Real panics still print.
+    silence_injected_panics();
+
+    let grammar = cfpq::grammar::queries::query1();
+    let graph = cfpq::graph::ontology::dataset("skos")
+        .expect("bundled dataset")
+        .to_graph();
+
+    // The schedule: kernel launches 0 and 1 panic (killing the cold
+    // solve twice), and every 4th launch stalls 2ms. Deterministic —
+    // rerunning this example injects the same faults at the same ops.
+    let plan = FaultPlan::panic_on([0, 1]).with_delay_every(4, Duration::from_millis(2));
+    let injector = FaultInjector::new(SparseEngine, plan);
+    let config = ServiceConfig::new(2)
+        .with_max_queued(64)
+        .with_default_deadline(Duration::from_secs(5));
+    let service = CfpqService::with_config(injector.clone(), &graph, config);
+    let q1 = service.prepare(&grammar).expect("Q1 normalizes");
+
+    // The client loop every caller should write: seeded full-jitter
+    // backoff, honour the service's retry hint when it sheds, retry on
+    // worker panics, give up on anything non-retryable.
+    let mut backoff = Backoff::new(0xC1E47);
+    let mut attempt = 0;
+    let answer = loop {
+        attempt += 1;
+        let ticket = match service.enqueue(q1, vec![]) {
+            Ok(t) => t,
+            Err(e @ ServiceError::Overloaded { .. }) => {
+                let pause = e.retry_after().unwrap_or_else(|| backoff.next_delay());
+                println!("attempt {attempt}: shed ({e}); retrying in {pause:?}");
+                std::thread::sleep(pause);
+                continue;
+            }
+            Err(e) => panic!("not retryable: {e}"),
+        };
+        match ticket.wait_timeout(Duration::from_secs(30)) {
+            Ok(Ok(answer)) => break answer,
+            Ok(Err(e @ (ServiceError::WorkerPanicked | ServiceError::Deadline))) => {
+                let pause = backoff.next_delay();
+                println!("attempt {attempt}: failed typed ({e}); retrying in {pause:?}");
+                std::thread::sleep(pause);
+            }
+            Ok(Err(e)) => panic!("not retryable: {e}"),
+            Err(_ticket) => panic!("hung past the bound — contract violation"),
+        }
+    };
+    println!(
+        "recovered after {attempt} attempts: {} pairs @ epoch {} \
+         ({} panics injected, {} ops observed)",
+        answer.pairs.len(),
+        answer.epoch,
+        injector.panics_injected(),
+        injector.ops()
+    );
+
+    // The fault-free reference: same graph, same query, no injector.
+    let reference = cfpq::core::solve(&graph, &grammar, Backend::Sparse).unwrap();
+    assert_eq!(answer.pairs, reference.start_pairs());
+    println!("answers match the fault-free run: true");
+
+    // Per-epoch fault counters ride on the same stats the service
+    // already publishes.
+    for s in service.stats() {
+        println!(
+            "epoch {}: served {} | worker_panics {} restarts {} | shed {} expired {}",
+            s.epoch,
+            s.queries_served,
+            s.worker_panics,
+            s.worker_restarts,
+            s.requests_shed,
+            s.deadline_expired
+        );
+    }
+
+    // Graceful exit: a bounded drain. Anything still queued would
+    // resolve `ShuttingDown` instead of hanging; here the queue is
+    // already empty.
+    let drained = service.shutdown();
+    println!("shutdown drained {drained} queued requests");
+}

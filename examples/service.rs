@@ -43,8 +43,8 @@ fn main() {
         for client in 0..8 {
             let service = &service;
             s.spawn(move || {
-                let ticket = service.enqueue(q1, vec![]);
-                let answer = ticket.wait();
+                let ticket = service.enqueue(q1, vec![]).expect("q1 is registered");
+                let answer = ticket.wait().expect("no faults in this walkthrough");
                 println!(
                     "client {client}: {} pairs @ epoch {}",
                     answer.pairs.len(),

@@ -16,8 +16,10 @@
 //!   semantics, all-path enumeration, conjunctive extension;
 //! * [`service`] — the concurrent query service: snapshot-isolated
 //!   epochs over a shared [`core::session::GraphIndex`], a multi-queue
-//!   scheduler batching requests per grammar, and shared closure
-//!   caching with incremental epoch repair;
+//!   scheduler batching requests per grammar, shared closure caching
+//!   with incremental epoch repair, and a typed failure contract
+//!   (panic isolation, deadlines, backpressure) with a deterministic
+//!   fault-injection harness in [`service::faults`];
 //! * [`baselines`] — Hellings' algorithm, GLL-for-graphs, Valiant's
 //!   string parser.
 //!
@@ -50,7 +52,7 @@ pub mod prelude {
         solve_on_engine, solve_set_matrix, FixpointSolver, SolveStats, Strategy,
     };
     pub use cfpq_core::session::{
-        AllPathsId, CfpqSession, GraphIndex, PreparedQuery, QueryId, SinglePathId,
+        AllPathsId, CfpqSession, GraphIndex, PreparedQuery, QueryId, SessionError, SinglePathId,
     };
     pub use cfpq_core::single_path::{
         extract_path, solve_single_path, validate_witness, SinglePathSolver,
@@ -64,5 +66,8 @@ pub mod prelude {
     // The service's query handles keep their own names (`cfpq::service::
     // QueryId` vs the session's `QueryId` above), so only the
     // unambiguous types are in the prelude.
-    pub use cfpq_service::{CfpqService, ServiceConfig, ServiceStats, Snapshot, Ticket};
+    pub use cfpq_service::{
+        Backoff, CfpqService, ServiceConfig, ServiceError, ServiceStats, Snapshot, Ticket,
+        TicketResult,
+    };
 }
