@@ -10,9 +10,13 @@
 //! * `multiply` + `difference` vs the fused `multiply_masked` — what the
 //!   engine-default fallback costs against the real kernels;
 //! * batched masked products on the parallel device — the §7 "one
-//!   kernel per rule" overlap the `MaskedDelta` sweep relies on.
+//!   kernel per rule" overlap the `MaskedDelta` sweep relies on;
+//! * tiled vs dense vs CSR products across densities — where each
+//!   representation's crossover sits, on uniform random structure and
+//!   on the clustered block-diagonal structure the tiled backend
+//!   targets.
 
-use cfpq_matrix::{BoolEngine, CsrMatrix, DenseBitMatrix, Device, ParSparseEngine};
+use cfpq_matrix::{BoolEngine, CsrMatrix, DenseBitMatrix, Device, ParSparseEngine, TiledBitMatrix};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::time::Duration;
 
@@ -103,10 +107,56 @@ fn bench_masked_batch(c: &mut Criterion) {
     group.finish();
 }
 
+/// Deterministic pair list confined to 64-aligned blocks: every pair
+/// stays inside its node's 64-node block, so the tiled representation
+/// stores only diagonal tiles (the clustered regime of the `scale`
+/// scenario).
+fn clustered_pairs(n: usize, count: usize, seed: u64) -> Vec<(u32, u32)> {
+    random_pairs(n, count, seed)
+        .into_iter()
+        .map(|(u, v)| (u, (u / 64) * 64 + v % 64))
+        .collect()
+}
+
+fn bench_repr_sweep(c: &mut Criterion) {
+    let n = 2048usize;
+    let mut group = c.benchmark_group("kernel-repr-sweep");
+    configure(&mut group);
+    for (shape, gen) in [
+        (
+            "uniform",
+            random_pairs as fn(usize, usize, u64) -> Vec<(u32, u32)>,
+        ),
+        ("clustered", clustered_pairs),
+    ] {
+        for row_nnz in [2usize, 16, 48] {
+            let pa = gen(n, row_nnz * n, 0x21);
+            let pb = gen(n, row_nnz * n, 0x22);
+            let da = DenseBitMatrix::from_pairs(n, &pa);
+            let db = DenseBitMatrix::from_pairs(n, &pb);
+            let ca = CsrMatrix::from_pairs(n, &pa);
+            let cb = CsrMatrix::from_pairs(n, &pb);
+            let ta = TiledBitMatrix::from_pairs(n, &pa);
+            let tb = TiledBitMatrix::from_pairs(n, &pb);
+            group.bench_function(format!("dense/{shape}/row-nnz-{row_nnz}"), |bch| {
+                bch.iter(|| da.multiply(&db))
+            });
+            group.bench_function(format!("sparse/{shape}/row-nnz-{row_nnz}"), |bch| {
+                bch.iter(|| ca.multiply(&cb))
+            });
+            group.bench_function(format!("tiled/{shape}/row-nnz-{row_nnz}"), |bch| {
+                bch.iter(|| ta.multiply(&tb))
+            });
+        }
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_dense_masked,
     bench_sparse_masked,
-    bench_masked_batch
+    bench_masked_batch,
+    bench_repr_sweep
 );
 criterion_main!(benches);

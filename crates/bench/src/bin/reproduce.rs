@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! cargo run --release -p cfpq-bench --bin reproduce -- \
-//!     [table1|table2|incremental|single-path|service|all-paths|faults|all] \
+//!     [table1|table2|incremental|single-path|service|all-paths|faults|scale|all] \
 //!     [--workers N] [--json PATH] [--smoke]
 //! ```
 //!
@@ -62,11 +62,19 @@
 //! handling is size-independent, so both modes run small ontologies:
 //! smoke the two smallest, full the four-dataset smoke suite (the full
 //! rows are part of `BENCH_pr7.json`).
+//!
+//! The `scale` scenario (part of `all`) leaves the paper's ontology
+//! sizes behind: a clustered block graph of tile-aligned 64-node
+//! clusters — 1600 blocks (102,400 nodes) in full mode, 32 blocks in
+//! smoke — solved on parallel CSR, the block-tiled backend, and the
+//! adaptive engine. Full mode asserts the tiled backend beats the CSR
+//! baseline (the numbers committed as `BENCH_pr8.json`); flat dense is
+//! recorded as skipped (`n²/8` bytes per nonterminal at this size).
 
 use cfpq_bench::{
-    render_all_paths, render_faults, render_incremental, render_service, render_single_path,
-    render_table, run_all_paths, run_faults, run_incremental, run_row, run_service,
-    run_single_path, run_table, small_suite, Query,
+    render_all_paths, render_faults, render_incremental, render_scale, render_service,
+    render_single_path, render_table, run_all_paths, run_faults, run_incremental, run_row,
+    run_scale, run_service, run_single_path, run_table, small_suite, Query,
 };
 use cfpq_graph::ontology::evaluation_suite;
 use std::io::Write;
@@ -82,7 +90,7 @@ fn main() {
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "table1" | "table2" | "incremental" | "single-path" | "service" | "all-paths"
-            | "faults" | "all" => which = arg,
+            | "faults" | "scale" | "all" => which = arg,
             "--workers" => {
                 workers = match it.next().and_then(|v| v.parse().ok()) {
                     Some(n) => n,
@@ -105,7 +113,7 @@ fn main() {
             other => {
                 eprintln!("unknown argument `{other}`");
                 eprintln!(
-                    "usage: reproduce [table1|table2|incremental|single-path|service|all-paths|faults|all] \
+                    "usage: reproduce [table1|table2|incremental|single-path|service|all-paths|faults|scale|all] \
                      [--workers N] [--json PATH] [--smoke]"
                 );
                 std::process::exit(2);
@@ -116,7 +124,7 @@ fn main() {
     let queries: Vec<Query> = match which.as_str() {
         "table1" => vec![Query::Q1],
         "table2" => vec![Query::Q2],
-        "incremental" | "single-path" | "service" | "all-paths" | "faults" => vec![],
+        "incremental" | "single-path" | "service" | "all-paths" | "faults" | "scale" => vec![],
         _ => vec![Query::Q1, Query::Q2],
     };
     let run_incremental_scenario = matches!(which.as_str(), "incremental" | "all");
@@ -124,6 +132,7 @@ fn main() {
     let run_service_scenario = matches!(which.as_str(), "service" | "all");
     let run_all_paths_scenario = matches!(which.as_str(), "all-paths" | "all");
     let run_faults_scenario = matches!(which.as_str(), "faults" | "all");
+    let run_scale_scenario = matches!(which.as_str(), "scale" | "all");
 
     let mut sections: Vec<serde_json::Value> = Vec::new();
     for q in queries {
@@ -239,6 +248,20 @@ fn main() {
         print!("{}", render_faults(&rows));
         println!();
         sections.push(serde_json::json!({ "query": "Faults", "rows": rows }));
+    }
+
+    if run_scale_scenario {
+        // Smoke: 32 tile-aligned blocks (2,048 nodes) — enough to cross
+        // tile boundaries and keep CI fast. Full: 1600 blocks (102,400
+        // nodes) with the tiled-beats-CSR acceptance criterion; these
+        // are the rows committed as BENCH_pr8.json. Flat dense is never
+        // run here (n²/8 bytes per nonterminal).
+        let n_blocks = if smoke { 32 } else { 1600 };
+        eprintln!("running scale scenario ({n_blocks} blocks x 64 nodes)...");
+        let rows = vec![run_scale(n_blocks, workers, !smoke)];
+        print!("{}", render_scale(&rows));
+        println!();
+        sections.push(serde_json::json!({ "query": "Scale", "rows": rows }));
     }
 
     if let Some(path) = json_path {

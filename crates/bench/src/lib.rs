@@ -33,8 +33,10 @@ use cfpq_core::single_path::{
 use cfpq_grammar::cnf::CnfOptions;
 use cfpq_grammar::{queries, Cfg, Wcnf};
 use cfpq_graph::ontology::{evaluation_suite, Dataset};
-use cfpq_graph::Graph;
-use cfpq_matrix::{Device, ParDenseEngine, ParSparseEngine, SparseEngine};
+use cfpq_graph::{generators, Graph};
+use cfpq_matrix::{
+    AdaptiveEngine, BoolMat, Device, ParDenseEngine, ParSparseEngine, SparseEngine, TiledEngine,
+};
 use serde::Serialize;
 use std::time::Instant;
 
@@ -79,6 +81,15 @@ pub struct SweepStats {
     pub products_skipped: usize,
     /// `Σ_A nnz(T_A)` after each sweep.
     pub sweep_nnz: Vec<usize>,
+    /// Tile products the tiled kernels skipped (empty tile-rows,
+    /// saturated mask tiles); 0 on non-tiled engines.
+    pub tiles_skipped: u64,
+    /// Representation conversions the adaptive engine performed at its
+    /// per-nonterminal per-sweep decision points; 0 elsewhere.
+    pub repr_switches: u64,
+    /// Per-nonterminal `nnz(T_A)` at the fixpoint — the observable the
+    /// adaptive policy decides representations from.
+    pub nt_nnz: Vec<usize>,
 }
 
 impl SweepStats {
@@ -88,6 +99,9 @@ impl SweepStats {
             products_computed: stats.products_computed,
             products_skipped: stats.products_skipped,
             sweep_nnz: stats.sweep_nnz.clone(),
+            tiles_skipped: stats.tiles_skipped,
+            repr_switches: stats.repr_switches,
+            nt_nnz: stats.nt_nnz.clone(),
         }
     }
 }
@@ -115,12 +129,19 @@ pub struct Row {
     pub sparse_ms: f64,
     /// sGPU column (sparse-par, masked-delta), milliseconds.
     pub sparse_par_ms: f64,
+    /// Block-tiled backend (tiled, masked-delta), milliseconds.
+    pub tiled_ms: f64,
+    /// Adaptive per-nonterminal representation engine, milliseconds.
+    pub adaptive_ms: f64,
     /// sCPU with the paper-literal naive loop, milliseconds (ablation).
     pub sparse_naive_ms: f64,
     /// Work counters of the sparse masked-delta run.
     pub masked: SweepStats,
     /// Work counters of the sparse naive run.
     pub naive: SweepStats,
+    /// Work counters of the adaptive run (carries the tile-skip and
+    /// representation-switch observables).
+    pub adaptive: SweepStats,
 }
 
 /// Times a closure in milliseconds.
@@ -176,6 +197,17 @@ pub fn run_row(query: Query, dataset: &Dataset, device_workers: usize) -> Row {
     let (spar_idx, sparse_par_ms) = time_ms(|| FixpointSolver::new(&engine).solve(graph, &wcnf));
     let spar_results = spar_idx.matrices[start_wcnf.index()].nnz();
 
+    // Block-tiled backend on the same device pool.
+    let engine = TiledEngine::new(device());
+    let (tiled_idx, tiled_ms) = time_ms(|| FixpointSolver::new(&engine).solve(graph, &wcnf));
+    let tiled_results = tiled_idx.matrices[start_wcnf.index()].nnz();
+
+    // Adaptive per-nonterminal representation selection.
+    let engine = AdaptiveEngine::new(device());
+    let (adaptive_idx, adaptive_ms) = time_ms(|| FixpointSolver::new(&engine).solve(graph, &wcnf));
+    let adaptive_results = adaptive_idx.matrices[start_wcnf.index()].nnz();
+    let adaptive = SweepStats::of(adaptive_idx.iterations, &adaptive_idx.stats);
+
     // dGPU: parallel dense; skipped on the large repeated graphs, as in
     // the paper.
     let skip_dense = matches!(dataset.name.as_str(), "g1" | "g2" | "g3");
@@ -207,6 +239,16 @@ pub fn run_row(query: Query, dataset: &Dataset, device_workers: usize) -> Row {
         "dense-par #results mismatch on {}",
         dataset.name
     );
+    assert_eq!(
+        tiled_results, results,
+        "tiled #results mismatch on {}",
+        dataset.name
+    );
+    assert_eq!(
+        adaptive_results, results,
+        "adaptive #results mismatch on {}",
+        dataset.name
+    );
 
     Row {
         dataset: dataset.name.clone(),
@@ -217,9 +259,12 @@ pub fn run_row(query: Query, dataset: &Dataset, device_workers: usize) -> Row {
         dense_par_ms,
         sparse_ms,
         sparse_par_ms,
+        tiled_ms,
+        adaptive_ms,
         sparse_naive_ms,
         masked,
         naive,
+        adaptive,
     }
 }
 
@@ -236,7 +281,7 @@ pub fn render_table(query: Query, rows: &[Row]) -> String {
     let mut out = String::new();
     out.push_str(&format!("{}\n", query.table_name()));
     out.push_str(&format!(
-        "{:<30} {:>8} {:>9} {:>9} {:>9} {:>9} {:>9} {:>10} {:>7} {:>7}\n",
+        "{:<30} {:>8} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>10} {:>7} {:>7}\n",
         "Ontology",
         "#triples",
         "#results",
@@ -244,13 +289,15 @@ pub fn render_table(query: Query, rows: &[Row]) -> String {
         "dGPU(ms)",
         "sCPU(ms)",
         "sGPU(ms)",
+        "tile(ms)",
+        "adpt(ms)",
         "naive(ms)",
         "#prod",
         "#skip"
     ));
     for r in rows {
         out.push_str(&format!(
-            "{:<30} {:>8} {:>9} {:>9.0} {:>9} {:>9.0} {:>9.0} {:>10.0} {:>7} {:>7}\n",
+            "{:<30} {:>8} {:>9} {:>9.0} {:>9} {:>9.0} {:>9.0} {:>9.0} {:>9.0} {:>10.0} {:>7} {:>7}\n",
             r.dataset,
             r.triples,
             r.results,
@@ -260,6 +307,8 @@ pub fn render_table(query: Query, rows: &[Row]) -> String {
                 .unwrap_or_else(|| "—".to_owned()),
             r.sparse_ms,
             r.sparse_par_ms,
+            r.tiled_ms,
+            r.adaptive_ms,
             r.sparse_naive_ms,
             r.masked.products_computed,
             r.masked.products_skipped,
@@ -1359,6 +1408,140 @@ pub fn render_all_paths(rows: &[AllPathsRow]) -> String {
     out
 }
 
+/// One row of the `scale` scenario: the Dyck query on a clustered block
+/// graph (tile-aligned 64-node clusters, [`generators::clustered_blocks`])
+/// far beyond the paper's ontology sizes, solved on the parallel-CSR
+/// baseline, the block-tiled backend, and the adaptive engine. Each
+/// cluster's closure is a handful of dense 64×64 tiles, so the tiled
+/// kernels turn the sweep into cache-resident bitwise work while CSR
+/// chases per-element pointers. A flat dense matrix is not run at this
+/// scale — `n²/8` bytes *per nonterminal* (≈1.3 GB at 102k nodes) —
+/// and the row records that skip explicitly.
+#[derive(Clone, Debug, Serialize)]
+pub struct ScaleRow {
+    /// Scenario name (`scale-<n_blocks>x64`).
+    pub dataset: String,
+    /// Graph node count (`n_blocks × 64`).
+    pub nodes: usize,
+    /// Graph edge count.
+    pub edges: usize,
+    /// `|R_S|` (identical across engines — asserted).
+    pub results: usize,
+    /// Parallel CSR (sparse-par, masked-delta) — the pre-PR best on this
+    /// shape — milliseconds.
+    pub sparse_par_ms: f64,
+    /// Block-tiled backend, milliseconds.
+    pub tiled_ms: f64,
+    /// Adaptive representation engine, milliseconds.
+    pub adaptive_ms: f64,
+    /// Flat dense is infeasible at this scale and never run (the skip
+    /// the paper applies to g1–g3, an order of magnitude earlier).
+    pub dense_skipped: bool,
+    /// Work counters of the tiled run.
+    pub tiled: SweepStats,
+    /// Work counters of the adaptive run (representation decisions).
+    pub adaptive: SweepStats,
+}
+
+/// Runs the `scale` scenario at `n_blocks` 64-node clusters. With
+/// `check_speed` (full mode, ≥100k nodes), asserts the tiled backend
+/// beats the parallel-CSR baseline — the PR's acceptance criterion,
+/// re-checked on every `reproduce` run; smoke mode only asserts result
+/// equality.
+pub fn run_scale(n_blocks: usize, device_workers: usize, check_speed: bool) -> ScaleRow {
+    let wcnf: Wcnf = Cfg::parse("S -> a S b | a b")
+        .expect("Dyck grammar parses")
+        .to_wcnf(CnfOptions::default())
+        .expect("Dyck grammar normalizes");
+    let start = wcnf.start;
+    let graph = generators::clustered_blocks(n_blocks, 64, 4, &["a", "b"], 0x5CA1E);
+    let device = || {
+        if device_workers == 0 {
+            Device::host_parallel()
+        } else {
+            Device::new(device_workers)
+        }
+    };
+
+    let engine = ParSparseEngine::new(device());
+    let (csr_idx, sparse_par_ms) = time_ms(|| FixpointSolver::new(&engine).solve(&graph, &wcnf));
+    let results = csr_idx.matrices[start.index()].nnz();
+
+    let engine = TiledEngine::new(device());
+    let (tiled_idx, tiled_ms) = time_ms(|| FixpointSolver::new(&engine).solve(&graph, &wcnf));
+    assert_eq!(
+        tiled_idx.matrices[start.index()].nnz(),
+        results,
+        "tiled #results mismatch on the scale graph"
+    );
+    let tiled = SweepStats::of(tiled_idx.iterations, &tiled_idx.stats);
+
+    let engine = AdaptiveEngine::new(device());
+    let (adaptive_idx, adaptive_ms) = time_ms(|| FixpointSolver::new(&engine).solve(&graph, &wcnf));
+    assert_eq!(
+        adaptive_idx.matrices[start.index()].nnz(),
+        results,
+        "adaptive #results mismatch on the scale graph"
+    );
+    let adaptive = SweepStats::of(adaptive_idx.iterations, &adaptive_idx.stats);
+
+    if check_speed {
+        assert!(
+            tiled_ms < sparse_par_ms,
+            "the tiled backend must beat parallel CSR on the scale graph \
+             ({tiled_ms:.0} vs {sparse_par_ms:.0} ms)"
+        );
+    }
+
+    ScaleRow {
+        dataset: format!("scale-{n_blocks}x64"),
+        nodes: graph.n_nodes(),
+        edges: graph.n_edges(),
+        results,
+        sparse_par_ms,
+        tiled_ms,
+        adaptive_ms,
+        dense_skipped: true,
+        tiled,
+        adaptive,
+    }
+}
+
+/// Renders scale rows as a table.
+pub fn render_scale(rows: &[ScaleRow]) -> String {
+    let mut out = String::new();
+    out.push_str("Scale (block-tiled vs parallel CSR on clustered 64-node blocks)\n");
+    out.push_str(&format!(
+        "{:<16} {:>8} {:>8} {:>9} {:>9} {:>9} {:>9} {:>6} {:>10} {:>8}\n",
+        "Scenario",
+        "#nodes",
+        "#edges",
+        "#results",
+        "sGPU(ms)",
+        "tile(ms)",
+        "adpt(ms)",
+        "dense",
+        "#tileskip",
+        "#switch"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<16} {:>8} {:>8} {:>9} {:>9.0} {:>9.0} {:>9.0} {:>6} {:>10} {:>8}\n",
+            r.dataset,
+            r.nodes,
+            r.edges,
+            r.results,
+            r.sparse_par_ms,
+            r.tiled_ms,
+            r.adaptive_ms,
+            if r.dense_skipped { "skip" } else { "run" },
+            r.tiled.tiles_skipped,
+            r.adaptive.repr_switches,
+        ));
+    }
+    out
+}
+
 /// A smaller suite for unit tests and smoke benches: the four smallest
 /// ontologies.
 pub fn small_suite() -> Vec<Dataset> {
@@ -1469,6 +1652,24 @@ mod tests {
         let text = render_all_paths(&rows);
         assert!(text.contains("cyclic-dyck"));
         assert!(text.contains("eager(ms)"));
+    }
+
+    #[test]
+    fn scale_rows_agree_across_engines_and_skip_dense() {
+        // run_scale asserts tiled/adaptive result equality internally;
+        // a tiny 8-block instance keeps the test fast while still
+        // crossing tile boundaries. No speed assertion at this size.
+        let row = run_scale(8, 2, false);
+        assert_eq!(row.nodes, 512);
+        assert!(row.results > 0);
+        assert!(row.dense_skipped);
+        assert!(
+            row.adaptive.nt_nnz.iter().sum::<usize>() > 0,
+            "the per-nonterminal nnz snapshot must be populated"
+        );
+        let text = render_scale(&[row]);
+        assert!(text.contains("scale-8x64"));
+        assert!(text.contains("#tileskip"));
     }
 
     #[test]

@@ -144,6 +144,19 @@ pub struct SolveStats {
     pub products_skipped: usize,
     /// Total stored entries (`Σ_A nnz(T_A)`) after each sweep.
     pub sweep_nnz: Vec<usize>,
+    /// Tile-pair kernels the blocked backends proved away during this
+    /// run (empty counterpart tile-rows, fully-masked output tiles) —
+    /// the engine's [`KernelCounters`](cfpq_matrix::KernelCounters)
+    /// sampled before/after the run. Zero for the flat engines.
+    pub tiles_skipped: u64,
+    /// Representation conversions (dense ↔ CSR ↔ tiled) the adaptive
+    /// engine performed during this run. Zero for fixed-representation
+    /// engines.
+    pub repr_switches: u64,
+    /// Final `nnz(T_A)` per nonterminal (indexed like the grammar's
+    /// nonterminals) — the per-nonterminal snapshot behind the adaptive
+    /// engine's representation decisions.
+    pub nt_nnz: Vec<usize>,
 }
 
 /// The result of a relational CFPQ evaluation: one Boolean matrix per
@@ -312,6 +325,7 @@ impl<'e, E: BoolEngine> FixpointSolver<'e, E> {
         let n_nts = grammar.n_nts();
         assert_eq!(new_pairs.len(), n_nts, "one pair list per nonterminal");
         let masked = self.strategy != Strategy::Delta;
+        let counters_before = engine.kernel_counters();
 
         // Δ_A = new seeds not already in the closure; fold them in.
         let mut delta: Vec<Option<E::Matrix>> = (0..n_nts).map(|_| None).collect();
@@ -340,13 +354,17 @@ impl<'e, E: BoolEngine> FixpointSolver<'e, E> {
             masked,
             &mut stats,
         );
+        finish_stats(&mut stats, engine, counters_before, &index.matrices);
         index.iterations += sweeps;
         index.stats.products_computed += stats.products_computed;
         index.stats.products_skipped += stats.products_skipped;
+        index.stats.tiles_skipped += stats.tiles_skipped;
+        index.stats.repr_switches += stats.repr_switches;
         index
             .stats
             .sweep_nnz
             .extend(stats.sweep_nnz.iter().copied());
+        index.stats.nt_nnz.clone_from(&stats.nt_nnz);
         stats
     }
 
@@ -360,6 +378,7 @@ impl<'e, E: BoolEngine> FixpointSolver<'e, E> {
     ) -> RelationalIndex<E::Matrix> {
         let engine = self.engine;
         let mut stats = SolveStats::default();
+        let counters_before = engine.kernel_counters();
         let mut iterations = 0;
         loop {
             iterations += 1;
@@ -375,6 +394,7 @@ impl<'e, E: BoolEngine> FixpointSolver<'e, E> {
                 break;
             }
         }
+        finish_stats(&mut stats, engine, counters_before, &matrices);
         RelationalIndex {
             matrices,
             iterations,
@@ -394,6 +414,7 @@ impl<'e, E: BoolEngine> FixpointSolver<'e, E> {
     ) -> RelationalIndex<E::Matrix> {
         let engine = self.engine;
         let mut stats = SolveStats::default();
+        let counters_before = engine.kernel_counters();
         let mut iterations = 0;
         loop {
             iterations += 1;
@@ -413,6 +434,7 @@ impl<'e, E: BoolEngine> FixpointSolver<'e, E> {
                 break;
             }
         }
+        finish_stats(&mut stats, engine, counters_before, &matrices);
         RelationalIndex {
             matrices,
             iterations,
@@ -441,7 +463,9 @@ impl<'e, E: BoolEngine> FixpointSolver<'e, E> {
         masked: bool,
     ) -> RelationalIndex<E::Matrix> {
         let mut stats = SolveStats::default();
+        let counters_before = self.engine.kernel_counters();
         let iterations = self.delta_sweeps(&mut full, DeltaSeed::Full, grammar, masked, &mut stats);
+        finish_stats(&mut stats, self.engine, counters_before, &full);
         RelationalIndex {
             matrices: full,
             iterations,
@@ -597,6 +621,22 @@ enum DeltaSeed<M> {
 /// `Σ_A nnz(T_A)` — one data point of [`SolveStats::sweep_nnz`].
 fn total_nnz<M: BoolMat>(matrices: &[M]) -> usize {
     matrices.iter().map(BoolMat::nnz).sum()
+}
+
+/// Closes out a run's [`SolveStats`]: brackets the engine's cumulative
+/// [`KernelCounters`](cfpq_matrix::KernelCounters) (sampled at run
+/// start) to this run's contribution and snapshots the final
+/// per-nonterminal nnz.
+fn finish_stats<E: BoolEngine>(
+    stats: &mut SolveStats,
+    engine: &E,
+    counters_before: cfpq_matrix::KernelCounters,
+    matrices: &[E::Matrix],
+) {
+    let work = engine.kernel_counters().since(counters_before);
+    stats.tiles_skipped = work.tiles_skipped;
+    stats.repr_switches = work.repr_switches;
+    stats.nt_nnz = matrices.iter().map(BoolMat::nnz).collect();
 }
 
 /// Runs Algorithm 1 in its Boolean decomposition on the given engine,

@@ -24,7 +24,10 @@ use cfpq_core::single_path::validate_witness;
 use cfpq_grammar::cnf::CnfOptions;
 use cfpq_grammar::{Cfg, Wcnf};
 use cfpq_graph::{generators, Edge, Graph};
-use cfpq_matrix::{BoolEngine, DenseEngine, Device, ParDenseEngine, ParSparseEngine, SparseEngine};
+use cfpq_matrix::{
+    AdaptiveEngine, BoolEngine, DenseEngine, Device, ParDenseEngine, ParSparseEngine, SparseEngine,
+    TiledEngine,
+};
 use proptest::prelude::*;
 
 /// Base RNG seed: CI must replay the exact same cases on every run (see
@@ -194,12 +197,28 @@ proptest! {
                 &grammar,
                 options,
             )?;
+            let tiled = check_engine(
+                "tiled",
+                &TiledEngine::new(Device::new(2)),
+                &graph,
+                &grammar,
+                options,
+            )?;
+            let adaptive = check_engine(
+                "adaptive",
+                &AdaptiveEngine::new(Device::new(2)),
+                &graph,
+                &grammar,
+                options,
+            )?;
             // Paging is deterministic across engines: identical pages in
             // identical order, whatever closure representation pruned
             // the walk.
             prop_assert_eq!(&reference, &sparse, "dense vs sparse pages");
             prop_assert_eq!(&reference, &dense_par, "dense vs dense-par pages");
             prop_assert_eq!(&reference, &sparse_par, "dense vs sparse-par pages");
+            prop_assert_eq!(&reference, &tiled, "dense vs tiled pages");
+            prop_assert_eq!(&reference, &adaptive, "dense vs adaptive pages");
         }
     }
 

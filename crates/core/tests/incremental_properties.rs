@@ -15,7 +15,8 @@ use cfpq_grammar::cnf::CnfOptions;
 use cfpq_grammar::{Cfg, Wcnf};
 use cfpq_graph::{generators, Graph};
 use cfpq_matrix::{
-    BoolEngine, DenseEngine, Device, LenEngine, ParDenseEngine, ParSparseEngine, SparseEngine,
+    AdaptiveEngine, BoolEngine, DenseEngine, Device, LenEngine, ParDenseEngine, ParSparseEngine,
+    SparseEngine, TiledEngine,
 };
 use proptest::prelude::*;
 
@@ -92,6 +93,8 @@ proptest! {
             check_engine(SparseEngine, &graph, &wcnf)?;
             check_engine(ParDenseEngine::new(Device::new(2)), &graph, &wcnf)?;
             check_engine(ParSparseEngine::new(Device::new(3)), &graph, &wcnf)?;
+            check_engine(TiledEngine::new(Device::new(2)), &graph, &wcnf)?;
+            check_engine(AdaptiveEngine::new(Device::new(2)), &graph, &wcnf)?;
         }
     }
 

@@ -21,7 +21,10 @@ use cfpq_core::single_path::{
 use cfpq_grammar::cnf::CnfOptions;
 use cfpq_grammar::{Cfg, Nt, Wcnf};
 use cfpq_graph::{generators, Graph};
-use cfpq_matrix::{DenseEngine, Device, LenEngine, ParDenseEngine, ParSparseEngine, SparseEngine};
+use cfpq_matrix::{
+    AdaptiveEngine, DenseEngine, Device, LenEngine, ParDenseEngine, ParSparseEngine, SparseEngine,
+    TiledEngine,
+};
 use proptest::prelude::*;
 
 /// Base RNG seed: CI must replay the exact same cases on every run (see
@@ -124,6 +127,20 @@ fn check_all(graph: &Graph, grammar: &Wcnf, diagonal: bool) -> Result<(), TestCa
     check_engine(
         "sparse-par",
         &ParSparseEngine::new(Device::new(3)),
+        graph,
+        grammar,
+        options,
+    )?;
+    check_engine(
+        "tiled",
+        &TiledEngine::new(Device::new(2)),
+        graph,
+        grammar,
+        options,
+    )?;
+    check_engine(
+        "adaptive",
+        &AdaptiveEngine::new(Device::new(2)),
         graph,
         grammar,
         options,

@@ -12,8 +12,8 @@ use cfpq_grammar::{Nt, Wcnf};
 use cfpq_graph::{generators, Graph};
 use cfpq_matrix::closure::squaring_closure;
 use cfpq_matrix::{
-    BoolEngine, BoolMat, DenseEngine, Device, ParDenseEngine, ParSparseEngine, SetMatrix,
-    SparseEngine,
+    AdaptiveEngine, BoolEngine, BoolMat, DenseEngine, Device, ParDenseEngine, ParSparseEngine,
+    SetMatrix, SparseEngine, TiledEngine,
 };
 use proptest::prelude::*;
 
@@ -108,6 +108,26 @@ fn check_all(
                 "sparse-par",
                 solver_pairs(
                     &ParSparseEngine::new(Device::new(3)),
+                    strategy,
+                    graph,
+                    grammar,
+                    diagonal,
+                ),
+            ),
+            (
+                "tiled",
+                solver_pairs(
+                    &TiledEngine::new(Device::new(2)),
+                    strategy,
+                    graph,
+                    grammar,
+                    diagonal,
+                ),
+            ),
+            (
+                "adaptive",
+                solver_pairs(
+                    &AdaptiveEngine::new(Device::new(2)),
                     strategy,
                     graph,
                     grammar,

@@ -1,0 +1,586 @@
+//! Density-adaptive engine: dense vs CSR vs tiled, chosen per matrix.
+//!
+//! The paper's evaluation (§6) shows no single representation wins
+//! everywhere: dense bitsets dominate small saturated closures, CSR wins
+//! at low density, and the blocked layout of [`crate::tiled`] wins once
+//! graphs outgrow a flat allocation. A fixpoint run mixes all three
+//! regimes — terminal matrices stay sparse while closure nonterminals
+//! saturate — so [`AdaptiveEngine`] re-evaluates each matrix's
+//! representation at every in-place union, i.e. **per nonterminal per
+//! sweep** of Algorithm 1, from its observed nnz.
+//!
+//! The policy is a cost model with hysteresis bands so a matrix
+//! hovering at a threshold does not thrash:
+//!
+//! * **dense** — only for `n ≤ 2048` (one flat allocation stays
+//!   cache-sized); enter at density ≥ 1/64 (one set bit per machine
+//!   word), leave below 1/256.
+//! * **tiled** — enter at mean row degree ≥ 8, leave below 4. Clustered
+//!   closures pack those bits into few tiles, exactly where the blocked
+//!   kernels win.
+//! * **CSR** — everything else (the safe default; `zeros` always starts
+//!   here).
+//!
+//! Conversions are counted in [`KernelCounters::repr_switches`] and only
+//! happen when a matrix crosses a band or a product's operands disagree
+//! — a kernel always runs in one representation, so the smaller operands
+//! convert to the representation of the participant holding the most
+//! structure (tiled > dense > CSR).
+
+use crate::dense::DenseBitMatrix;
+use crate::device::Device;
+use crate::engine::{BoolEngine, BoolMat, KernelCounters, MaskedJob};
+use crate::length::{CsrLenMatrix, LenEngine, LenJob};
+use crate::sparse::CsrMatrix;
+use crate::tiled::{TiledBitMatrix, TiledEngine};
+use crate::ParSparseEngine;
+use std::borrow::Cow;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Largest `n` the adaptive policy will hold a flat dense matrix for.
+pub const DENSE_MAX_N: usize = 2048;
+/// Mean row degree at which a matrix converts *to* the tiled layout.
+const TILED_ENTER_ROW_NNZ: usize = 8;
+/// Mean row degree below which a tiled matrix converts back to CSR.
+const TILED_LEAVE_ROW_NNZ: usize = 4;
+
+/// The representation an [`AdaptiveMatrix`] currently holds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Repr {
+    /// Flat row-major bitset ([`DenseBitMatrix`]).
+    Dense,
+    /// Boolean CSR ([`CsrMatrix`]).
+    Csr,
+    /// CSR-of-tiles ([`TiledBitMatrix`]).
+    Tiled,
+}
+
+/// A Boolean matrix that is dense, CSR, or tiled underneath — the
+/// matrix type of [`AdaptiveEngine`]. Equality is *semantic*: two
+/// adaptive matrices holding different representations compare equal iff
+/// they contain the same pairs.
+#[derive(Clone, Debug)]
+pub enum AdaptiveMatrix {
+    /// Flat dense bitset payload.
+    Dense(DenseBitMatrix),
+    /// Boolean CSR payload.
+    Csr(CsrMatrix),
+    /// Block-tiled payload.
+    Tiled(TiledBitMatrix),
+}
+
+impl AdaptiveMatrix {
+    /// The representation currently held.
+    pub fn repr(&self) -> Repr {
+        match self {
+            AdaptiveMatrix::Dense(_) => Repr::Dense,
+            AdaptiveMatrix::Csr(_) => Repr::Csr,
+            AdaptiveMatrix::Tiled(_) => Repr::Tiled,
+        }
+    }
+
+    fn dim(&self) -> usize {
+        match self {
+            AdaptiveMatrix::Dense(m) => m.n(),
+            AdaptiveMatrix::Csr(m) => m.n(),
+            AdaptiveMatrix::Tiled(m) => m.n(),
+        }
+    }
+
+    fn count(&self) -> usize {
+        match self {
+            AdaptiveMatrix::Dense(m) => m.nnz(),
+            AdaptiveMatrix::Csr(m) => m.nnz(),
+            AdaptiveMatrix::Tiled(m) => m.nnz(),
+        }
+    }
+
+    fn build(repr: Repr, n: usize, pairs: &[(u32, u32)]) -> AdaptiveMatrix {
+        match repr {
+            Repr::Dense => AdaptiveMatrix::Dense(DenseBitMatrix::from_pairs(n, pairs)),
+            Repr::Csr => AdaptiveMatrix::Csr(CsrMatrix::from_pairs(n, pairs)),
+            Repr::Tiled => AdaptiveMatrix::Tiled(TiledBitMatrix::from_pairs(n, pairs)),
+        }
+    }
+
+    fn converted(&self, repr: Repr) -> AdaptiveMatrix {
+        debug_assert_ne!(self.repr(), repr);
+        Self::build(repr, self.dim(), &self.pairs())
+    }
+
+    fn as_dense(&self) -> &DenseBitMatrix {
+        match self {
+            AdaptiveMatrix::Dense(m) => m,
+            _ => unreachable!("operand was aligned to the dense representation"),
+        }
+    }
+
+    fn as_csr(&self) -> &CsrMatrix {
+        match self {
+            AdaptiveMatrix::Csr(m) => m,
+            _ => unreachable!("operand was aligned to the CSR representation"),
+        }
+    }
+
+    fn as_tiled(&self) -> &TiledBitMatrix {
+        match self {
+            AdaptiveMatrix::Tiled(m) => m,
+            _ => unreachable!("operand was aligned to the tiled representation"),
+        }
+    }
+}
+
+impl PartialEq for AdaptiveMatrix {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (AdaptiveMatrix::Dense(a), AdaptiveMatrix::Dense(b)) => a == b,
+            (AdaptiveMatrix::Csr(a), AdaptiveMatrix::Csr(b)) => a == b,
+            (AdaptiveMatrix::Tiled(a), AdaptiveMatrix::Tiled(b)) => a == b,
+            (a, b) => a.dim() == b.dim() && a.pairs() == b.pairs(),
+        }
+    }
+}
+
+impl Eq for AdaptiveMatrix {}
+
+impl BoolMat for AdaptiveMatrix {
+    fn n(&self) -> usize {
+        self.dim()
+    }
+    fn get(&self, i: u32, j: u32) -> bool {
+        match self {
+            AdaptiveMatrix::Dense(m) => m.get(i, j),
+            AdaptiveMatrix::Csr(m) => m.get(i, j),
+            AdaptiveMatrix::Tiled(m) => m.get(i, j),
+        }
+    }
+    fn nnz(&self) -> usize {
+        self.count()
+    }
+    fn pairs(&self) -> Vec<(u32, u32)> {
+        match self {
+            AdaptiveMatrix::Dense(m) => m.pairs(),
+            AdaptiveMatrix::Csr(m) => m.pairs(),
+            AdaptiveMatrix::Tiled(m) => m.pairs(),
+        }
+    }
+}
+
+/// The hysteresis policy: which representation should a matrix of
+/// dimension `n` with `nnz` set bits hold, given what it holds now?
+fn preferred(n: usize, nnz: usize, current: Repr) -> Repr {
+    if n == 0 {
+        return Repr::Csr;
+    }
+    let cells = n.saturating_mul(n);
+    if n <= DENSE_MAX_N {
+        let enter = nnz.saturating_mul(64) >= cells;
+        let stay = current == Repr::Dense && nnz.saturating_mul(256) >= cells;
+        if enter || stay {
+            return Repr::Dense;
+        }
+    }
+    let enter = nnz >= n.saturating_mul(TILED_ENTER_ROW_NNZ);
+    let stay = current == Repr::Tiled && nnz >= n.saturating_mul(TILED_LEAVE_ROW_NNZ);
+    if enter || stay {
+        return Repr::Tiled;
+    }
+    Repr::Csr
+}
+
+/// The representation a product runs in: that of the participant with
+/// the most structure. Tiled outranks dense outranks CSR — the mask (the
+/// accumulated closure, usually the largest participant) is a
+/// participant too, so delta products against a tiled closure run tiled.
+fn kernel_repr(reprs: impl IntoIterator<Item = Repr>) -> Repr {
+    let mut best = Repr::Csr;
+    for r in reprs {
+        match (r, best) {
+            (Repr::Tiled, _) => return Repr::Tiled,
+            (Repr::Dense, Repr::Csr) => best = Repr::Dense,
+            _ => {}
+        }
+    }
+    best
+}
+
+/// The density-adaptive backend. Holds a [`Device`] for its parallel
+/// kernels and an embedded [`TiledEngine`] so tile-skip accounting flows
+/// into the same [`KernelCounters`] stream; clones share both counters.
+#[derive(Clone, Debug)]
+pub struct AdaptiveEngine {
+    /// The execution device.
+    pub device: Device,
+    tiled: TiledEngine,
+    repr_switches: Arc<AtomicU64>,
+}
+
+impl AdaptiveEngine {
+    /// Creates the backend with the given device.
+    pub fn new(device: Device) -> Self {
+        Self {
+            tiled: TiledEngine::new(device.clone()),
+            device,
+            repr_switches: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// A serial adaptive backend (inline device, no extra threads).
+    pub fn serial() -> Self {
+        Self::new(Device::new(1))
+    }
+
+    fn align<'m>(&self, m: &'m AdaptiveMatrix, repr: Repr) -> Cow<'m, AdaptiveMatrix> {
+        if m.repr() == repr {
+            Cow::Borrowed(m)
+        } else {
+            self.repr_switches.fetch_add(1, Ordering::Relaxed);
+            Cow::Owned(m.converted(repr))
+        }
+    }
+
+    /// Re-evaluates `a`'s representation from its current nnz — the per
+    /// nonterminal / per sweep decision point, called after every
+    /// in-place union.
+    fn rebalance(&self, a: &mut AdaptiveMatrix) {
+        let target = preferred(a.dim(), a.count(), a.repr());
+        if target != a.repr() {
+            self.repr_switches.fetch_add(1, Ordering::Relaxed);
+            *a = a.converted(target);
+        }
+    }
+
+    /// One product, all operands aligned to the kernel representation.
+    /// `device: None` means a strictly serial kernel (safe inside a
+    /// device task — the batch entry points run there).
+    fn product(
+        &self,
+        a: &AdaptiveMatrix,
+        b: &AdaptiveMatrix,
+        mask: Option<&AdaptiveMatrix>,
+        device: Option<&Device>,
+    ) -> AdaptiveMatrix {
+        let repr = kernel_repr(
+            [Some(a), Some(b), mask]
+                .into_iter()
+                .flatten()
+                .map(|m| m.repr()),
+        );
+        let a = self.align(a, repr);
+        let b = self.align(b, repr);
+        let mask = mask.map(|m| self.align(m, repr));
+        let mask = mask.as_deref();
+        match repr {
+            Repr::Dense => {
+                let (a, b) = (a.as_dense(), b.as_dense());
+                AdaptiveMatrix::Dense(match (mask, device) {
+                    (Some(m), Some(d)) => a.multiply_masked_on(b, m.as_dense(), d),
+                    (Some(m), None) => a.multiply_masked(b, m.as_dense()),
+                    (None, Some(d)) => a.multiply_on(b, d),
+                    (None, None) => a.multiply(b),
+                })
+            }
+            Repr::Csr => {
+                let (a, b) = (a.as_csr(), b.as_csr());
+                AdaptiveMatrix::Csr(match (mask, device) {
+                    (Some(m), Some(d)) => a.multiply_masked_on(b, m.as_csr(), d),
+                    (Some(m), None) => a.multiply_masked(b, m.as_csr()),
+                    (None, Some(d)) => a.multiply_on(b, d),
+                    (None, None) => a.multiply(b),
+                })
+            }
+            Repr::Tiled => {
+                let (c, skipped) = a.as_tiled().multiply_masked_opt_on(
+                    b.as_tiled(),
+                    mask.map(|m| m.as_tiled()),
+                    device,
+                );
+                self.tiled.note_skipped(skipped);
+                AdaptiveMatrix::Tiled(c)
+            }
+        }
+    }
+
+    fn len_engine(&self) -> ParSparseEngine {
+        ParSparseEngine::new(self.device.clone())
+    }
+}
+
+impl Default for AdaptiveEngine {
+    fn default() -> Self {
+        Self::serial()
+    }
+}
+
+impl BoolEngine for AdaptiveEngine {
+    type Matrix = AdaptiveMatrix;
+
+    fn name(&self) -> &'static str {
+        "adaptive"
+    }
+
+    fn zeros(&self, n: usize) -> AdaptiveMatrix {
+        AdaptiveMatrix::Csr(CsrMatrix::zeros(n))
+    }
+
+    fn from_pairs(&self, n: usize, pairs: &[(u32, u32)]) -> AdaptiveMatrix {
+        AdaptiveMatrix::build(preferred(n, pairs.len(), Repr::Csr), n, pairs)
+    }
+
+    fn multiply(&self, a: &AdaptiveMatrix, b: &AdaptiveMatrix) -> AdaptiveMatrix {
+        self.product(a, b, None, Some(&self.device))
+    }
+
+    fn union_in_place(&self, a: &mut AdaptiveMatrix, b: &AdaptiveMatrix) -> bool {
+        let b = self.align(b, a.repr());
+        let changed = match (&mut *a, &*b) {
+            (AdaptiveMatrix::Dense(a), AdaptiveMatrix::Dense(b)) => a.union_in_place(b),
+            (AdaptiveMatrix::Csr(a), AdaptiveMatrix::Csr(b)) => a.union_in_place(b),
+            (AdaptiveMatrix::Tiled(a), AdaptiveMatrix::Tiled(b)) => a.union_in_place(b),
+            _ => unreachable!("operand was aligned to the accumulator's representation"),
+        };
+        if changed {
+            self.rebalance(a);
+        }
+        changed
+    }
+
+    fn union_pairs(&self, a: &mut AdaptiveMatrix, pairs: &[(u32, u32)]) -> bool {
+        let changed = match a {
+            AdaptiveMatrix::Dense(m) => m.insert_pairs(pairs),
+            AdaptiveMatrix::Csr(m) => m.insert_pairs(pairs),
+            AdaptiveMatrix::Tiled(m) => m.insert_pairs(pairs),
+        };
+        if changed {
+            self.rebalance(a);
+        }
+        changed
+    }
+
+    fn grow(&self, a: &mut AdaptiveMatrix, n: usize) {
+        match a {
+            AdaptiveMatrix::Dense(m) => m.grow(n),
+            AdaptiveMatrix::Csr(m) => m.grow(n),
+            AdaptiveMatrix::Tiled(m) => m.grow(n),
+        }
+    }
+
+    fn difference(&self, a: &AdaptiveMatrix, b: &AdaptiveMatrix) -> AdaptiveMatrix {
+        let b = self.align(b, a.repr());
+        match (a, &*b) {
+            (AdaptiveMatrix::Dense(a), AdaptiveMatrix::Dense(b)) => {
+                AdaptiveMatrix::Dense(a.difference(b))
+            }
+            (AdaptiveMatrix::Csr(a), AdaptiveMatrix::Csr(b)) => {
+                AdaptiveMatrix::Csr(a.difference(b))
+            }
+            (AdaptiveMatrix::Tiled(a), AdaptiveMatrix::Tiled(b)) => {
+                AdaptiveMatrix::Tiled(a.difference(b))
+            }
+            _ => unreachable!("operand was aligned to the left representation"),
+        }
+    }
+
+    fn intersect(&self, a: &AdaptiveMatrix, b: &AdaptiveMatrix) -> AdaptiveMatrix {
+        let b = self.align(b, a.repr());
+        match (a, &*b) {
+            (AdaptiveMatrix::Dense(a), AdaptiveMatrix::Dense(b)) => {
+                AdaptiveMatrix::Dense(a.intersect(b))
+            }
+            (AdaptiveMatrix::Csr(a), AdaptiveMatrix::Csr(b)) => AdaptiveMatrix::Csr(a.intersect(b)),
+            (AdaptiveMatrix::Tiled(a), AdaptiveMatrix::Tiled(b)) => {
+                AdaptiveMatrix::Tiled(a.intersect(b))
+            }
+            _ => unreachable!("operand was aligned to the left representation"),
+        }
+    }
+
+    fn multiply_batch(&self, jobs: &[(&AdaptiveMatrix, &AdaptiveMatrix)]) -> Vec<AdaptiveMatrix> {
+        // One serial kernel per job; no nested offload (see Device docs).
+        self.device
+            .par_map(jobs.to_vec(), |(a, b)| self.product(a, b, None, None))
+    }
+
+    fn multiply_masked(
+        &self,
+        a: &AdaptiveMatrix,
+        b: &AdaptiveMatrix,
+        mask: &AdaptiveMatrix,
+    ) -> AdaptiveMatrix {
+        self.product(a, b, Some(mask), Some(&self.device))
+    }
+
+    fn multiply_masked_batch(&self, jobs: &[MaskedJob<'_, AdaptiveMatrix>]) -> Vec<AdaptiveMatrix> {
+        // One serial kernel per job; no nested offload (see Device docs).
+        self.device
+            .par_map(jobs.to_vec(), |(a, b, m)| self.product(a, b, m, None))
+    }
+
+    fn kernel_counters(&self) -> KernelCounters {
+        KernelCounters {
+            tiles_skipped: self.tiled.kernel_counters().tiles_skipped,
+            repr_switches: self.repr_switches.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl LenEngine for AdaptiveEngine {
+    type LenMatrix = CsrLenMatrix;
+
+    fn len_empty(&self, n: usize) -> CsrLenMatrix {
+        self.len_engine().len_empty(n)
+    }
+    fn len_from_entries(&self, n: usize, entries: &[(u32, u32, u32)]) -> CsrLenMatrix {
+        self.len_engine().len_from_entries(n, entries)
+    }
+    fn len_set_absent(
+        &self,
+        a: &mut CsrLenMatrix,
+        entries: &[(u32, u32, u32)],
+    ) -> Vec<(u32, u32, u32)> {
+        self.len_engine().len_set_absent(a, entries)
+    }
+    fn len_multiply_masked(
+        &self,
+        a: &CsrLenMatrix,
+        b: &CsrLenMatrix,
+        mask: Option<&CsrLenMatrix>,
+    ) -> CsrLenMatrix {
+        self.len_engine().len_multiply_masked(a, b, mask)
+    }
+    fn len_multiply_masked_batch(&self, jobs: &[LenJob<'_, CsrLenMatrix>]) -> Vec<CsrLenMatrix> {
+        self.len_engine().len_multiply_masked_batch(jobs)
+    }
+    fn len_merge_absent(&self, acc: &mut CsrLenMatrix, add: &CsrLenMatrix) -> CsrLenMatrix {
+        self.len_engine().len_merge_absent(acc, add)
+    }
+    fn len_grow(&self, a: &mut CsrLenMatrix, n: usize) {
+        self.len_engine().len_grow(a, n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pseudo_pairs(n: usize, count: usize, seed: u64) -> Vec<(u32, u32)> {
+        let mut state = seed;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as u32
+        };
+        (0..count)
+            .map(|_| (next() % n as u32, next() % n as u32))
+            .collect()
+    }
+
+    #[test]
+    fn from_pairs_picks_by_density() {
+        let e = AdaptiveEngine::serial();
+        assert_eq!(e.zeros(100).repr(), Repr::Csr);
+        // 100×100 with 400 bits: density 1/25 ≥ 1/64 → dense.
+        let dense = e.from_pairs(100, &pseudo_pairs(100, 400, 1));
+        assert_eq!(dense.repr(), Repr::Dense);
+        // 4000×4000 (> DENSE_MAX_N) with 40000 bits: 10 per row → tiled.
+        let tiled = e.from_pairs(4000, &pseudo_pairs(4000, 40_000, 2));
+        assert_eq!(tiled.repr(), Repr::Tiled);
+        // 4000×4000 with 4000 bits: 1 per row → CSR.
+        let csr = e.from_pairs(4000, &pseudo_pairs(4000, 4000, 3));
+        assert_eq!(csr.repr(), Repr::Csr);
+    }
+
+    #[test]
+    fn hysteresis_has_a_dead_band() {
+        // Between leave (1/256) and enter (1/64) density, a dense matrix
+        // stays dense and a CSR matrix stays CSR.
+        let n = 1024;
+        let nnz = 6 * n; // density 1/170: inside (1/256, 1/64), below 8/row
+        assert_eq!(preferred(n, nnz, Repr::Dense), Repr::Dense);
+        assert_eq!(preferred(n, nnz, Repr::Csr), Repr::Csr);
+        // Between tiled leave (4/row) and enter (8/row) likewise.
+        let n = 4096;
+        assert_eq!(preferred(n, 6 * n, Repr::Tiled), Repr::Tiled);
+        assert_eq!(preferred(n, 6 * n, Repr::Csr), Repr::Csr);
+    }
+
+    #[test]
+    fn mixed_representation_product_matches_reference() {
+        let e = AdaptiveEngine::serial();
+        let n = 157;
+        let pa = pseudo_pairs(n, 700, 0xA);
+        let pb = pseudo_pairs(n, 40, 0xB);
+        let a = e.from_pairs(n, &pa); // dense at this density
+        let b = AdaptiveMatrix::Tiled(TiledBitMatrix::from_pairs(n, &pb));
+        assert_ne!(a.repr(), b.repr());
+        let product = e.multiply(&a, &b);
+        let da = DenseBitMatrix::from_pairs(n, &pa);
+        let db = DenseBitMatrix::from_pairs(n, &pb);
+        assert_eq!(product.pairs(), da.multiply(&db).pairs());
+        assert!(e.kernel_counters().repr_switches > 0, "conversion counted");
+    }
+
+    #[test]
+    fn union_rebalances_and_counts_switches() {
+        let e = AdaptiveEngine::serial();
+        let n = 256;
+        let mut acc = e.zeros(n);
+        assert_eq!(acc.repr(), Repr::Csr);
+        // Saturate it: density 1 ⇒ must flip to dense.
+        let mut all = Vec::new();
+        for i in 0..n as u32 {
+            for j in 0..n as u32 {
+                all.push((i, j));
+            }
+        }
+        let full = AdaptiveMatrix::Csr(CsrMatrix::from_pairs(n, &all));
+        assert!(e.union_in_place(&mut acc, &full));
+        assert_eq!(acc.repr(), Repr::Dense);
+        assert!(e.kernel_counters().repr_switches >= 1);
+        assert_eq!(acc.nnz(), n * n);
+    }
+
+    #[test]
+    fn semantic_equality_across_representations() {
+        let pairs = [(0, 1), (70, 70), (99, 0)];
+        let d = AdaptiveMatrix::Dense(DenseBitMatrix::from_pairs(100, &pairs));
+        let c = AdaptiveMatrix::Csr(CsrMatrix::from_pairs(100, &pairs));
+        let t = AdaptiveMatrix::Tiled(TiledBitMatrix::from_pairs(100, &pairs));
+        assert_eq!(d, c);
+        assert_eq!(c, t);
+        assert_eq!(d, t);
+        assert_ne!(
+            d,
+            AdaptiveMatrix::Csr(CsrMatrix::from_pairs(100, &[(0, 1)]))
+        );
+    }
+
+    #[test]
+    fn masked_contract_holds_across_mixed_operands() {
+        let e = AdaptiveEngine::serial();
+        let n = 157;
+        let a = AdaptiveMatrix::Csr(CsrMatrix::from_pairs(n, &pseudo_pairs(n, 300, 1)));
+        let b = AdaptiveMatrix::Dense(DenseBitMatrix::from_pairs(n, &pseudo_pairs(n, 300, 2)));
+        let m = AdaptiveMatrix::Tiled(TiledBitMatrix::from_pairs(n, &pseudo_pairs(n, 900, 3)));
+        let masked = e.multiply_masked(&a, &b, &m);
+        assert!(e.intersect(&masked, &m).pairs().is_empty());
+        let product = e.multiply(&a, &b);
+        let mut rebuilt = masked.clone();
+        e.union_in_place(&mut rebuilt, &e.intersect(&product, &m));
+        assert_eq!(rebuilt.pairs(), product.pairs());
+    }
+
+    #[test]
+    fn batch_matches_scalar_products() {
+        let e = AdaptiveEngine::new(Device::new(3));
+        let n = 200;
+        let a = e.from_pairs(n, &pseudo_pairs(n, 500, 4));
+        let b = e.from_pairs(n, &pseudo_pairs(n, 500, 5));
+        let m = e.from_pairs(n, &pseudo_pairs(n, 500, 6));
+        let batch = e.multiply_masked_batch(&[(&a, &b, Some(&m)), (&b, &a, None)]);
+        assert_eq!(batch[0].pairs(), e.multiply_masked(&a, &b, &m).pairs());
+        assert_eq!(batch[1].pairs(), e.multiply(&b, &a).pairs());
+    }
+}

@@ -259,6 +259,17 @@ fn multiply_rows(a: &DenseBitMatrix, b: &DenseBitMatrix, first_row: usize, out: 
     multiply_rows_masked(a, b, None, first_row, out);
 }
 
+// Per-thread row accumulator for the dense kernels. Each output row is
+// OR-accumulated here — `wpr` words that stay L1-resident across the
+// whole product — and copied into the (cold, freshly-zeroed) output
+// buffer once, only when nonzero. Without it every OR pass streams
+// read-modify-writes through the `zeros()`-sized output allocation,
+// which shows up on large-`n` profiles. Device workers are persistent
+// threads, so the buffer amortizes across every product of a solve.
+thread_local! {
+    static ROW_SCRATCH: std::cell::RefCell<Vec<u64>> = const { std::cell::RefCell::new(Vec::new()) };
+}
+
 /// [`multiply_rows`] with an optional complement mask: after a row is
 /// accumulated, every word already set in the mask row is ANDed out, so
 /// the output never regenerates known entries. Rows whose mask is fully
@@ -271,40 +282,51 @@ fn multiply_rows_masked(
     out: &mut [u64],
 ) {
     let wpr = a.wpr;
-    for (local_i, crow) in out.chunks_mut(wpr).enumerate() {
-        let i = first_row + local_i;
-        let arow = a.row(i);
-        // An empty left row yields an empty output row; skip the mask
-        // popcount and AND-out passes (the masked-delta hot path has a
-        // mostly-empty Δ as the left operand).
-        if arow.iter().all(|&w| w == 0) {
-            continue;
+    ROW_SCRATCH.with(|cell| {
+        let mut scratch = cell.borrow_mut();
+        if scratch.len() < wpr {
+            scratch.resize(wpr, 0);
         }
-        let mrow = mask.map(|m| m.row(i));
-        if let Some(mrow) = mrow {
-            // A saturated mask row cannot admit any new entry.
-            let set: usize = mrow.iter().map(|w| w.count_ones() as usize).sum();
-            if set == a.n {
+        let acc = &mut scratch[..wpr];
+        for (local_i, crow) in out.chunks_mut(wpr).enumerate() {
+            let i = first_row + local_i;
+            let arow = a.row(i);
+            // An empty left row yields an empty output row; skip the mask
+            // popcount and AND-out passes (the masked-delta hot path has a
+            // mostly-empty Δ as the left operand).
+            if arow.iter().all(|&w| w == 0) {
                 continue;
             }
-        }
-        for (wi, &aw) in arow.iter().enumerate() {
-            let mut aw = aw;
-            while aw != 0 {
-                let k = wi * 64 + aw.trailing_zeros() as usize;
-                aw &= aw - 1;
-                let brow = b.row(k);
-                for (cw, &bw) in crow.iter_mut().zip(brow.iter()) {
-                    *cw |= bw;
+            let mrow = mask.map(|m| m.row(i));
+            if let Some(mrow) = mrow {
+                // A saturated mask row cannot admit any new entry.
+                let set: usize = mrow.iter().map(|w| w.count_ones() as usize).sum();
+                if set == a.n {
+                    continue;
                 }
             }
-        }
-        if let Some(mrow) = mrow {
-            for (cw, &mw) in crow.iter_mut().zip(mrow.iter()) {
-                *cw &= !mw;
+            acc.fill(0);
+            for (wi, &aw) in arow.iter().enumerate() {
+                let mut aw = aw;
+                while aw != 0 {
+                    let k = wi * 64 + aw.trailing_zeros() as usize;
+                    aw &= aw - 1;
+                    let brow = b.row(k);
+                    for (cw, &bw) in acc.iter_mut().zip(brow.iter()) {
+                        *cw |= bw;
+                    }
+                }
+            }
+            if let Some(mrow) = mrow {
+                for (cw, &mw) in acc.iter_mut().zip(mrow.iter()) {
+                    *cw &= !mw;
+                }
+            }
+            if acc.iter().any(|&w| w != 0) {
+                crow.copy_from_slice(acc);
             }
         }
-    }
+    });
 }
 
 #[cfg(test)]

@@ -68,6 +68,33 @@ impl BoolMat for CsrMatrix {
 /// plus an optional complement mask.
 pub type MaskedJob<'a, M> = (&'a M, &'a M, Option<&'a M>);
 
+/// Cumulative engine-internal work counters, surfaced to the solvers
+/// through [`BoolEngine::kernel_counters`] and reported per run in
+/// `SolveStats` (`cfpq-core`). Counters are monotone and shared across
+/// clones of an engine (snapshots and worker threads advance one
+/// stream), so a run's contribution is the difference of two samples.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct KernelCounters {
+    /// Tile-granular kernel launches the blocked backends avoided:
+    /// products skipped because the counterpart tile-row stored nothing,
+    /// plus accumulated output tiles that masking left empty. Zero for
+    /// the flat engines.
+    pub tiles_skipped: u64,
+    /// Representation conversions performed by the adaptive engine
+    /// (dense ↔ CSR ↔ tiled). Zero for fixed-representation engines.
+    pub repr_switches: u64,
+}
+
+impl KernelCounters {
+    /// The work performed since an `earlier` sample of the same engine.
+    pub fn since(self, earlier: KernelCounters) -> KernelCounters {
+        KernelCounters {
+            tiles_skipped: self.tiles_skipped.saturating_sub(earlier.tiles_skipped),
+            repr_switches: self.repr_switches.saturating_sub(earlier.repr_switches),
+        }
+    }
+}
+
 /// A matrix backend: representation + execution strategy.
 ///
 /// # Decorating an engine
@@ -87,6 +114,29 @@ pub type MaskedJob<'a, M> = (&'a M, &'a M, Option<&'a M>);
 ///   with a default body (e.g. `union_pairs`), it must forward to the
 ///   inner engine's version, not the trait default — the inner engine
 ///   may have a faster override the solvers rely on.
+/// * **Forward the counters.** [`BoolEngine::kernel_counters`] defaults
+///   to all-zeros; a decorator over a counting engine (tiled, adaptive)
+///   must delegate it, or the solvers' per-run work accounting silently
+///   reads zero through the wrapper.
+///
+/// # The tile-kernel contract
+///
+/// Blocked backends (`TiledEngine`, and `AdaptiveEngine` when it holds a
+/// tiled operand) decompose every product into fixed-size tile-pair
+/// kernels. Three guarantees keep them interchangeable with the flat
+/// engines:
+///
+/// * **Canonical form.** No all-zero tile is ever stored and tile
+///   columns are strictly ascending per tile-row, so structural equality
+///   is semantic equality and `nnz`/`pairs` never visit dead payloads.
+/// * **Same masked contract, tile-granular skipping.** The masked
+///   product obeys the exact [`BoolEngine::multiply_masked`] laws below;
+///   the backend may skip any tile pair it can prove contributes nothing
+///   (empty counterpart tile-row, fully-masked output tile) and must
+///   count those skips in [`KernelCounters::tiles_skipped`].
+/// * **Monotone shared counters.** Skip counts only grow and are shared
+///   across engine clones, so `kernel_counters()` sampled before and
+///   after a run brackets exactly that run's work on a quiescent engine.
 pub trait BoolEngine: Send + Sync {
     /// The matrix type this engine operates on.
     type Matrix: BoolMat;
@@ -175,6 +225,14 @@ pub trait BoolEngine: Send + Sync {
                 None => self.multiply(a, b),
             })
             .collect()
+    }
+
+    /// Cumulative internal work counters (see [`KernelCounters`]). The
+    /// default — flat representations with nothing to skip — is
+    /// all-zeros; counting engines override it, and decorators must
+    /// delegate it (see the decorator contract above).
+    fn kernel_counters(&self) -> KernelCounters {
+        KernelCounters::default()
     }
 }
 
@@ -432,6 +490,10 @@ mod tests {
         check_engine(&SparseEngine);
         check_engine(&ParDenseEngine::new(Device::new(3)));
         check_engine(&ParSparseEngine::new(Device::new(3)));
+        check_engine(&crate::TiledEngine::serial());
+        check_engine(&crate::TiledEngine::new(Device::new(3)));
+        check_engine(&crate::AdaptiveEngine::serial());
+        check_engine(&crate::AdaptiveEngine::new(Device::new(3)));
     }
 
     #[test]
@@ -440,5 +502,7 @@ mod tests {
         assert_eq!(SparseEngine.name(), "sparse");
         assert_eq!(ParDenseEngine::new(Device::new(2)).name(), "dense-par");
         assert_eq!(ParSparseEngine::new(Device::new(2)).name(), "sparse-par");
+        assert_eq!(crate::TiledEngine::serial().name(), "tiled");
+        assert_eq!(crate::AdaptiveEngine::serial().name(), "adaptive");
     }
 }

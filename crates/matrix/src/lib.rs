@@ -19,6 +19,7 @@
 //! * [`closure`] — the `a_cf` squaring closure and the `a⁺` Valiant-style
 //!   closure whose equivalence is Theorem 1.
 
+pub mod adaptive;
 pub mod closure;
 pub mod dense;
 pub mod device;
@@ -26,12 +27,16 @@ pub mod engine;
 pub mod length;
 pub mod setmatrix;
 pub mod sparse;
+pub mod tiled;
 
+pub use adaptive::{AdaptiveEngine, AdaptiveMatrix};
 pub use dense::DenseBitMatrix;
 pub use device::{Device, Parallelism};
 pub use engine::{
-    BoolEngine, BoolMat, DenseEngine, MaskedJob, ParDenseEngine, ParSparseEngine, SparseEngine,
+    BoolEngine, BoolMat, DenseEngine, KernelCounters, MaskedJob, ParDenseEngine, ParSparseEngine,
+    SparseEngine,
 };
 pub use length::{CsrLenMatrix, DenseLenMatrix, LenEngine, LenJob, LenMat, NO_PATH};
 pub use setmatrix::SetMatrix;
 pub use sparse::CsrMatrix;
+pub use tiled::{TiledBitMatrix, TiledEngine, TILE};

@@ -1,0 +1,946 @@
+//! Block-tiled Boolean matrices: fixed-size bitset tiles in a
+//! CSR-of-tiles layout.
+//!
+//! The flat representations cap out in two different ways on large
+//! graphs: [`crate::DenseBitMatrix`] spends `O(n²/64)` words per matrix
+//! regardless of structure (a 100k-node graph needs ~1.3 GB *per
+//! nonterminal*), while [`crate::CsrMatrix`] pays a per-entry merge for
+//! every set bit it touches. GPU/SIMD CFPQ follow-ups (the arXiv
+//! extension of the paper, and the Kronecker line of work) sidestep both
+//! with a *blocked* matrix: only non-empty fixed-size tiles are stored,
+//! and the product is a sum of small dense bitwise kernels that stay
+//! cache-resident.
+//!
+//! [`TiledBitMatrix`] is that representation on the CPU device:
+//!
+//! * the `n × n` bit space is cut into `TILE × TILE` (64 × 64) tiles —
+//!   one tile is 64 `u64` words = 512 bytes, comfortably L1-resident;
+//! * per tile-row, the non-empty tiles are stored CSR-style: a sorted
+//!   tile-column index array plus the tile payloads (the same
+//!   `row_ptr`/`cols` idiom as [`crate::CsrMatrix`], one level up);
+//! * `C_{ij} |= A_{ik} × B_{kj}` runs the classic dense bitset kernel
+//!   per tile pair — for each of the 64 tile rows, OR `B`'s row `k` word
+//!   into the accumulator for every set bit `k` — and tile pairs whose
+//!   counterpart tile-row in `B` is empty are skipped without touching
+//!   any bit (counted in [`crate::engine::KernelCounters::tiles_skipped`]);
+//! * tile-row blocks of the product are dispatched in parallel across
+//!   the existing [`Device`] pool, exactly like the flat kernels.
+//!
+//! The canonical-form invariant — **no stored all-zero tile, tile
+//! columns strictly ascending per tile-row** — is maintained by every
+//! constructor and operation, so derived `PartialEq` is semantic
+//! equality.
+
+use crate::device::Device;
+use crate::engine::{BoolEngine, BoolMat, KernelCounters, MaskedJob, ParSparseEngine};
+use crate::length::{CsrLenMatrix, LenEngine, LenJob};
+use std::cell::RefCell;
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Tile edge length in bits. One tile is `TILE` `u64` words.
+pub const TILE: usize = 64;
+
+type TileWords = [u64; TILE];
+
+/// One worker's output block: per-tile-row end offsets (relative to the
+/// block), tile columns, tile payloads, and the skipped-kernel count.
+type TileBlock = (Vec<usize>, Vec<u32>, Vec<TileWords>, u64);
+
+const EMPTY_TILE: TileWords = [0u64; TILE];
+
+/// An `n × n` Boolean matrix stored as non-empty 64×64 bitset tiles in
+/// a CSR-of-tiles layout.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TiledBitMatrix {
+    n: usize,
+    /// Tiles per side (`ceil(n / TILE)`).
+    tn: usize,
+    /// `row_ptr[ti]..row_ptr[ti + 1]` indexes the stored tiles of
+    /// tile-row `ti` in `tile_cols` / `tiles`.
+    row_ptr: Vec<usize>,
+    /// Tile-column index of each stored tile, ascending per tile-row.
+    tile_cols: Vec<u32>,
+    /// Tile payloads, aligned with `tile_cols`. `tiles[t][r]` holds bit
+    /// columns `tile_cols[t]*64 .. +64` of global row
+    /// `tile_row(t)*64 + r`.
+    tiles: Vec<TileWords>,
+}
+
+#[inline]
+fn tile_count(n: usize) -> usize {
+    n.div_ceil(TILE)
+}
+
+#[inline]
+fn tile_is_zero(t: &TileWords) -> bool {
+    t.iter().all(|&w| w == 0)
+}
+
+impl TiledBitMatrix {
+    /// Creates the zero matrix of size `n × n`.
+    pub fn zeros(n: usize) -> Self {
+        let tn = tile_count(n);
+        Self {
+            n,
+            tn,
+            row_ptr: vec![0; tn + 1],
+            tile_cols: Vec::new(),
+            tiles: Vec::new(),
+        }
+    }
+
+    /// Builds a matrix from `(row, col)` pairs. Row-major-sorted input —
+    /// what `pairs()` emits on every representation — takes an `O(nnz)`
+    /// streaming path; unsorted input falls back to the sorting insert.
+    pub fn from_pairs(n: usize, pairs: &[(u32, u32)]) -> Self {
+        if pairs.windows(2).all(|w| w[0] <= w[1]) {
+            Self::from_sorted_pairs(n, pairs)
+        } else {
+            let mut m = Self::zeros(n);
+            m.insert_pairs(pairs);
+            m
+        }
+    }
+
+    /// The `O(nnz)` builder for row-major-sorted pairs: each tile-row is
+    /// a contiguous run of the input, so tiles are filled first-touch via
+    /// a `tile_col → slot` scratch (no global sort) and only the
+    /// per-tile-row column lists are sorted at the end of their run.
+    fn from_sorted_pairs(n: usize, pairs: &[(u32, u32)]) -> Self {
+        debug_assert!(pairs.windows(2).all(|w| w[0] <= w[1]));
+        let tn = tile_count(n);
+        let mut row_ptr = Vec::with_capacity(tn + 1);
+        let mut tile_cols: Vec<u32> = Vec::new();
+        let mut tiles: Vec<TileWords> = Vec::new();
+        row_ptr.push(0);
+        let mut slot_of: Vec<u32> = vec![u32::MAX; tn];
+        let mut k = 0usize;
+        for ti in 0..tn {
+            let row_start = tiles.len();
+            let row_end = ((ti + 1) * TILE) as u32;
+            while k < pairs.len() && pairs[k].0 < row_end {
+                let (i, j) = pairs[k];
+                debug_assert!((i as usize) < n && (j as usize) < n);
+                let tj = j as usize / TILE;
+                let mut slot = slot_of[tj];
+                if slot == u32::MAX {
+                    slot = tiles.len() as u32;
+                    slot_of[tj] = slot;
+                    tile_cols.push(tj as u32);
+                    tiles.push(EMPTY_TILE);
+                }
+                tiles[slot as usize][i as usize % TILE] |= 1u64 << (j as usize % TILE);
+                k += 1;
+            }
+            // Restore the canonical ascending tile-col order for this
+            // tile-row (first-touch order follows the rows, not the
+            // columns) and release the scratch slots.
+            let m = tiles.len() - row_start;
+            if m > 1 {
+                let mut perm: Vec<u32> = (0..m as u32).collect();
+                perm.sort_unstable_by_key(|&x| tile_cols[row_start + x as usize]);
+                let cols: Vec<u32> = perm
+                    .iter()
+                    .map(|&x| tile_cols[row_start + x as usize])
+                    .collect();
+                let tls: Vec<TileWords> = perm
+                    .iter()
+                    .map(|&x| tiles[row_start + x as usize])
+                    .collect();
+                tile_cols[row_start..].copy_from_slice(&cols);
+                tiles[row_start..].copy_from_slice(&tls);
+            }
+            for &tj in &tile_cols[row_start..] {
+                slot_of[tj as usize] = u32::MAX;
+            }
+            row_ptr.push(tiles.len());
+        }
+        debug_assert_eq!(k, pairs.len(), "pairs out of range");
+        Self {
+            n,
+            tn,
+            row_ptr,
+            tile_cols,
+            tiles,
+        }
+    }
+
+    /// Matrix dimension `n`.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Tiles per side.
+    #[inline]
+    pub fn tile_rows(&self) -> usize {
+        self.tn
+    }
+
+    /// Number of stored (non-empty) tiles.
+    #[inline]
+    pub fn stored_tiles(&self) -> usize {
+        self.tiles.len()
+    }
+
+    /// Reads bit `(i, j)`.
+    pub fn get(&self, i: u32, j: u32) -> bool {
+        debug_assert!((i as usize) < self.n && (j as usize) < self.n);
+        let (ti, tj) = (i as usize / TILE, (j / TILE as u32));
+        let row = &self.tile_cols[self.row_ptr[ti]..self.row_ptr[ti + 1]];
+        match row.binary_search(&tj) {
+            Ok(pos) => {
+                let t = &self.tiles[self.row_ptr[ti] + pos];
+                t[i as usize % TILE] >> (j as usize % TILE) & 1 == 1
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Number of set bits.
+    pub fn nnz(&self) -> usize {
+        self.tiles
+            .iter()
+            .map(|t| t.iter().map(|w| w.count_ones() as usize).sum::<usize>())
+            .sum()
+    }
+
+    /// All set `(row, col)` pairs in row-major order.
+    pub fn pairs(&self) -> Vec<(u32, u32)> {
+        let mut out = Vec::new();
+        for ti in 0..self.tn {
+            let range = self.row_ptr[ti]..self.row_ptr[ti + 1];
+            for r in 0..TILE {
+                let i = (ti * TILE + r) as u32;
+                for t in range.clone() {
+                    let base = self.tile_cols[t] * TILE as u32;
+                    let mut word = self.tiles[t][r];
+                    while word != 0 {
+                        out.push((i, base + word.trailing_zeros()));
+                        word &= word - 1;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// True if no bit is set.
+    pub fn is_zero(&self) -> bool {
+        self.tiles.is_empty()
+    }
+
+    /// Sets every bit of `pairs` in place; returns `true` if any bit was
+    /// newly set. The point-update path behind `BoolEngine::union_pairs`.
+    pub fn insert_pairs(&mut self, pairs: &[(u32, u32)]) -> bool {
+        if pairs.is_empty() {
+            return false;
+        }
+        // Group the updates by tile, then merge tile-row by tile-row so
+        // untouched tile-rows are copied contiguously.
+        let mut keyed: Vec<(u32, u32, u32, u32)> = pairs
+            .iter()
+            .map(|&(i, j)| {
+                debug_assert!((i as usize) < self.n && (j as usize) < self.n);
+                (
+                    i / TILE as u32,
+                    j / TILE as u32,
+                    i % TILE as u32,
+                    j % TILE as u32,
+                )
+            })
+            .collect();
+        keyed.sort_unstable();
+        let mut changed = false;
+        let mut row_ptr = Vec::with_capacity(self.tn + 1);
+        let mut tile_cols = Vec::with_capacity(self.tile_cols.len());
+        let mut tiles = Vec::with_capacity(self.tiles.len());
+        row_ptr.push(0);
+        let mut k = 0usize;
+        for ti in 0..self.tn as u32 {
+            let old = self.row_ptr[ti as usize]..self.row_ptr[ti as usize + 1];
+            if k >= keyed.len() || keyed[k].0 != ti {
+                // Untouched tile-row: copy through.
+                tile_cols.extend_from_slice(&self.tile_cols[old.clone()]);
+                tiles.extend_from_slice(&self.tiles[old]);
+                row_ptr.push(tile_cols.len());
+                continue;
+            }
+            let mut o = old.start;
+            while k < keyed.len() && keyed[k].0 == ti {
+                let tj = keyed[k].1;
+                while o < old.end && self.tile_cols[o] < tj {
+                    tile_cols.push(self.tile_cols[o]);
+                    tiles.push(self.tiles[o]);
+                    o += 1;
+                }
+                let mut tile = if o < old.end && self.tile_cols[o] == tj {
+                    let t = self.tiles[o];
+                    o += 1;
+                    t
+                } else {
+                    EMPTY_TILE
+                };
+                while k < keyed.len() && keyed[k].0 == ti && keyed[k].1 == tj {
+                    let (_, _, r, c) = keyed[k];
+                    let bit = 1u64 << c;
+                    changed |= tile[r as usize] & bit == 0;
+                    tile[r as usize] |= bit;
+                    k += 1;
+                }
+                tile_cols.push(tj);
+                tiles.push(tile);
+            }
+            while o < old.end {
+                tile_cols.push(self.tile_cols[o]);
+                tiles.push(self.tiles[o]);
+                o += 1;
+            }
+            row_ptr.push(tile_cols.len());
+        }
+        self.row_ptr = row_ptr;
+        self.tile_cols = tile_cols;
+        self.tiles = tiles;
+        changed
+    }
+
+    /// `self |= other`; returns `true` if any bit changed.
+    pub fn union_in_place(&mut self, other: &TiledBitMatrix) -> bool {
+        assert_eq!(self.n, other.n, "dimension mismatch");
+        if other.tiles.is_empty() {
+            return false;
+        }
+        let mut changed = 0u64;
+        let mut row_ptr = Vec::with_capacity(self.tn + 1);
+        let mut tile_cols = Vec::with_capacity(self.tile_cols.len() + other.tile_cols.len());
+        let mut tiles = Vec::with_capacity(self.tiles.len() + other.tiles.len());
+        row_ptr.push(0);
+        for ti in 0..self.tn {
+            let (mut a, a_end) = (self.row_ptr[ti], self.row_ptr[ti + 1]);
+            let (mut b, b_end) = (other.row_ptr[ti], other.row_ptr[ti + 1]);
+            while a < a_end || b < b_end {
+                let ca = self.tile_cols.get(a).copied().filter(|_| a < a_end);
+                let cb = other.tile_cols.get(b).copied().filter(|_| b < b_end);
+                match (ca, cb) {
+                    (Some(x), Some(y)) if x == y => {
+                        let mut t = self.tiles[a];
+                        for (tw, &ow) in t.iter_mut().zip(other.tiles[b].iter()) {
+                            changed |= ow & !*tw;
+                            *tw |= ow;
+                        }
+                        tile_cols.push(x);
+                        tiles.push(t);
+                        a += 1;
+                        b += 1;
+                    }
+                    (Some(x), Some(y)) if x < y => {
+                        tile_cols.push(x);
+                        tiles.push(self.tiles[a]);
+                        a += 1;
+                    }
+                    (Some(_), Some(y)) | (None, Some(y)) => {
+                        changed |= 1; // a whole new tile; invariant: non-zero
+                        tile_cols.push(y);
+                        tiles.push(other.tiles[b]);
+                        b += 1;
+                    }
+                    (Some(x), None) => {
+                        tile_cols.push(x);
+                        tiles.push(self.tiles[a]);
+                        a += 1;
+                    }
+                    (None, None) => unreachable!(),
+                }
+            }
+            row_ptr.push(tile_cols.len());
+        }
+        self.row_ptr = row_ptr;
+        self.tile_cols = tile_cols;
+        self.tiles = tiles;
+        changed != 0
+    }
+
+    /// `self \ other` — bits set in `self` but not `other`.
+    pub fn difference(&self, other: &TiledBitMatrix) -> TiledBitMatrix {
+        self.zip_set_op(other, |a, b| a & !b)
+    }
+
+    /// `self ∩ other` — bitwise AND.
+    pub fn intersect(&self, other: &TiledBitMatrix) -> TiledBitMatrix {
+        self.zip_set_op(other, |a, b| a & b)
+    }
+
+    /// Entrywise combine against `other`, treating tiles absent on either
+    /// side as zero. `op(a, 0)` must equal either `a` or `0` (which is
+    /// true for AND-NOT and AND), so only aligned tile walks are needed.
+    fn zip_set_op(&self, other: &TiledBitMatrix, op: impl Fn(u64, u64) -> u64) -> TiledBitMatrix {
+        assert_eq!(self.n, other.n, "dimension mismatch");
+        let keep_unmatched = op(u64::MAX, 0) == u64::MAX;
+        let mut out = TiledBitMatrix::zeros(self.n);
+        for ti in 0..self.tn {
+            let (mut a, a_end) = (self.row_ptr[ti], self.row_ptr[ti + 1]);
+            let (b_start, b_end) = (other.row_ptr[ti], other.row_ptr[ti + 1]);
+            let mut b = b_start;
+            while a < a_end {
+                let ca = self.tile_cols[a];
+                while b < b_end && other.tile_cols[b] < ca {
+                    b += 1;
+                }
+                if b < b_end && other.tile_cols[b] == ca {
+                    let mut t = EMPTY_TILE;
+                    let mut any = 0u64;
+                    for ((tw, &aw), &bw) in t
+                        .iter_mut()
+                        .zip(self.tiles[a].iter())
+                        .zip(other.tiles[b].iter())
+                    {
+                        *tw = op(aw, bw);
+                        any |= *tw;
+                    }
+                    if any != 0 {
+                        out.tile_cols.push(ca);
+                        out.tiles.push(t);
+                    }
+                } else if keep_unmatched {
+                    out.tile_cols.push(ca);
+                    out.tiles.push(self.tiles[a]);
+                }
+                a += 1;
+            }
+            out.row_ptr[ti + 1] = out.tile_cols.len();
+        }
+        out
+    }
+
+    /// Grows the matrix to `n × n`, keeping existing bits. `n` must not
+    /// shrink the matrix. Tile payloads are untouched — growth only adds
+    /// empty tile-rows (and widens the valid bit range of edge tiles,
+    /// whose out-of-range bits were zero by invariant).
+    pub fn grow(&mut self, n: usize) {
+        assert!(n >= self.n, "Boolean matrices only grow");
+        if n == self.n {
+            return;
+        }
+        let tn = tile_count(n);
+        let stored = *self.row_ptr.last().expect("row_ptr non-empty");
+        self.row_ptr.resize(tn + 1, stored);
+        self.n = n;
+        self.tn = tn;
+    }
+
+    /// Serial Boolean product `self × other`.
+    pub fn multiply(&self, other: &TiledBitMatrix) -> TiledBitMatrix {
+        self.multiply_masked_opt_on(other, None, None).0
+    }
+
+    /// Serial masked product `(self × other) \ mask` — see
+    /// [`crate::engine::BoolEngine::multiply_masked`] for the contract.
+    pub fn multiply_masked(&self, other: &TiledBitMatrix, mask: &TiledBitMatrix) -> TiledBitMatrix {
+        self.multiply_masked_opt_on(other, Some(mask), None).0
+    }
+
+    /// Product with tile-row blocks computed in parallel on the `device`
+    /// pool. Also returns the number of tile-granular kernel launches
+    /// avoided (empty counterpart tile-rows in `other`, plus accumulated
+    /// output tiles that masking or cancellation left empty).
+    pub fn multiply_masked_opt_on(
+        &self,
+        other: &TiledBitMatrix,
+        mask: Option<&TiledBitMatrix>,
+        device: Option<&Device>,
+    ) -> (TiledBitMatrix, u64) {
+        assert_eq!(self.n, other.n, "dimension mismatch");
+        if let Some(m) = mask {
+            assert_eq!(self.n, m.n, "mask dimension mismatch");
+        }
+        let mut out = TiledBitMatrix::zeros(self.n);
+        let offload = device.is_some_and(|d| d.n_workers() > 1 && self.tn > 1);
+        let blocks: Vec<TileBlock> = if offload {
+            let device = device.expect("offload implies device");
+            device.par_map_ranges(self.tn, |range| self.multiply_block(other, mask, range))
+        } else {
+            vec![self.multiply_block(other, mask, 0..self.tn)]
+        };
+        let mut skipped = 0u64;
+        let mut ti = 0usize;
+        for (row_ends, cols, tiles, block_skipped) in blocks {
+            let base = out.tile_cols.len();
+            for end in row_ends {
+                ti += 1;
+                out.row_ptr[ti] = base + end;
+            }
+            out.tile_cols.extend_from_slice(&cols);
+            out.tiles.extend_from_slice(&tiles);
+            skipped += block_skipped;
+        }
+        debug_assert_eq!(ti, self.tn, "every tile-row stitched");
+        (out, skipped)
+    }
+
+    /// Computes tile-rows `rows` of `(self × other) \ mask?`. Returns the
+    /// per-tile-row end offsets (relative to the block), the tile columns
+    /// and payloads, and the skipped-kernel count.
+    fn multiply_block(
+        &self,
+        other: &TiledBitMatrix,
+        mask: Option<&TiledBitMatrix>,
+        rows: Range<usize>,
+    ) -> TileBlock {
+        let mut row_ends = Vec::with_capacity(rows.len());
+        let mut cols: Vec<u32> = Vec::new();
+        let mut tiles: Vec<TileWords> = Vec::new();
+        let mut skipped = 0u64;
+        with_tile_accumulator(self.tn, |acc| {
+            for ti in rows {
+                acc.begin_row();
+                for t in self.row_ptr[ti]..self.row_ptr[ti + 1] {
+                    let tk = self.tile_cols[t] as usize;
+                    let b_range = other.row_ptr[tk]..other.row_ptr[tk + 1];
+                    if b_range.is_empty() {
+                        // The whole family of products A_{i,k} × B_{k,*}
+                        // vanishes: B's tile-row k stores nothing.
+                        skipped += 1;
+                        continue;
+                    }
+                    let a_tile = &self.tiles[t];
+                    for bt in b_range {
+                        let tj = other.tile_cols[bt];
+                        tile_multiply_into(a_tile, &other.tiles[bt], acc.tile(tj));
+                    }
+                }
+                // Drain this tile-row's accumulated tiles in ascending
+                // tile-column order (canonical form), masking on the way.
+                acc.touched.sort_unstable();
+                let mask_row = mask.map(|m| (m, m.row_ptr[ti]..m.row_ptr[ti + 1]));
+                for &tj in &acc.touched {
+                    let tile = &mut acc.tiles[tj as usize];
+                    if let Some((m, ref mrange)) = mask_row {
+                        if let Ok(pos) = m.tile_cols[mrange.clone()].binary_search(&tj) {
+                            let mtile = &m.tiles[mrange.start + pos];
+                            for (tw, &mw) in tile.iter_mut().zip(mtile.iter()) {
+                                *tw &= !mw;
+                            }
+                        }
+                    }
+                    if tile_is_zero(tile) {
+                        // Accumulated but fully masked (or cancelled):
+                        // nothing reaches the output.
+                        skipped += 1;
+                        continue;
+                    }
+                    cols.push(tj);
+                    tiles.push(*tile);
+                }
+                row_ends.push(cols.len());
+            }
+        });
+        (row_ends, cols, tiles, skipped)
+    }
+}
+
+/// The dense 64×64 kernel: `c |= a × b` over Boolean semiring. For each
+/// tile row `r`, every set bit `k` of `a[r]` ORs `b`'s row `k` into
+/// `c[r]` — the flat dense kernel at cache-resident scale.
+#[inline]
+fn tile_multiply_into(a: &TileWords, b: &TileWords, c: &mut TileWords) {
+    for r in 0..TILE {
+        let mut aw = a[r];
+        if aw == 0 {
+            continue;
+        }
+        let mut cw = c[r];
+        while aw != 0 {
+            cw |= b[aw.trailing_zeros() as usize];
+            aw &= aw - 1;
+        }
+        c[r] = cw;
+    }
+}
+
+/// Per-thread accumulator for one tile-row of a product: a lazily-zeroed
+/// tile per tile-column plus the touched-column list. Reused across
+/// products via a thread-local (the device workers are persistent), so
+/// no per-product `O(tn)` allocation or zeroing happens — only tiles
+/// actually touched are cleared, at first touch.
+struct TileAccumulator {
+    tiles: Vec<TileWords>,
+    /// `stamp[tj] == cur` iff `tiles[tj]` belongs to the current row.
+    stamp: Vec<u64>,
+    cur: u64,
+    touched: Vec<u32>,
+}
+
+impl TileAccumulator {
+    fn new() -> Self {
+        Self {
+            tiles: Vec::new(),
+            stamp: Vec::new(),
+            cur: 0,
+            touched: Vec::new(),
+        }
+    }
+
+    fn ensure(&mut self, tn: usize) {
+        if self.tiles.len() < tn {
+            self.tiles.resize(tn, EMPTY_TILE);
+            self.stamp.resize(tn, 0);
+        }
+    }
+
+    fn begin_row(&mut self) {
+        self.cur += 1;
+        self.touched.clear();
+    }
+
+    #[inline]
+    fn tile(&mut self, tj: u32) -> &mut TileWords {
+        let idx = tj as usize;
+        if self.stamp[idx] != self.cur {
+            self.stamp[idx] = self.cur;
+            self.tiles[idx] = EMPTY_TILE;
+            self.touched.push(tj);
+        }
+        &mut self.tiles[idx]
+    }
+}
+
+thread_local! {
+    static TILE_ACC: RefCell<TileAccumulator> = RefCell::new(TileAccumulator::new());
+}
+
+fn with_tile_accumulator<R>(tn: usize, f: impl FnOnce(&mut TileAccumulator) -> R) -> R {
+    TILE_ACC.with(|cell| {
+        let mut acc = cell.borrow_mut();
+        acc.ensure(tn);
+        f(&mut acc)
+    })
+}
+
+impl BoolMat for TiledBitMatrix {
+    fn n(&self) -> usize {
+        TiledBitMatrix::n(self)
+    }
+    fn get(&self, i: u32, j: u32) -> bool {
+        TiledBitMatrix::get(self, i, j)
+    }
+    fn nnz(&self) -> usize {
+        TiledBitMatrix::nnz(self)
+    }
+    fn pairs(&self) -> Vec<(u32, u32)> {
+        TiledBitMatrix::pairs(self)
+    }
+}
+
+/// Device-parallel block-tiled backend. Tile-row blocks of every product
+/// are dispatched across the [`Device`] pool; batch entry points run one
+/// serial tiled kernel per job on the pool instead (no nested offload,
+/// per the `Device` contract). Clones share the device handle *and* the
+/// skip counter, so [`BoolEngine::kernel_counters`] reads one stream
+/// across snapshots and worker threads.
+#[derive(Clone, Debug)]
+pub struct TiledEngine {
+    /// The execution device.
+    pub device: Device,
+    tiles_skipped: Arc<AtomicU64>,
+}
+
+impl TiledEngine {
+    /// Creates the backend with the given device.
+    pub fn new(device: Device) -> Self {
+        Self {
+            device,
+            tiles_skipped: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// A serial tiled backend (inline device, no extra threads).
+    pub fn serial() -> Self {
+        Self::new(Device::new(1))
+    }
+
+    pub(crate) fn note_skipped(&self, skipped: u64) {
+        if skipped > 0 {
+            self.tiles_skipped.fetch_add(skipped, Ordering::Relaxed);
+        }
+    }
+
+    /// The §5 length kernels run on the CSR length representation (tile
+    /// payloads are bitsets; path lengths need `u32` cells), sharing the
+    /// tiled engine's device.
+    fn len_engine(&self) -> ParSparseEngine {
+        ParSparseEngine::new(self.device.clone())
+    }
+}
+
+impl Default for TiledEngine {
+    fn default() -> Self {
+        Self::serial()
+    }
+}
+
+impl BoolEngine for TiledEngine {
+    type Matrix = TiledBitMatrix;
+
+    fn name(&self) -> &'static str {
+        "tiled"
+    }
+    fn zeros(&self, n: usize) -> TiledBitMatrix {
+        TiledBitMatrix::zeros(n)
+    }
+    fn from_pairs(&self, n: usize, pairs: &[(u32, u32)]) -> TiledBitMatrix {
+        TiledBitMatrix::from_pairs(n, pairs)
+    }
+    fn multiply(&self, a: &TiledBitMatrix, b: &TiledBitMatrix) -> TiledBitMatrix {
+        let (c, skipped) = a.multiply_masked_opt_on(b, None, Some(&self.device));
+        self.note_skipped(skipped);
+        c
+    }
+    fn union_in_place(&self, a: &mut TiledBitMatrix, b: &TiledBitMatrix) -> bool {
+        a.union_in_place(b)
+    }
+    fn union_pairs(&self, a: &mut TiledBitMatrix, pairs: &[(u32, u32)]) -> bool {
+        a.insert_pairs(pairs)
+    }
+    fn grow(&self, a: &mut TiledBitMatrix, n: usize) {
+        a.grow(n)
+    }
+    fn difference(&self, a: &TiledBitMatrix, b: &TiledBitMatrix) -> TiledBitMatrix {
+        a.difference(b)
+    }
+    fn intersect(&self, a: &TiledBitMatrix, b: &TiledBitMatrix) -> TiledBitMatrix {
+        a.intersect(b)
+    }
+    fn multiply_batch(&self, jobs: &[(&TiledBitMatrix, &TiledBitMatrix)]) -> Vec<TiledBitMatrix> {
+        // One serial tiled kernel per job; no nested offload.
+        self.device.par_map(jobs.to_vec(), |(a, b)| {
+            let (c, skipped) = a.multiply_masked_opt_on(b, None, None);
+            self.note_skipped(skipped);
+            c
+        })
+    }
+    fn multiply_masked(
+        &self,
+        a: &TiledBitMatrix,
+        b: &TiledBitMatrix,
+        mask: &TiledBitMatrix,
+    ) -> TiledBitMatrix {
+        let (c, skipped) = a.multiply_masked_opt_on(b, Some(mask), Some(&self.device));
+        self.note_skipped(skipped);
+        c
+    }
+    fn multiply_masked_batch(&self, jobs: &[MaskedJob<'_, TiledBitMatrix>]) -> Vec<TiledBitMatrix> {
+        // One serial tiled kernel per job; no nested offload.
+        self.device.par_map(jobs.to_vec(), |(a, b, m)| {
+            let (c, skipped) = a.multiply_masked_opt_on(b, m, None);
+            self.note_skipped(skipped);
+            c
+        })
+    }
+    fn kernel_counters(&self) -> KernelCounters {
+        KernelCounters {
+            tiles_skipped: self.tiles_skipped.load(Ordering::Relaxed),
+            repr_switches: 0,
+        }
+    }
+}
+
+impl LenEngine for TiledEngine {
+    type LenMatrix = CsrLenMatrix;
+
+    fn len_empty(&self, n: usize) -> CsrLenMatrix {
+        self.len_engine().len_empty(n)
+    }
+    fn len_from_entries(&self, n: usize, entries: &[(u32, u32, u32)]) -> CsrLenMatrix {
+        self.len_engine().len_from_entries(n, entries)
+    }
+    fn len_set_absent(
+        &self,
+        a: &mut CsrLenMatrix,
+        entries: &[(u32, u32, u32)],
+    ) -> Vec<(u32, u32, u32)> {
+        self.len_engine().len_set_absent(a, entries)
+    }
+    fn len_multiply_masked(
+        &self,
+        a: &CsrLenMatrix,
+        b: &CsrLenMatrix,
+        mask: Option<&CsrLenMatrix>,
+    ) -> CsrLenMatrix {
+        self.len_engine().len_multiply_masked(a, b, mask)
+    }
+    fn len_multiply_masked_batch(&self, jobs: &[LenJob<'_, CsrLenMatrix>]) -> Vec<CsrLenMatrix> {
+        self.len_engine().len_multiply_masked_batch(jobs)
+    }
+    fn len_merge_absent(&self, acc: &mut CsrLenMatrix, add: &CsrLenMatrix) -> CsrLenMatrix {
+        self.len_engine().len_merge_absent(acc, add)
+    }
+    fn len_grow(&self, a: &mut CsrLenMatrix, n: usize) {
+        self.len_engine().len_grow(a, n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pseudo_pairs(n: usize, count: usize, seed: u64) -> Vec<(u32, u32)> {
+        let mut state = seed;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as u32
+        };
+        (0..count)
+            .map(|_| (next() % n as u32, next() % n as u32))
+            .collect()
+    }
+
+    #[test]
+    fn set_get_roundtrip_across_tile_boundaries() {
+        let m = TiledBitMatrix::from_pairs(130, &[(0, 0), (63, 64), (64, 63), (129, 129)]);
+        assert!(m.get(0, 0) && m.get(63, 64) && m.get(64, 63) && m.get(129, 129));
+        assert!(!m.get(0, 1) && !m.get(128, 129));
+        assert_eq!(m.nnz(), 4);
+        assert_eq!(m.pairs(), vec![(0, 0), (63, 64), (64, 63), (129, 129)]);
+    }
+
+    #[test]
+    fn canonical_form_stores_no_empty_tiles() {
+        let a = TiledBitMatrix::from_pairs(200, &[(0, 0), (70, 70)]);
+        assert_eq!(a.stored_tiles(), 2);
+        let d = a.difference(&a);
+        assert!(d.is_zero());
+        assert_eq!(d.stored_tiles(), 0);
+        // Two semantically equal matrices built differently are ==.
+        let mut b = TiledBitMatrix::zeros(200);
+        b.insert_pairs(&[(70, 70)]);
+        b.insert_pairs(&[(0, 0)]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sorted_fast_path_builds_the_same_matrix() {
+        // Row-major-sorted input (what pairs() emits) takes the O(nnz)
+        // streaming builder; it must produce the exact canonical form
+        // the sorting fallback does, including multi-tile rows whose
+        // tiles are first-touched out of column order.
+        let n = 300usize;
+        let unsorted = pseudo_pairs(n, 2000, 0xFA57);
+        let reference = TiledBitMatrix::from_pairs(n, &unsorted);
+        let sorted = reference.pairs();
+        assert!(sorted.windows(2).all(|w| w[0] <= w[1]));
+        let rebuilt = TiledBitMatrix::from_pairs(n, &sorted);
+        assert_eq!(rebuilt, reference);
+        assert_eq!(rebuilt.row_ptr, reference.row_ptr);
+        assert_eq!(rebuilt.tile_cols, reference.tile_cols);
+    }
+
+    #[test]
+    fn product_matches_dense_reference() {
+        let n = 157usize; // deliberately not a multiple of 64
+        let pa = pseudo_pairs(n, 600, 0xA11CE);
+        let pb = pseudo_pairs(n, 600, 0xB0B);
+        let a = TiledBitMatrix::from_pairs(n, &pa);
+        let b = TiledBitMatrix::from_pairs(n, &pb);
+        let da = crate::DenseBitMatrix::from_pairs(n, &pa);
+        let db = crate::DenseBitMatrix::from_pairs(n, &pb);
+        assert_eq!(a.multiply(&b).pairs(), da.multiply(&db).pairs());
+    }
+
+    #[test]
+    fn masked_product_equals_product_minus_mask() {
+        let n = 157usize;
+        let a = TiledBitMatrix::from_pairs(n, &pseudo_pairs(n, 500, 1));
+        let b = TiledBitMatrix::from_pairs(n, &pseudo_pairs(n, 500, 2));
+        let mask = TiledBitMatrix::from_pairs(n, &pseudo_pairs(n, 900, 3));
+        let expect = a.multiply(&b).difference(&mask);
+        let got = a.multiply_masked(&b, &mask);
+        assert_eq!(got, expect);
+        assert!(got.intersect(&mask).is_zero());
+    }
+
+    #[test]
+    fn parallel_product_equals_serial() {
+        let n = 300usize;
+        let a = TiledBitMatrix::from_pairs(n, &pseudo_pairs(n, 2000, 7));
+        let b = TiledBitMatrix::from_pairs(n, &pseudo_pairs(n, 2000, 8));
+        let mask = TiledBitMatrix::from_pairs(n, &pseudo_pairs(n, 2000, 9));
+        let (serial, _) = a.multiply_masked_opt_on(&b, Some(&mask), None);
+        for workers in [1usize, 2, 4] {
+            let d = Device::new(workers);
+            let (par, _) = a.multiply_masked_opt_on(&b, Some(&mask), Some(&d));
+            assert_eq!(par, serial, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn union_and_insert_detect_change() {
+        let mut a = TiledBitMatrix::from_pairs(100, &[(0, 1)]);
+        let b = TiledBitMatrix::from_pairs(100, &[(0, 1), (65, 70)]);
+        assert!(a.union_in_place(&b));
+        assert!(!a.union_in_place(&b), "second union is a no-op");
+        assert_eq!(a.nnz(), 2);
+        assert!(a.insert_pairs(&[(99, 99)]));
+        assert!(!a.insert_pairs(&[(99, 99), (0, 1)]));
+        assert!(!a.insert_pairs(&[]));
+        assert_eq!(a.pairs(), vec![(0, 1), (65, 70), (99, 99)]);
+    }
+
+    #[test]
+    fn grow_keeps_bits_and_accepts_new_ids() {
+        let mut m = TiledBitMatrix::from_pairs(70, &[(0, 69), (69, 0)]);
+        m.grow(200);
+        assert_eq!(m.n(), 200);
+        assert!(m.get(0, 69) && m.get(69, 0));
+        assert!(m.insert_pairs(&[(199, 199)]));
+        assert_eq!(m.nnz(), 3);
+    }
+
+    #[test]
+    fn empty_tile_rows_are_skipped_and_counted() {
+        // a's only tile sits at tile (0, 2); b's tile-row 2 is empty, so
+        // the whole product family is skipped without touching a bit.
+        let a = TiledBitMatrix::from_pairs(300, &[(0, 140)]);
+        let b = TiledBitMatrix::from_pairs(300, &[(0, 1)]);
+        let (c, skipped) = a.multiply_masked_opt_on(&b, None, None);
+        assert!(c.is_zero());
+        assert_eq!(skipped, 1);
+        // A fully-masked output tile also counts as avoided work.
+        let full_mask = {
+            let mut pairs = Vec::new();
+            for i in 0..64u32 {
+                for j in 0..64u32 {
+                    pairs.push((i, j));
+                }
+            }
+            TiledBitMatrix::from_pairs(300, &pairs)
+        };
+        let x = TiledBitMatrix::from_pairs(300, &[(0, 1)]);
+        let y = TiledBitMatrix::from_pairs(300, &[(1, 2)]);
+        let (c, skipped) = x.multiply_masked_opt_on(&y, Some(&full_mask), None);
+        assert!(c.is_zero());
+        assert_eq!(skipped, 1);
+    }
+
+    #[test]
+    fn engine_counters_accumulate_across_clones() {
+        let e = TiledEngine::serial();
+        let twin = e.clone();
+        let a = e.from_pairs(300, &[(0, 140)]);
+        let b = e.from_pairs(300, &[(0, 1)]);
+        e.multiply(&a, &b);
+        assert_eq!(twin.kernel_counters().tiles_skipped, 1);
+        assert_eq!(twin.kernel_counters().repr_switches, 0);
+    }
+
+    #[test]
+    fn zero_sized_matrix() {
+        let m = TiledBitMatrix::zeros(0);
+        assert!(m.multiply(&m).is_zero());
+        assert_eq!(m.n(), 0);
+        assert!(m.pairs().is_empty());
+    }
+}

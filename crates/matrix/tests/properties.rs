@@ -6,8 +6,8 @@
 use cfpq_grammar::random::{random_wcnf, RandomGrammarConfig};
 use cfpq_matrix::closure::{squaring_closure, theorem1_terms_needed, valiant_closure_terms};
 use cfpq_matrix::{
-    BoolEngine, BoolMat, CsrMatrix, DenseBitMatrix, DenseEngine, Device, ParDenseEngine,
-    ParSparseEngine, SetMatrix, SparseEngine,
+    AdaptiveEngine, BoolEngine, BoolMat, CsrMatrix, DenseBitMatrix, DenseEngine, Device,
+    ParDenseEngine, ParSparseEngine, SetMatrix, SparseEngine, TiledBitMatrix, TiledEngine,
 };
 use proptest::prelude::*;
 
@@ -144,6 +144,8 @@ proptest! {
         check(&SparseEngine, &a, &b)?;
         check(&ParDenseEngine::new(Device::new(2)), &a, &b)?;
         check(&ParSparseEngine::new(Device::new(3)), &a, &b)?;
+        check(&TiledEngine::new(Device::new(2)), &a, &b)?;
+        check(&AdaptiveEngine::new(Device::new(2)), &a, &b)?;
     }
 
     #[test]
@@ -176,6 +178,8 @@ proptest! {
         check(&SparseEngine, &a, &b, &m)?;
         check(&ParDenseEngine::new(Device::new(2)), &a, &b, &m)?;
         check(&ParSparseEngine::new(Device::new(3)), &a, &b, &m)?;
+        check(&TiledEngine::new(Device::new(2)), &a, &b, &m)?;
+        check(&AdaptiveEngine::new(Device::new(2)), &a, &b, &m)?;
     }
 
     #[test]
@@ -191,7 +195,11 @@ proptest! {
         let unfused = CsrMatrix::from_pairs(N, &a)
             .multiply(&CsrMatrix::from_pairs(N, &b))
             .difference(&CsrMatrix::from_pairs(N, &m));
-        prop_assert_eq!(sparse, unfused);
+        prop_assert_eq!(&sparse, &unfused);
+        // The blocked layout agrees with both flat representations.
+        let tiled = TiledBitMatrix::from_pairs(N, &a)
+            .multiply_masked(&TiledBitMatrix::from_pairs(N, &b), &TiledBitMatrix::from_pairs(N, &m));
+        prop_assert_eq!(tiled.pairs(), sparse.pairs());
     }
 
     #[test]

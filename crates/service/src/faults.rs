@@ -222,6 +222,10 @@ impl<E: BoolEngine> BoolEngine for FaultInjector<E> {
         self.tick_batch(jobs.len());
         self.inner.multiply_masked_batch(jobs)
     }
+
+    fn kernel_counters(&self) -> cfpq_matrix::KernelCounters {
+        self.inner.kernel_counters()
+    }
 }
 
 impl<E: LenEngine> LenEngine for FaultInjector<E> {

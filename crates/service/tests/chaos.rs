@@ -13,7 +13,9 @@
 
 use cfpq_core::query::{solve, Backend};
 use cfpq_graph::{generators, Graph};
-use cfpq_matrix::{DenseEngine, Device, ParDenseEngine, ParSparseEngine, SparseEngine};
+use cfpq_matrix::{
+    AdaptiveEngine, DenseEngine, Device, ParDenseEngine, ParSparseEngine, SparseEngine, TiledEngine,
+};
 use cfpq_service::faults::{silence_injected_panics, FaultInjector, FaultPlan};
 use cfpq_service::{CfpqService, ServiceConfig, ServiceEngine, ServiceError, ServiceStats, Ticket};
 use std::time::{Duration, Instant};
@@ -100,6 +102,8 @@ fn scheduled_panics_are_isolated_and_recovered_on_all_engines() {
     check(SparseEngine);
     check(ParDenseEngine::new(Device::new(2)));
     check(ParSparseEngine::new(Device::new(2)));
+    check(TiledEngine::new(Device::new(2)));
+    check(AdaptiveEngine::new(Device::new(2)));
 }
 
 /// Forced overload: one worker pinned inside a stalled cold solve, a
@@ -165,6 +169,8 @@ fn overload_sheds_and_deadlines_expire_on_all_engines() {
     check(SparseEngine);
     check(ParDenseEngine::new(Device::new(2)));
     check(ParSparseEngine::new(Device::new(2)));
+    check(TiledEngine::new(Device::new(2)));
+    check(AdaptiveEngine::new(Device::new(2)));
 }
 
 /// Bounded shutdown under a stalled worker: the in-flight batch runs to

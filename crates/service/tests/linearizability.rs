@@ -23,7 +23,9 @@ use cfpq_core::relational::FixpointSolver;
 use cfpq_grammar::cnf::CnfOptions;
 use cfpq_grammar::{Cfg, Wcnf};
 use cfpq_graph::{generators, Graph};
-use cfpq_matrix::{DenseEngine, Device, ParDenseEngine, ParSparseEngine, SparseEngine};
+use cfpq_matrix::{
+    AdaptiveEngine, DenseEngine, Device, ParDenseEngine, ParSparseEngine, SparseEngine, TiledEngine,
+};
 use cfpq_service::faults::{silence_injected_panics, FaultInjector, FaultPlan};
 use cfpq_service::{Backoff, CfpqService, PairPaths, ServiceConfig, ServiceEngine, ServiceError};
 use rand::rngs::StdRng;
@@ -283,6 +285,8 @@ fn concurrent_observations_match_a_sequential_execution() {
         check_engine(DenseEngine, &w, &grammar, &wcnf);
         check_engine(ParDenseEngine::new(Device::new(2)), &w, &grammar, &wcnf);
         check_engine(ParSparseEngine::new(Device::new(2)), &w, &grammar, &wcnf);
+        check_engine(TiledEngine::new(Device::new(2)), &w, &grammar, &wcnf);
+        check_engine(AdaptiveEngine::new(Device::new(2)), &w, &grammar, &wcnf);
     }
 }
 

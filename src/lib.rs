@@ -60,8 +60,8 @@ pub mod prelude {
     pub use cfpq_grammar::{Cfg, Nt, Term, Wcnf};
     pub use cfpq_graph::{Graph, TripleSet};
     pub use cfpq_matrix::{
-        BoolEngine, DenseEngine, Device, LenEngine, ParDenseEngine, ParSparseEngine, Parallelism,
-        SparseEngine,
+        AdaptiveEngine, BoolEngine, DenseEngine, Device, KernelCounters, LenEngine, ParDenseEngine,
+        ParSparseEngine, Parallelism, SparseEngine, TiledEngine,
     };
     // The service's query handles keep their own names (`cfpq::service::
     // QueryId` vs the session's `QueryId` above), so only the

@@ -50,6 +50,8 @@ proptest! {
         let sparse = solve_on_engine(&SparseEngine, &graph, &g);
         let dense_par = solve_on_engine(&ParDenseEngine::new(Device::new(3)), &graph, &g);
         let sparse_par = solve_on_engine(&ParSparseEngine::new(Device::new(2)), &graph, &g);
+        let tiled = solve_on_engine(&TiledEngine::new(Device::new(2)), &graph, &g);
+        let adaptive = solve_on_engine(&AdaptiveEngine::new(Device::new(2)), &graph, &g);
         let delta = FixpointSolver::new(&SparseEngine)
             .strategy(Strategy::Delta)
             .solve(&graph, &g);
@@ -65,6 +67,8 @@ proptest! {
             prop_assert_eq!(sparse.pairs(nt), expect.clone(), "sparse vs dense");
             prop_assert_eq!(dense_par.pairs(nt), expect.clone(), "dense-par vs dense");
             prop_assert_eq!(sparse_par.pairs(nt), expect.clone(), "sparse-par vs dense");
+            prop_assert_eq!(tiled.pairs(nt), expect.clone(), "tiled vs dense");
+            prop_assert_eq!(adaptive.pairs(nt), expect.clone(), "adaptive vs dense");
             prop_assert_eq!(delta.pairs(nt), expect.clone(), "delta vs dense");
             prop_assert_eq!(masked.pairs(nt), expect.clone(), "masked-delta vs dense");
             prop_assert_eq!(
@@ -194,6 +198,8 @@ fn four_engines_agree_on_paper_example_and_generated_graph() {
         let sparse = solve_on_engine(&SparseEngine, &graph, &wcnf);
         let dense_par = solve_on_engine(&ParDenseEngine::new(Device::new(2)), &graph, &wcnf);
         let sparse_par = solve_on_engine(&ParSparseEngine::new(Device::new(3)), &graph, &wcnf);
+        let tiled = solve_on_engine(&TiledEngine::new(Device::new(2)), &graph, &wcnf);
+        let adaptive = solve_on_engine(&AdaptiveEngine::new(Device::new(2)), &graph, &wcnf);
 
         let reference = dense.pairs(wcnf.start);
         if let Some(expect) = expect {
@@ -206,6 +212,8 @@ fn four_engines_agree_on_paper_example_and_generated_graph() {
             reference,
             "sparse-par vs dense"
         );
+        assert_eq!(tiled.pairs(wcnf.start), reference, "tiled vs dense");
+        assert_eq!(adaptive.pairs(wcnf.start), reference, "adaptive vs dense");
     }
 }
 
