@@ -1,19 +1,14 @@
-//! Recursive state machines (RSM) for CFPQ.
+//! The worklist RSM evaluator — kept as a differential oracle.
 //!
-//! Follow-on work to the paper (and most modern CFPQ engines) evaluates
-//! queries given as *recursive state machines*: one finite automaton
-//! ("box") per nonterminal whose transitions are labeled with terminals
-//! or nonterminal calls. Compared to dotted-rule approaches (GLL), RSM
-//! boxes merge the common prefixes of a nonterminal's alternatives, so
-//! `S → subClassOf_r S subClassOf | subClassOf_r subClassOf` shares the
-//! initial `subClassOf_r` transition.
-//!
-//! [`Rsm::from_cfg`] builds prefix-shared (trie) boxes from any [`Cfg`];
-//! [`solve_rsm`] evaluates reachability with a worklist over
-//! configurations `(box, entry node, state, current node)` with
-//! call-site memoization — terminating on arbitrary cyclic graphs and
-//! left-recursive grammars. Results are relational triples, directly
-//! comparable with Algorithm 1's output.
+//! The RSM IR itself ([`Rsm`], [`RsmBox`], trie construction) now lives
+//! in [`cfpq_grammar::rsm`], where the unified compiled-query pipeline
+//! (`cfpq-core::compile`) lowers it onto the matrix fixpoint; this
+//! module keeps the original worklist evaluation — configurations
+//! `(box, entry node, state, current node)` with call-site memoization —
+//! purely as a cross-check. Like `solve_regular` for NFAs, [`solve_rsm`]
+//! survives only to referee the pipeline: tests assert that the
+//! Kronecker-style lowering and this GLL-flavoured traversal agree
+//! triple-for-triple.
 
 use crate::TripleStore;
 use cfpq_grammar::cfg::{Cfg, Symbol};
@@ -21,92 +16,10 @@ use cfpq_grammar::{Nt, Term};
 use cfpq_graph::{Graph, NodeId};
 use std::collections::{HashMap, HashSet, VecDeque};
 
-/// A state inside a box (dense per-box index).
-pub type StateId = u32;
+pub use cfpq_grammar::rsm::{Rsm, RsmBox, StateId};
 
-/// One box: the automaton for a single nonterminal.
-#[derive(Clone, Debug, Default)]
-pub struct Box_ {
-    /// Number of states; state 0 is the entry.
-    pub n_states: u32,
-    /// Accepting states (ends of production paths).
-    pub finals: Vec<StateId>,
-    /// Transitions `state --symbol--> state`.
-    pub transitions: Vec<(StateId, Symbol, StateId)>,
-}
-
-impl Box_ {
-    fn new() -> Self {
-        Self {
-            n_states: 1, // entry
-            ..Self::default()
-        }
-    }
-
-    /// Adds one production's RHS as a path, sharing existing prefixes
-    /// (trie construction). An empty RHS marks the entry final.
-    fn add_production(&mut self, rhs: &[Symbol]) {
-        let mut state: StateId = 0;
-        for &sym in rhs {
-            let existing = self
-                .transitions
-                .iter()
-                .find(|(s, sy, _)| *s == state && *sy == sym)
-                .map(|(_, _, t)| *t);
-            state = match existing {
-                Some(t) => t,
-                None => {
-                    let t = self.n_states;
-                    self.n_states += 1;
-                    self.transitions.push((state, sym, t));
-                    t
-                }
-            };
-        }
-        if !self.finals.contains(&state) {
-            self.finals.push(state);
-        }
-    }
-
-    /// Outgoing transitions of `state`.
-    pub fn from_state(&self, state: StateId) -> impl Iterator<Item = (Symbol, StateId)> + '_ {
-        self.transitions
-            .iter()
-            .filter(move |(s, _, _)| *s == state)
-            .map(|(_, sym, t)| (*sym, *t))
-    }
-
-    /// True if `state` accepts.
-    pub fn is_final(&self, state: StateId) -> bool {
-        self.finals.contains(&state)
-    }
-}
-
-/// A recursive state machine: one box per nonterminal.
-#[derive(Clone, Debug)]
-pub struct Rsm {
-    /// `boxes[A.index()]` is A's automaton.
-    pub boxes: Vec<Box_>,
-    /// Total state count (diagnostic; tries shrink this vs. one path per
-    /// production).
-    pub total_states: usize,
-}
-
-impl Rsm {
-    /// Builds prefix-shared boxes from a grammar.
-    pub fn from_cfg(cfg: &Cfg) -> Self {
-        let n_nts = cfg.symbols.n_nts();
-        let mut boxes = vec![Box_::new(); n_nts];
-        for p in &cfg.productions {
-            boxes[p.lhs.index()].add_production(&p.rhs);
-        }
-        let total_states = boxes.iter().map(|b| b.n_states as usize).sum();
-        Self {
-            boxes,
-            total_states,
-        }
-    }
-}
+/// Compatibility alias for the promoted box type.
+pub type Box_ = RsmBox;
 
 /// Evaluates RSM reachability for `start` from every graph node.
 ///
@@ -114,6 +27,10 @@ impl Rsm {
 /// currently in state `q` at node `v`. Nonterminal transitions suspend
 /// into call contexts keyed by `(B, v)` and are resumed for every result
 /// `(B, v, w)` — the RSM analogue of the GSS pop replay.
+///
+/// Note the ε-semantics: a nullable box completes at its entry node, so
+/// nullable nonterminals report the diagonal `(A, v, v)` — the same
+/// convention as `SolveOptions::nullable_diagonal` on the matrix path.
 pub fn solve_rsm(graph: &Graph, cfg: &Cfg, rsm: &Rsm, start: Nt) -> TripleStore {
     let mut store = TripleStore::new(cfg.symbols.n_nts());
     // term_of[label] = grammar terminal with the same name, if any.
@@ -141,7 +58,9 @@ pub fn solve_rsm(graph: &Graph, cfg: &Cfg, rsm: &Rsm, start: Nt) -> TripleStore 
 
     for v in 0..graph.n_nodes() as NodeId {
         started.insert((start.0, v));
-        enqueue(&mut seen, &mut work, (start.0, v, 0, v));
+        for &e in &rsm.boxes[start.index()].entries {
+            enqueue(&mut seen, &mut work, (start.0, v, e, v));
+        }
     }
 
     while let Some((a, u, q, v)) = work.pop_front() {
@@ -170,7 +89,9 @@ pub fn solve_rsm(graph: &Graph, cfg: &Cfg, rsm: &Rsm, start: Nt) -> TripleStore 
                     // Suspend into a call of `callee` at v.
                     waiting.entry((callee.0, v)).or_default().push((a, u, q2));
                     if started.insert((callee.0, v)) {
-                        enqueue(&mut seen, &mut work, (callee.0, v, 0, v));
+                        for &e in &rsm.boxes[callee.index()].entries {
+                            enqueue(&mut seen, &mut work, (callee.0, v, e, v));
+                        }
                     }
                     if let Some(ws) = results_at.get(&(callee.0, v)) {
                         for &w in &ws.clone() {

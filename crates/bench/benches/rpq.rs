@@ -1,0 +1,82 @@
+//! RPQ bench: the three formulations of a regular path query on the g3
+//! dataset — the standalone product-graph oracle (label matrices
+//! rebuilt per call, unmasked full-recompute fixpoint), the compiled
+//! RSM/Kronecker pipeline (NFA prepared once through a `CfpqSession`,
+//! masked semi-naive sweeps against the materialized `GraphIndex`), and
+//! the equivalent right-linear grammar under plain Algorithm 1 — the
+//! workload behind `BENCH_pr9.json`.
+//!
+//! The pipeline side clones a session holding the prepared (but
+//! unsolved) query per iteration, so every sample pays the cold solve
+//! but not the one-time index build or the NFA→RSM→WCNF compilation;
+//! that split is the point of the compiled-query design.
+
+use cfpq_core::regular::{solve_regular, Nfa};
+use cfpq_core::relational::FixpointSolver;
+use cfpq_core::session::CfpqSession;
+use cfpq_grammar::cnf::CnfOptions;
+use cfpq_grammar::Cfg;
+use cfpq_graph::ontology::evaluation_suite;
+use cfpq_matrix::SparseEngine;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench_rpq(c: &mut Criterion) {
+    let suite = evaluation_suite();
+    let g3 = &suite.iter().find(|d| d.name == "g3").unwrap().graph;
+
+    for (name, nfa, grammar) in [
+        (
+            "subClassOf-plus",
+            Nfa::plus("subClassOf"),
+            Cfg::parse("S -> subClassOf S | subClassOf").unwrap(),
+        ),
+        (
+            "subClassOf-star-type_r",
+            Nfa::star_then("subClassOf", "type_r"),
+            Cfg::parse("S -> subClassOf S | type_r").unwrap(),
+        ),
+    ] {
+        let mut group = c.benchmark_group(format!("rpq-g3/{name}"));
+        group
+            .sample_size(10)
+            .warm_up_time(Duration::from_millis(300))
+            .measurement_time(Duration::from_secs(4));
+
+        // The differential oracle: rebuilds label matrices and runs the
+        // unmasked product-graph fixpoint on every call.
+        group.bench_function("oracle", |b| {
+            b.iter(|| solve_regular(&SparseEngine, g3, &nfa))
+        });
+
+        // The compiled pipeline: index built and query compiled once,
+        // outside the timed region; each sample clones the session and
+        // pays exactly one cold masked semi-naive solve.
+        let mut template = CfpqSession::new(SparseEngine, g3);
+        let id = template.prepare_regular(&nfa);
+        {
+            // Sanity: the template answers what the oracle answers.
+            let mut probe = template.clone();
+            assert_eq!(
+                probe.evaluate(id).start_pairs(),
+                solve_regular(&SparseEngine, g3, &nfa).pairs()
+            );
+        }
+        group.bench_function("pipeline", |b| {
+            b.iter(|| {
+                let mut session = template.clone();
+                session.evaluate(id)
+            })
+        });
+
+        // The same language as a right-linear grammar under Algorithm 1.
+        let wcnf = grammar.to_wcnf(CnfOptions::default()).unwrap();
+        group.bench_function("regular-grammar", |b| {
+            b.iter(|| FixpointSolver::new(&SparseEngine).solve(g3, &wcnf))
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_rpq);
+criterion_main!(benches);

@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! cargo run --release -p cfpq-bench --bin reproduce -- \
-//!     [table1|table2|incremental|single-path|service|all-paths|faults|scale|all] \
+//!     [table1|table2|incremental|single-path|service|all-paths|faults|scale|rpq|all] \
 //!     [--workers N] [--json PATH] [--smoke]
 //! ```
 //!
@@ -63,6 +63,18 @@
 //! smoke the two smallest, full the four-dataset smoke suite (the full
 //! rows are part of `BENCH_pr7.json`).
 //!
+//! The `rpq` scenario (part of `all`) runs regular path queries through
+//! the unified compiled pipeline: each RPQ is answered three ways — the
+//! standalone product-graph oracle, the NFA compiled through the
+//! RSM/Kronecker lowering and solved by a session's masked semi-naive
+//! fixpoint, and the equivalent right-linear grammar under plain
+//! Algorithm 1 — with byte-identical answers asserted, the pipeline's
+//! `SolveStats` emitted per row, and a session repair after a held-out
+//! `add_edges` batch. Full mode runs pizza and g3 and asserts the
+//! repair launches strictly fewer products than the cold solve (the
+//! numbers committed as `BENCH_pr9.json`); smoke runs the two smallest
+//! ontologies asserting correctness.
+//!
 //! The `scale` scenario (part of `all`) leaves the paper's ontology
 //! sizes behind: a clustered block graph of tile-aligned 64-node
 //! clusters — 1600 blocks (102,400 nodes) in full mode, 32 blocks in
@@ -72,8 +84,8 @@
 //! recorded as skipped (`n²/8` bytes per nonterminal at this size).
 
 use cfpq_bench::{
-    render_all_paths, render_faults, render_incremental, render_scale, render_service,
-    render_single_path, render_table, run_all_paths, run_faults, run_incremental, run_row,
+    render_all_paths, render_faults, render_incremental, render_rpq, render_scale, render_service,
+    render_single_path, render_table, run_all_paths, run_faults, run_incremental, run_row, run_rpq,
     run_scale, run_service, run_single_path, run_table, small_suite, Query,
 };
 use cfpq_graph::ontology::evaluation_suite;
@@ -90,7 +102,7 @@ fn main() {
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "table1" | "table2" | "incremental" | "single-path" | "service" | "all-paths"
-            | "faults" | "scale" | "all" => which = arg,
+            | "faults" | "scale" | "rpq" | "all" => which = arg,
             "--workers" => {
                 workers = match it.next().and_then(|v| v.parse().ok()) {
                     Some(n) => n,
@@ -113,7 +125,7 @@ fn main() {
             other => {
                 eprintln!("unknown argument `{other}`");
                 eprintln!(
-                    "usage: reproduce [table1|table2|incremental|single-path|service|all-paths|faults|scale|all] \
+                    "usage: reproduce [table1|table2|incremental|single-path|service|all-paths|faults|scale|rpq|all] \
                      [--workers N] [--json PATH] [--smoke]"
                 );
                 std::process::exit(2);
@@ -124,7 +136,9 @@ fn main() {
     let queries: Vec<Query> = match which.as_str() {
         "table1" => vec![Query::Q1],
         "table2" => vec![Query::Q2],
-        "incremental" | "single-path" | "service" | "all-paths" | "faults" | "scale" => vec![],
+        "incremental" | "single-path" | "service" | "all-paths" | "faults" | "scale" | "rpq" => {
+            vec![]
+        }
         _ => vec![Query::Q1, Query::Q2],
     };
     let run_incremental_scenario = matches!(which.as_str(), "incremental" | "all");
@@ -133,6 +147,7 @@ fn main() {
     let run_all_paths_scenario = matches!(which.as_str(), "all-paths" | "all");
     let run_faults_scenario = matches!(which.as_str(), "faults" | "all");
     let run_scale_scenario = matches!(which.as_str(), "scale" | "all");
+    let run_rpq_scenario = matches!(which.as_str(), "rpq" | "all");
 
     let mut sections: Vec<serde_json::Value> = Vec::new();
     for q in queries {
@@ -262,6 +277,35 @@ fn main() {
         print!("{}", render_scale(&rows));
         println!();
         sections.push(serde_json::json!({ "query": "Scale", "rows": rows }));
+    }
+
+    if run_rpq_scenario {
+        // Smoke: the two smallest ontologies, triangulation only (a cold
+        // solve on a 91-node graph is a handful of products, so the
+        // strictly-fewer repair criterion has no headroom). Full: pizza
+        // and g3 with the strict repair assertion; these are the rows
+        // committed as BENCH_pr9.json.
+        let rows = if smoke {
+            eprintln!("running rpq scenario over the smoke suite...");
+            small_suite()
+                .iter()
+                .take(2)
+                .flat_map(|ds| run_rpq(ds, 10, false))
+                .collect::<Vec<_>>()
+        } else {
+            eprintln!("running rpq scenario on pizza and g3...");
+            let suite = evaluation_suite();
+            ["pizza", "g3"]
+                .iter()
+                .flat_map(|name| {
+                    let ds = suite.iter().find(|d| &d.name == name).expect("dataset");
+                    run_rpq(ds, 10, true)
+                })
+                .collect::<Vec<_>>()
+        };
+        print!("{}", render_rpq(&rows));
+        println!();
+        sections.push(serde_json::json!({ "query": "Rpq", "rows": rows }));
     }
 
     if let Some(path) = json_path {

@@ -1542,6 +1542,213 @@ pub fn render_scale(rows: &[ScaleRow]) -> String {
     out
 }
 
+/// One row of the `rpq` scenario: a regular path query on one dataset,
+/// answered by all three formulations the workspace keeps in
+/// triangulation — the standalone product-graph oracle, the compiled
+/// RSM/Kronecker pipeline (an NFA prepared through a [`CfpqSession`]),
+/// and the equivalent right-linear grammar under Algorithm 1 — plus a
+/// session repair after a held-out `add_edges` batch. The row asserts
+/// byte-identical answers everywhere and that the repair launches
+/// strictly fewer products than the pipeline's cold solve.
+#[derive(Clone, Debug, Serialize)]
+pub struct RpqRow {
+    /// Dataset name.
+    pub dataset: String,
+    /// Human-readable regular expression of the query.
+    pub query: String,
+    /// `#triples` column.
+    pub triples: usize,
+    /// Graph node count.
+    pub nodes: usize,
+    /// `|R|` of the query (identical across formulations — asserted).
+    pub results: usize,
+    /// Standalone product-graph oracle (rebuilds label matrices per
+    /// call), milliseconds.
+    pub rpq_oracle_ms: f64,
+    /// Compiled pipeline through a session (masked semi-naive fixpoint
+    /// on the materialized `GraphIndex`), milliseconds.
+    pub rpq_pipeline_ms: f64,
+    /// The equivalent right-linear grammar under plain Algorithm 1,
+    /// milliseconds.
+    pub rpq_grammar_ms: f64,
+    /// Work counters of the pipeline's cold solve (the `SolveStats` the
+    /// unified path populates for RPQs exactly as it does for CFPQs).
+    pub pipeline: SweepStats,
+    /// Edges held out of the session build and re-inserted via
+    /// `add_edges`.
+    pub batch: usize,
+    /// Session re-evaluation after the batch (incremental repair),
+    /// milliseconds.
+    pub rpq_repair_ms: f64,
+    /// Products launched by the repair (strictly fewer than the cold
+    /// pipeline solve — asserted).
+    pub rpq_repair_products: usize,
+    /// Products launched by the pipeline's cold solve.
+    pub rpq_cold_products: usize,
+}
+
+/// The RPQ cases of the `rpq` scenario: `(name, NFA, equivalent
+/// right-linear grammar)` over the ontology alphabet.
+fn rpq_cases() -> Vec<(&'static str, cfpq_core::regular::Nfa, Cfg)> {
+    use cfpq_core::regular::Nfa;
+    vec![
+        (
+            "subClassOf+",
+            Nfa::plus("subClassOf"),
+            Cfg::parse("S -> subClassOf S | subClassOf").expect("grammar parses"),
+        ),
+        (
+            "subClassOf* type_r",
+            Nfa::star_then("subClassOf", "type_r"),
+            Cfg::parse("S -> subClassOf S | type_r").expect("grammar parses"),
+        ),
+    ]
+}
+
+/// Runs the `rpq` scenario on one dataset. See [`RpqRow`] for the three
+/// formulations and what is asserted. With `check_repair` (full mode,
+/// graphs big enough for the cold solve to cost real sweeps), the
+/// repair must launch *strictly* fewer products than the cold pipeline
+/// solve; tiny smoke graphs — where a cold solve is already a handful
+/// of products — only assert it never launches more.
+pub fn run_rpq(dataset: &Dataset, batch: usize, check_repair: bool) -> Vec<RpqRow> {
+    use cfpq_core::regular::solve_regular;
+
+    let graph = &dataset.graph;
+    rpq_cases()
+        .into_iter()
+        .map(|(name, nfa, grammar)| {
+            // The product-graph oracle: independent, full recompute.
+            let (oracle, rpq_oracle_ms) =
+                time_ms(|| solve_regular(&SparseEngine, graph, &nfa).pairs());
+
+            // The compiled pipeline: NFA → RSM → state grammar, solved
+            // by the session's masked semi-naive fixpoint.
+            let mut session = CfpqSession::new(SparseEngine, graph);
+            let id = session.prepare_regular(&nfa);
+            let (answer, rpq_pipeline_ms) = time_ms(|| session.evaluate(id));
+            assert_eq!(
+                answer.start_pairs(),
+                oracle,
+                "pipeline vs oracle mismatch on {} {name}",
+                dataset.name
+            );
+            let cold = session.last_run(id).expect("query evaluated").clone();
+            assert!(
+                cold.stats.products_computed > 0,
+                "the pipeline populates SolveStats on {} {name}",
+                dataset.name
+            );
+
+            // The equivalent right-linear grammar under Algorithm 1.
+            let wcnf: Wcnf = grammar
+                .to_wcnf(CnfOptions::default())
+                .expect("grammar normalizes");
+            let (grammar_idx, rpq_grammar_ms) =
+                time_ms(|| FixpointSolver::new(&SparseEngine).solve(graph, &wcnf));
+            assert_eq!(
+                grammar_idx.pairs(wcnf.start),
+                oracle,
+                "regular-grammar CFPQ vs oracle mismatch on {} {name}",
+                dataset.name
+            );
+
+            // Session repair after a held-out batch of query-relevant
+            // edges: same answer as the full-graph oracle, fewer
+            // products than the cold pipeline solve.
+            let alphabet: std::collections::HashSet<String> = nfa
+                .transitions()
+                .iter()
+                .map(|(_, l, _)| l.clone())
+                .collect();
+            let (base, held) = hold_out_edges(graph, batch, |n| alphabet.contains(n));
+            let batch = held.len();
+            let mut repaired = CfpqSession::new(SparseEngine, &base);
+            let rid = repaired.prepare_regular(&nfa);
+            repaired.evaluate(rid);
+            repaired.add_edges(&held);
+            let (repair_answer, rpq_repair_ms) = time_ms(|| repaired.evaluate(rid));
+            let run = repaired.last_run(rid).expect("query evaluated").clone();
+            assert!(run.incremental, "re-query must be a repair");
+            assert_eq!(
+                repair_answer.start_pairs(),
+                oracle,
+                "repaired vs oracle mismatch on {} {name}",
+                dataset.name
+            );
+            assert!(
+                run.stats.products_computed <= cold.stats.products_computed,
+                "RPQ repair must never launch more products than a cold solve \
+                 ({} vs {}) on {} {name}",
+                run.stats.products_computed,
+                cold.stats.products_computed,
+                dataset.name
+            );
+            if check_repair {
+                assert!(
+                    run.stats.products_computed < cold.stats.products_computed,
+                    "RPQ repair must launch strictly fewer products than a cold solve \
+                     ({} vs {}) on {} {name}",
+                    run.stats.products_computed,
+                    cold.stats.products_computed,
+                    dataset.name
+                );
+            }
+
+            RpqRow {
+                dataset: dataset.name.clone(),
+                query: name.to_owned(),
+                triples: dataset.triples,
+                nodes: graph.n_nodes(),
+                results: oracle.len(),
+                rpq_oracle_ms,
+                rpq_pipeline_ms,
+                rpq_grammar_ms,
+                pipeline: SweepStats::of(cold.sweeps, &cold.stats),
+                batch,
+                rpq_repair_ms,
+                rpq_repair_products: run.stats.products_computed,
+                rpq_cold_products: cold.stats.products_computed,
+            }
+        })
+        .collect()
+}
+
+/// Renders RPQ rows as a table.
+pub fn render_rpq(rows: &[RpqRow]) -> String {
+    let mut out = String::new();
+    out.push_str("RPQ (compiled RSM pipeline vs product-graph oracle vs regular grammar)\n");
+    out.push_str(&format!(
+        "{:<12} {:<20} {:>9} {:>10} {:>9} {:>9} {:>7} {:>6} {:>10} {:>10}\n",
+        "Dataset",
+        "Query",
+        "#results",
+        "oracle(ms)",
+        "pipe(ms)",
+        "gram(ms)",
+        "#prod",
+        "batch",
+        "repair(ms)",
+        "repair#prod"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<12} {:<20} {:>9} {:>10.1} {:>9.1} {:>9.1} {:>7} {:>6} {:>10.1} {:>10}\n",
+            r.dataset,
+            r.query,
+            r.results,
+            r.rpq_oracle_ms,
+            r.rpq_pipeline_ms,
+            r.rpq_grammar_ms,
+            r.pipeline.products_computed,
+            r.batch,
+            r.rpq_repair_ms,
+            r.rpq_repair_products,
+        ));
+    }
+    out
+}
+
 /// A smaller suite for unit tests and smoke benches: the four smallest
 /// ontologies.
 pub fn small_suite() -> Vec<Dataset> {
@@ -1652,6 +1859,25 @@ mod tests {
         let text = render_all_paths(&rows);
         assert!(text.contains("cyclic-dyck"));
         assert!(text.contains("eager(ms)"));
+    }
+
+    #[test]
+    fn rpq_rows_triangulate_and_repair_beats_cold() {
+        // run_rpq asserts oracle/pipeline/grammar answer equality and
+        // the fewer-products repair criterion internally; exercise it on
+        // the two smallest ontologies.
+        for ds in small_suite().iter().take(2) {
+            let rows = run_rpq(ds, 10, false);
+            assert_eq!(rows.len(), 2, "two RPQ cases per dataset");
+            for r in &rows {
+                assert!(r.results > 0, "{} {}", ds.name, r.query);
+                assert!(r.rpq_repair_products <= r.rpq_cold_products);
+                assert!(r.pipeline.products_computed > 0);
+            }
+            let text = render_rpq(&rows);
+            assert!(text.contains(&ds.name));
+            assert!(text.contains("subClassOf+"));
+        }
     }
 
     #[test]

@@ -18,9 +18,14 @@
 //! * [`conjunctive`] — the §7 conjecture: Algorithm 1 "trivially
 //!   generalized" to conjunctive grammars, computing an upper
 //!   approximation of conjunctive reachability.
-//! * [`regular`] — regular path queries on the same matrix kernels
-//!   (the §3 baseline formalism), used as a differential oracle for
-//!   regular grammars.
+//! * [`compile`] — the unified compiled-query layer: NFA-form RPQs and
+//!   CFGs both lower through RSM boxes ([`cfpq_grammar::rsm`]) into a
+//!   weak-CNF state grammar the [`relational`] fixpoint evaluates
+//!   unchanged (the "one algorithm to evaluate them all" reduction).
+//! * [`regular`] — the [`regular::Nfa`] query form (§3's baseline
+//!   formalism) and the hand-rolled product-graph evaluator
+//!   [`regular::solve_regular`], kept purely as a differential oracle
+//!   for the compiled pipeline.
 //! * [`session`] — the engine layer for serving many queries over one
 //!   evolving graph: a persistent [`session::GraphIndex`] of per-label
 //!   adjacency matrices, [`session::PreparedQuery`] caching the CNF
@@ -31,6 +36,7 @@
 //!   backend is a one-shot session.
 
 pub mod all_paths;
+pub mod compile;
 pub mod conjunctive;
 pub mod query;
 pub mod regular;
@@ -38,7 +44,9 @@ pub mod relational;
 pub mod session;
 pub mod single_path;
 
+pub use compile::{CompiledQuery, QueryKind};
 pub use query::{solve, solve_with, Backend, QueryAnswer};
+pub use regular::{solve_regular, Nfa};
 pub use relational::{
     solve_on_engine, solve_set_matrix, FixpointSolver, RelationalIndex, SolveStats, Strategy,
 };

@@ -1,16 +1,22 @@
-//! Regular path queries (RPQ) with the same Boolean matrix kernels.
+//! Regular path queries (RPQ): the [`Nfa`] query form and the reference
+//! evaluator.
 //!
 //! §3 positions CFPQ as the strictly-more-expressive sibling of the
-//! regular language constrained path querying of [2, 8, 16, 21]. This
-//! module closes the loop: an RPQ solver built on the *same* Boolean
-//! matrix layer, evaluating an NFA over the graph via the product-graph
-//! construction expressed as matrix operations — per automaton
-//! transition `q --x--> q'`, the label matrix `M_x` propagates frontier
-//! columns between state-indexed reachability matrices.
+//! regular language constrained path querying of [2, 8, 16, 21]. The
+//! *production* RPQ path no longer lives here: an [`Nfa`] is compiled
+//! through [`crate::compile::CompiledQuery`] into the same RSM/Kronecker
+//! lowering CFPQ uses, and evaluated by the [`crate::relational::FixpointSolver`]
+//! pipeline — masked semi-naive sweeps against the session's
+//! [`crate::session::GraphIndex`] label matrices, with incremental
+//! repair after edge updates and service scheduling on top.
 //!
-//! Besides being useful on its own, RPQ gives tests a differential
-//! oracle: a regular grammar evaluated by Algorithm 1 must produce the
-//! same relation as the NFA evaluated here.
+//! [`solve_regular`] below survives only as the **differential oracle**
+//! for that pipeline: a deliberately independent, hand-rolled product-graph
+//! fixpoint (unmasked, full recompute each round, label matrices rebuilt
+//! from the graph on every call) whose answer the compiled path must
+//! reproduce byte-for-byte. Property suites triangulate all three
+//! formulations: this oracle, the compiled pipeline, and the equivalent
+//! regular grammar under Algorithm 1.
 
 use cfpq_graph::{Graph, Label};
 use cfpq_matrix::BoolEngine;
@@ -61,6 +67,21 @@ impl Nfa {
         self
     }
 
+    /// The start states.
+    pub fn starts(&self) -> &[u32] {
+        &self.start
+    }
+
+    /// The accepting states.
+    pub fn accepts(&self) -> &[u32] {
+        &self.accept
+    }
+
+    /// All transitions `(from, label, to)`, in insertion order.
+    pub fn transitions(&self) -> &[(u32, String, u32)] {
+        &self.transitions
+    }
+
     /// `a+` — one or more repetitions of a single label.
     pub fn plus(label: &str) -> Nfa {
         let mut n = Nfa::new(2);
@@ -95,6 +116,12 @@ impl Nfa {
 /// Evaluates the RPQ: all pairs `(i, j)` such that some path `iπj` spells
 /// a word accepted by the NFA (non-empty paths only, matching the CFPQ
 /// convention of dropping ε).
+///
+/// **Oracle only.** This is the old standalone evaluator, kept as an
+/// independent cross-check for the compiled pipeline
+/// ([`crate::compile::CompiledQuery::from_nfa`]); production callers
+/// should prepare the NFA through a session or the service instead,
+/// which reuses materialized label matrices and repairs incrementally.
 ///
 /// Representation: `reach[q]` is the Boolean matrix of node pairs
 /// reachable while moving the automaton from a start state to state `q`.

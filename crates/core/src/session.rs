@@ -23,6 +23,14 @@
 //! solve (asserted by `reproduce --smoke` and benchmarked in
 //! `benches/incremental.rs`).
 //!
+//! Sessions also speak the **unified compiled-query pipeline**:
+//! [`CfpqSession::prepare_regular`] lowers an NFA-form RPQ (and
+//! [`CfpqSession::prepare_rsm`] a CFG's RSM boxes) through
+//! [`crate::compile::CompiledQuery`] into a state grammar this same
+//! machinery evaluates — so regular queries get the cached closures,
+//! semi-naive repair, and engine genericity for free, with the old
+//! `solve_regular` surviving only as a differential oracle.
+//!
 //! Since PR 4 sessions also serve the paper's **single-path semantics
 //! (§5)**: [`CfpqSession::prepare_single_path`] registers a grammar for
 //! length-annotated evaluation, [`CfpqSession::evaluate_single_path`]
@@ -656,6 +664,45 @@ impl<E: BoolEngine + LenEngine> CfpqSession<E> {
     /// Registers an already-normalized grammar for evaluation.
     pub fn prepare_wcnf(&mut self, wcnf: Wcnf) -> QueryId {
         self.prepare_query(PreparedQuery::from_wcnf(wcnf))
+    }
+
+    /// Compiles an NFA-form regular path query onto the unified RSM
+    /// pipeline ([`crate::compile::CompiledQuery::from_nfa`]) and
+    /// registers it. The query evaluates through the same
+    /// [`FixpointSolver`] path as every CFPQ — masked semi-naive sweeps
+    /// against the index's materialized label matrices, cached closure,
+    /// incremental repair after [`CfpqSession::add_edges`]. The answer's
+    /// start relation (`Rpq`) holds exactly
+    /// [`crate::regular::solve_regular`]'s pairs.
+    ///
+    /// ```
+    /// use cfpq_core::regular::Nfa;
+    /// use cfpq_core::session::CfpqSession;
+    /// use cfpq_graph::Graph;
+    /// use cfpq_matrix::SparseEngine;
+    ///
+    /// let mut graph = Graph::new(4);
+    /// graph.add_edge_named(0, "a", 1);
+    /// graph.add_edge_named(1, "a", 2);
+    /// graph.add_edge_named(2, "b", 3);
+    /// let mut session = CfpqSession::new(SparseEngine, &graph);
+    /// let rpq = session.prepare_regular(&Nfa::star_then("a", "b")); // a* b
+    /// assert_eq!(session.evaluate(rpq).start_pairs(), &[(0, 3), (1, 3), (2, 3)]);
+    /// session.add_edges(&[(3, "a", 0)]);                            // graph grows
+    /// assert_eq!(session.evaluate(rpq).start_count(), 4);           // + (3, 3), repaired
+    /// assert!(session.last_run(rpq).unwrap().incremental);
+    /// ```
+    pub fn prepare_regular(&mut self, nfa: &crate::regular::Nfa) -> QueryId {
+        self.prepare_query(crate::compile::CompiledQuery::from_nfa(nfa).into_prepared())
+    }
+
+    /// Compiles a context-free query through its RSM boxes
+    /// ([`crate::compile::CompiledQuery::from_cfg`]) instead of the
+    /// direct weak-CNF normalization, and registers it. Nullable
+    /// nonterminals follow the RSM ε-convention (diagonal matches), as
+    /// with `nullable_diagonal` on the [`CfpqSession::prepare`] path.
+    pub fn prepare_rsm(&mut self, grammar: &Cfg) -> Result<QueryId, GrammarError> {
+        Ok(self.prepare_query(crate::compile::CompiledQuery::from_cfg(grammar)?.into_prepared()))
     }
 
     /// Registers a fully-configured [`PreparedQuery`].
@@ -1429,6 +1476,58 @@ mod tests {
         );
         // The log drained once the only query absorbed it.
         assert!(session.batches.is_empty());
+    }
+
+    #[test]
+    fn regular_queries_ride_the_session_pipeline() {
+        use crate::regular::{solve_regular, Nfa};
+        // Truncated a*b graph: solve, then extend and check the repair
+        // path serves exactly what the oracle computes from scratch.
+        let mut graph = Graph::new(4);
+        graph.add_edge_named(0, "a", 1);
+        graph.add_edge_named(1, "a", 2);
+        graph.add_edge_named(2, "b", 3);
+        let nfa = Nfa::star_then("a", "b");
+        let mut session = CfpqSession::new(SparseEngine, &graph);
+        let id = session.prepare_regular(&nfa);
+        let answer = session.evaluate(id);
+        assert_eq!(
+            answer.start_pairs(),
+            solve_regular(&SparseEngine, &graph, &nfa).pairs()
+        );
+        let run = session.last_run(id).unwrap();
+        assert!(!run.incremental);
+        assert!(run.stats.products_computed > 0, "SolveStats populated");
+
+        // New edge (and a new node): the cached closure repairs.
+        session.add_edges(&[(0, "b", 4)]);
+        let mut grown = Graph::new(5);
+        for e in graph.edges() {
+            grown.add_edge_named(e.from, graph.label_name(e.label), e.to);
+        }
+        grown.add_edge_named(0, "b", 4);
+        let repaired = session.evaluate(id);
+        assert_eq!(
+            repaired.start_pairs(),
+            solve_regular(&SparseEngine, &grown, &nfa).pairs()
+        );
+        assert!(session.last_run(id).unwrap().incremental);
+    }
+
+    #[test]
+    fn rsm_prepared_cfpq_matches_wcnf_path() {
+        let grammar = Cfg::parse("S -> a S b | a b").unwrap();
+        let graph = generators::word_chain(&["a", "a", "b", "b"]);
+        let mut session = CfpqSession::new(SparseEngine, &graph);
+        let rsm_id = session.prepare_rsm(&grammar).unwrap();
+        let cnf_id = session.prepare(&grammar).unwrap();
+        let rsm_answer = session.evaluate(rsm_id);
+        let cnf_answer = session.evaluate(cnf_id);
+        assert_eq!(
+            rsm_answer.pairs("S").unwrap(),
+            cnf_answer.start_pairs(),
+            "RSM-form and WCNF-form CFPQ agree on the start relation"
+        );
     }
 
     #[test]

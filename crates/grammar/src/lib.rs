@@ -14,7 +14,11 @@
 //!   recorded) as [`Wcnf`],
 //! * a CYK recognizer over strings ([`cyk`]) used as a testing oracle,
 //! * deterministic random grammar/word generators ([`random`]) for
-//!   property-based testing, and
+//!   property-based testing,
+//! * recursive state machines ([`rsm`]): the unified compiled-query IR
+//!   with trie-shared boxes ([`Rsm::from_cfg`]) that both CFGs and
+//!   NFA-form regular queries lower through (see
+//!   `cfpq-core::compile`), and
 //! * the grammars of the paper's evaluation section ([`queries`]): the
 //!   same-generation queries Q1 (Fig. 10) and Q2 (Fig. 11), the worked
 //!   example grammar of §4.3 (Fig. 3/4) and a library of classic
@@ -29,10 +33,12 @@ pub mod cnf;
 pub mod cyk;
 pub mod queries;
 pub mod random;
+pub mod rsm;
 pub mod symbol;
 pub mod wcnf;
 
 pub use cfg::{Cfg, GrammarError, Production, Symbol};
 pub use cnf::CnfOptions;
+pub use rsm::{Rsm, RsmBox, StateId};
 pub use symbol::{Nt, SymbolTable, Term};
 pub use wcnf::{BinaryRule, TermRule, Wcnf};

@@ -33,7 +33,12 @@
 //!   drain one query's whole queue as a batch, evaluate that query's
 //!   closure once, and answer every request in the batch from it. Per
 //!   epoch, [`ServiceStats`] reports queries served, cache hits, repair
-//!   vs cold products, and the epoch publish latency.
+//!   vs cold products, and the epoch publish latency. Regular path
+//!   queries are first-class tenants: [`CfpqService::prepare_regular`]
+//!   compiles an NFA through the unified RSM pipeline
+//!   ([`cfpq_core::compile::CompiledQuery`]), after which its tickets,
+//!   snapshot caches, epoch repairs, errors and stats are
+//!   indistinguishable from any CFPQ's.
 //! * **Paths as a workload.** [`CfpqService::enqueue_paths`] serves the
 //!   §7 all-path semantics through the same scheduler: a ticketed,
 //!   paged stream of witness paths per answer pair, enumerated by the
@@ -1134,6 +1139,24 @@ impl<E: ServiceEngine> CfpqService<E> {
         QueryId(queries.len() - 1)
     }
 
+    /// Compiles an NFA-form regular path query onto the unified RSM
+    /// pipeline ([`cfpq_core::compile::CompiledQuery::from_nfa`]) and
+    /// registers it like any relational query: RPQ tickets flow through
+    /// the same multi-queue scheduler, epoch snapshot caches,
+    /// incremental epoch repair on [`CfpqService::add_edges`], typed
+    /// [`ServiceError`]s, and [`ServiceStats`] accounting.
+    pub fn prepare_regular(&self, nfa: &cfpq_core::regular::Nfa) -> QueryId {
+        self.prepare_query(cfpq_core::compile::CompiledQuery::from_nfa(nfa).into_prepared())
+    }
+
+    /// Compiles a context-free query through its RSM boxes
+    /// ([`cfpq_core::compile::CompiledQuery::from_cfg`]) and registers
+    /// it (nullable nonterminals follow the RSM ε-convention).
+    pub fn prepare_rsm(&self, grammar: &Cfg) -> Result<QueryId, GrammarError> {
+        Ok(self
+            .prepare_query(cfpq_core::compile::CompiledQuery::from_cfg(grammar)?.into_prepared()))
+    }
+
     /// Normalizes `grammar` and registers it for single-path (§5)
     /// evaluation.
     pub fn prepare_single_path(&self, grammar: &Cfg) -> Result<SinglePathId, GrammarError> {
@@ -1571,6 +1594,69 @@ mod tests {
             .enqueue(q, vec![(1, 2), (2, 2), (0, 0), (1, 2)])
             .unwrap();
         assert_eq!(t.wait().unwrap().pairs, vec![(0, 0), (1, 2)]);
+    }
+
+    #[test]
+    fn rpq_tickets_ride_the_scheduler_and_epoch_repair() {
+        use cfpq_core::regular::{solve_regular, Nfa};
+        let mut graph = Graph::new(4);
+        graph.add_edge_named(0, "a", 1);
+        graph.add_edge_named(1, "a", 2);
+        graph.add_edge_named(2, "b", 3);
+        let nfa = Nfa::star_then("a", "b");
+        let service = CfpqService::new(SparseEngine, &graph);
+        let q = service.prepare_regular(&nfa);
+
+        let ticket = service.enqueue(q, vec![]).unwrap();
+        let answer = ticket.wait().unwrap();
+        assert_eq!(
+            answer.pairs,
+            solve_regular(&SparseEngine, &graph, &nfa).pairs()
+        );
+
+        // Publish a new epoch: the RPQ closure is repaired off to the
+        // side like any relational closure, and the next ticket answers
+        // against the new graph.
+        let epoch_before = service.current_epoch();
+        assert_eq!(service.add_edges(&[(0, "b", 2)]), 1);
+        assert!(service.current_epoch() > epoch_before);
+        graph.add_edge_named(0, "b", 2);
+        let repaired = service.enqueue(q, vec![]).unwrap().wait().unwrap();
+        assert_eq!(
+            repaired.pairs,
+            solve_regular(&SparseEngine, &graph, &nfa).pairs()
+        );
+        // The repair shows up in the published epoch's accounting.
+        let stats = service.stats();
+        assert!(
+            stats.iter().any(|s| s.repairs > 0),
+            "epoch repair accounted in ServiceStats"
+        );
+        // Pair filtering works for RPQ tickets like any other.
+        let filtered = service.enqueue(q, vec![(0, 3)]).unwrap().wait().unwrap();
+        assert_eq!(filtered.pairs, vec![(0, 3)]);
+    }
+
+    #[test]
+    fn rsm_prepared_cfpq_served_like_wcnf() {
+        let grammar = Cfg::parse("S -> a S b | a b").unwrap();
+        let graph = generators::word_chain(&["a", "a", "b", "b"]);
+        let service = CfpqService::new(SparseEngine, &graph);
+        let rsm_q = service.prepare_rsm(&grammar).unwrap();
+        let cnf_q = service.prepare(&grammar).unwrap();
+        let rsm_pairs = service
+            .enqueue(rsm_q, vec![])
+            .unwrap()
+            .wait()
+            .unwrap()
+            .pairs;
+        let cnf_pairs = service
+            .enqueue(cnf_q, vec![])
+            .unwrap()
+            .wait()
+            .unwrap()
+            .pairs;
+        assert_eq!(rsm_pairs, cnf_pairs);
     }
 
     #[test]

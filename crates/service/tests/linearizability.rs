@@ -1,8 +1,9 @@
 //! Fixed-seed linearizability suite for the concurrent query service.
 //!
 //! N reader threads evaluate prepared queries — relational,
-//! single-path, *and* paged all-path enumeration, through direct
-//! snapshot reads *and* scheduler tickets — while a writer applies a
+//! single-path, NFA-compiled regular path queries, *and* paged
+//! all-path enumeration, through direct snapshot reads *and* scheduler
+//! tickets — while a writer applies a
 //! fixed sequence of `add_edges` batches. Every answer the service
 //! hands out is tagged with the epoch it was computed against, and
 //! epochs are totally ordered (writers are serialized), so
@@ -19,7 +20,9 @@
 //! stress job bumps it).
 
 use cfpq_core::all_paths::{PageRequest, PathEnumerator};
+use cfpq_core::regular::Nfa;
 use cfpq_core::relational::FixpointSolver;
+use cfpq_core::solve_regular;
 use cfpq_grammar::cnf::CnfOptions;
 use cfpq_grammar::{Cfg, Wcnf};
 use cfpq_graph::{generators, Graph};
@@ -141,6 +144,21 @@ fn reference_paths(workload: &Workload, wcnf: &Wcnf) -> Vec<Vec<PairPaths>> {
     expected
 }
 
+/// The sequential RPQ reference: each epoch's graph evaluated by the
+/// standalone product-graph oracle (independent of the compiled
+/// RSM/Kronecker pipeline the service actually runs).
+fn reference_rpq(workload: &Workload, nfa: &Nfa) -> Vec<Vec<(u32, u32)>> {
+    let mut graph = workload.base.clone();
+    let mut expected = vec![solve_regular(&SparseEngine, &graph, nfa).pairs()];
+    for batch in &workload.batches {
+        for (u, label, v) in batch {
+            graph.add_edge_named(*u, label, *v);
+        }
+        expected.push(solve_regular(&SparseEngine, &graph, nfa).pairs());
+    }
+    expected
+}
+
 /// The sequential reference: graph states epoch by epoch, solved from
 /// scratch.
 fn reference_answers(workload: &Workload, wcnf: &Wcnf) -> Vec<Vec<(u32, u32)>> {
@@ -166,85 +184,104 @@ fn reference_answers(workload: &Workload, wcnf: &Wcnf) -> Vec<Vec<(u32, u32)>> {
 fn check_engine<E: ServiceEngine>(engine: E, workload: &Workload, grammar: &Cfg, wcnf: &Wcnf) {
     let expected = reference_answers(workload, wcnf);
     let expected_paths = reference_paths(workload, wcnf);
+    // The RPQ rides the same scheduler via the compiled RSM pipeline; the
+    // reference is the independent product-graph oracle, replayed per epoch.
+    let nfa = Nfa::star_then("a", "b");
+    let expected_rpq = reference_rpq(workload, &nfa);
     let service = CfpqService::with_config(engine, &workload.base, ServiceConfig::new(2));
     let rel = service.prepare(grammar).unwrap();
     let sp = service.prepare_single_path(grammar).unwrap();
+    let rpq = service.prepare_regular(&nfa);
 
     // (epoch, pairs, what) observations from every reader, plus
-    // (epoch, pages) observations from the paths-ticket rounds.
+    // (epoch, pages) observations from the paths-ticket rounds and
+    // (epoch, pairs) observations from the RPQ-ticket rounds.
     type Obs = (u64, Vec<(u32, u32)>, &'static str);
     type PathObs = (u64, Vec<PairPaths>);
+    type RpqObs = (u64, Vec<(u32, u32)>);
     let done = AtomicBool::new(false);
-    let (observations, path_observations): (Vec<Obs>, Vec<PathObs>) = std::thread::scope(|s| {
-        let readers: Vec<_> = (0..n_readers())
-            .map(|r| {
-                let service = &service;
-                let done = &done;
-                s.spawn(move || {
-                    let mut obs: Vec<Obs> = Vec::new();
-                    let mut path_obs: Vec<PathObs> = Vec::new();
-                    let mut round = 0usize;
-                    // Keep reading until the writer finished, then once
-                    // more so the final epoch is always observed.
-                    let mut after_done = 0;
-                    while after_done < 2 {
-                        if done.load(Ordering::Relaxed) {
-                            after_done += 1;
+    let (observations, path_observations, rpq_observations): (Vec<Obs>, Vec<PathObs>, Vec<RpqObs>) =
+        std::thread::scope(|s| {
+            let readers: Vec<_> = (0..n_readers())
+                .map(|r| {
+                    let service = &service;
+                    let done = &done;
+                    s.spawn(move || {
+                        let mut obs: Vec<Obs> = Vec::new();
+                        let mut path_obs: Vec<PathObs> = Vec::new();
+                        let mut rpq_obs: Vec<RpqObs> = Vec::new();
+                        let mut round = 0usize;
+                        // Keep reading until the writer finished, then once
+                        // more so the final epoch is always observed — and
+                        // always complete one full rotation so every query
+                        // form (including the RPQ arm) is exercised even
+                        // when the writer outpaces the readers.
+                        let mut after_done = 0;
+                        while after_done < 2 || round < 5 {
+                            if done.load(Ordering::Relaxed) {
+                                after_done += 1;
+                            }
+                            match (round + r) % 5 {
+                                0 => {
+                                    let snap = service.snapshot();
+                                    obs.push((
+                                        snap.epoch(),
+                                        snap.evaluate(rel).start_pairs().to_vec(),
+                                        "snapshot",
+                                    ));
+                                }
+                                1 => {
+                                    let t = service.enqueue(rel, vec![]).unwrap();
+                                    let a = t.wait().unwrap();
+                                    obs.push((a.epoch, a.pairs, "ticket"));
+                                }
+                                2 => {
+                                    let snap = service.snapshot();
+                                    let idx = snap.evaluate_single_path(sp);
+                                    obs.push((snap.epoch(), idx.pairs(wcnf.start), "single-path"));
+                                }
+                                3 => {
+                                    let t = service.enqueue_paths(rel, vec![], path_req()).unwrap();
+                                    let a = t.wait().unwrap();
+                                    path_obs.push((
+                                        a.epoch,
+                                        a.paths.expect("paths ticket answers with pages"),
+                                    ));
+                                }
+                                _ => {
+                                    let t = service.enqueue(rpq, vec![]).unwrap();
+                                    let a = t.wait().unwrap();
+                                    rpq_obs.push((a.epoch, a.pairs));
+                                }
+                            }
+                            round += 1;
                         }
-                        match (round + r) % 4 {
-                            0 => {
-                                let snap = service.snapshot();
-                                obs.push((
-                                    snap.epoch(),
-                                    snap.evaluate(rel).start_pairs().to_vec(),
-                                    "snapshot",
-                                ));
-                            }
-                            1 => {
-                                let t = service.enqueue(rel, vec![]).unwrap();
-                                let a = t.wait().unwrap();
-                                obs.push((a.epoch, a.pairs, "ticket"));
-                            }
-                            2 => {
-                                let snap = service.snapshot();
-                                let idx = snap.evaluate_single_path(sp);
-                                obs.push((snap.epoch(), idx.pairs(wcnf.start), "single-path"));
-                            }
-                            _ => {
-                                let t = service.enqueue_paths(rel, vec![], path_req()).unwrap();
-                                let a = t.wait().unwrap();
-                                path_obs.push((
-                                    a.epoch,
-                                    a.paths.expect("paths ticket answers with pages"),
-                                ));
-                            }
-                        }
-                        round += 1;
-                    }
-                    (obs, path_obs)
+                        (obs, path_obs, rpq_obs)
+                    })
                 })
-            })
-            .collect();
+                .collect();
 
-        // The writer: apply the batches in order, interleaved with the
-        // readers above.
-        for batch in &workload.batches {
-            let edges: Vec<(u32, &str, u32)> =
-                batch.iter().map(|(u, l, v)| (*u, l.as_str(), *v)).collect();
-            let inserted = service.add_edges(&edges);
-            assert!(inserted > 0, "every generated batch publishes an epoch");
-        }
-        done.store(true, Ordering::Relaxed);
+            // The writer: apply the batches in order, interleaved with the
+            // readers above.
+            for batch in &workload.batches {
+                let edges: Vec<(u32, &str, u32)> =
+                    batch.iter().map(|(u, l, v)| (*u, l.as_str(), *v)).collect();
+                let inserted = service.add_edges(&edges);
+                assert!(inserted > 0, "every generated batch publishes an epoch");
+            }
+            done.store(true, Ordering::Relaxed);
 
-        let mut obs = Vec::new();
-        let mut path_obs = Vec::new();
-        for r in readers {
-            let (o, p) = r.join().expect("reader panicked");
-            obs.extend(o);
-            path_obs.extend(p);
-        }
-        (obs, path_obs)
-    });
+            let mut obs = Vec::new();
+            let mut path_obs = Vec::new();
+            let mut rpq_obs = Vec::new();
+            for r in readers {
+                let (o, p, q) = r.join().expect("reader panicked");
+                obs.extend(o);
+                path_obs.extend(p);
+                rpq_obs.extend(q);
+            }
+            (obs, path_obs, rpq_obs)
+        });
 
     assert_eq!(
         service.current_epoch(),
@@ -269,6 +306,17 @@ fn check_engine<E: ServiceEngine>(engine: E, workload: &Workload, grammar: &Cfg,
         assert_eq!(
             &pages, &expected_paths[epoch as usize],
             "paths observation at epoch {epoch} diverges from the sequential enumeration"
+        );
+    }
+    // Every RPQ ticket — evaluated through the compiled RSM pipeline,
+    // incrementally repaired across epochs — must match the standalone
+    // product-graph oracle's answer on its epoch's graph.
+    assert!(!rpq_observations.is_empty());
+    for (epoch, pairs) in rpq_observations {
+        seen_epochs.insert(epoch);
+        assert_eq!(
+            &pairs, &expected_rpq[epoch as usize],
+            "rpq observation at epoch {epoch} diverges from the product-graph oracle"
         );
     }
     // The post-writer read guarantees the final state was observed.

@@ -13,7 +13,9 @@
 //! * [`matrix`] — Boolean/set-valued matrix kernels and the parallel
 //!   device;
 //! * [`core`] — Algorithm 1 (relational semantics), single-path
-//!   semantics, all-path enumeration, conjunctive extension;
+//!   semantics, all-path enumeration, conjunctive extension, and the
+//!   unified compiled-query pipeline lowering NFA-form RPQs and CFGs
+//!   onto the same fixpoint solver;
 //! * [`service`] — the concurrent query service: snapshot-isolated
 //!   epochs over a shared [`core::session::GraphIndex`], a multi-queue
 //!   scheduler batching requests per grammar, shared closure caching
@@ -47,7 +49,9 @@ pub mod prelude {
     pub use cfpq_core::all_paths::{
         enumerate_paths, EnumLimits, PageRequest, PathEnumerator, PathPage,
     };
+    pub use cfpq_core::compile::{CompiledQuery, QueryKind};
     pub use cfpq_core::query::{solve, solve_with, Backend, QueryAnswer};
+    pub use cfpq_core::regular::{solve_regular, Nfa};
     pub use cfpq_core::relational::{
         solve_on_engine, solve_set_matrix, FixpointSolver, SolveStats, Strategy,
     };
