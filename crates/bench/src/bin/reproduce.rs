@@ -82,11 +82,20 @@
 //! adaptive engine. Full mode asserts the tiled backend beats the CSR
 //! baseline (the numbers committed as `BENCH_pr8.json`); flat dense is
 //! recorded as skipped (`n²/8` bytes per nonterminal at this size).
+//!
+//! The `obs` scenario (part of `all`, both modes) holds the
+//! observability layer to its contract on g3: the no-op recorder must
+//! leave the Q1 kernel schedule and wall time (<5%) unchanged, and a
+//! traced service run must yield a well-formed span tree, a valid
+//! chrome://tracing export, and a Prometheus exposition that passes
+//! `cfpq_bench::lint_prometheus_text` — the JSON rows carry
+//! `ticket_wait_p99_ms`, `sweep_spans`, and `queue_depth_max`.
 
 use cfpq_bench::{
-    render_all_paths, render_faults, render_incremental, render_rpq, render_scale, render_service,
-    render_single_path, render_table, run_all_paths, run_faults, run_incremental, run_row, run_rpq,
-    run_scale, run_service, run_single_path, run_table, small_suite, Query,
+    render_all_paths, render_faults, render_incremental, render_obs, render_rpq, render_scale,
+    render_service, render_single_path, render_table, run_all_paths, run_faults, run_incremental,
+    run_obs, run_row, run_rpq, run_scale, run_service, run_single_path, run_table, small_suite,
+    Query,
 };
 use cfpq_graph::ontology::evaluation_suite;
 use std::io::Write;
@@ -102,7 +111,7 @@ fn main() {
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "table1" | "table2" | "incremental" | "single-path" | "service" | "all-paths"
-            | "faults" | "scale" | "rpq" | "all" => which = arg,
+            | "faults" | "scale" | "rpq" | "obs" | "all" => which = arg,
             "--workers" => {
                 workers = match it.next().and_then(|v| v.parse().ok()) {
                     Some(n) => n,
@@ -125,7 +134,7 @@ fn main() {
             other => {
                 eprintln!("unknown argument `{other}`");
                 eprintln!(
-                    "usage: reproduce [table1|table2|incremental|single-path|service|all-paths|faults|scale|rpq|all] \
+                    "usage: reproduce [table1|table2|incremental|single-path|service|all-paths|faults|scale|rpq|obs|all] \
                      [--workers N] [--json PATH] [--smoke]"
                 );
                 std::process::exit(2);
@@ -136,7 +145,8 @@ fn main() {
     let queries: Vec<Query> = match which.as_str() {
         "table1" => vec![Query::Q1],
         "table2" => vec![Query::Q2],
-        "incremental" | "single-path" | "service" | "all-paths" | "faults" | "scale" | "rpq" => {
+        "incremental" | "single-path" | "service" | "all-paths" | "faults" | "scale" | "rpq"
+        | "obs" => {
             vec![]
         }
         _ => vec![Query::Q1, Query::Q2],
@@ -148,6 +158,7 @@ fn main() {
     let run_faults_scenario = matches!(which.as_str(), "faults" | "all");
     let run_scale_scenario = matches!(which.as_str(), "scale" | "all");
     let run_rpq_scenario = matches!(which.as_str(), "rpq" | "all");
+    let run_obs_scenario = matches!(which.as_str(), "obs" | "all");
 
     let mut sections: Vec<serde_json::Value> = Vec::new();
     for q in queries {
@@ -306,6 +317,22 @@ fn main() {
         print!("{}", render_rpq(&rows));
         println!();
         sections.push(serde_json::json!({ "query": "Rpq", "rows": rows }));
+    }
+
+    if run_obs_scenario {
+        // Both modes run g3 (the overhead guard needs a solve long
+        // enough that 5% is measurable): the no-op recorder must leave
+        // the Q1 kernel schedule and wall time unchanged, and the traced
+        // service run must produce a well-formed span tree, a valid
+        // chrome://tracing export, and a Prometheus exposition that
+        // passes the line checker.
+        eprintln!("running obs scenario on g3 (no-op overhead guard + traced service run)...");
+        let suite = evaluation_suite();
+        let g3 = suite.iter().find(|d| d.name == "g3").expect("g3 present");
+        let rows = vec![run_obs(g3)];
+        print!("{}", render_obs(&rows));
+        println!();
+        sections.push(serde_json::json!({ "query": "Obs", "rows": rows }));
     }
 
     if let Some(path) = json_path {

@@ -290,12 +290,20 @@ impl<'e, E: BoolEngine> FixpointSolver<'e, E> {
         n: usize,
         grammar: &Wcnf,
     ) -> RelationalIndex<E::Matrix> {
-        match self.strategy {
+        let mut sp = cfpq_obs::span("solve");
+        let index = match self.strategy {
             Strategy::Naive => self.run_naive(matrices, n, grammar),
             Strategy::Batched => self.run_batched(matrices, n, grammar),
             Strategy::Delta => self.run_delta(matrices, n, grammar, false),
             Strategy::MaskedDelta => self.run_delta(matrices, n, grammar, true),
+        };
+        if sp.is_recording() {
+            sp.attr_str("strategy", self.strategy.name());
+            sp.attr_str("mode", "cold");
+            sp.attr_u64("sweeps", index.iterations as u64);
+            sp.attr_u64("products", index.stats.products_computed as u64);
         }
+        index
     }
 
     /// Incrementally folds newly-discovered base facts into an already
@@ -321,6 +329,7 @@ impl<'e, E: BoolEngine> FixpointSolver<'e, E> {
         grammar: &Wcnf,
         new_pairs: &[Vec<(u32, u32)>],
     ) -> SolveStats {
+        let mut sp = cfpq_obs::span("solve");
         let engine = self.engine;
         let n_nts = grammar.n_nts();
         assert_eq!(new_pairs.len(), n_nts, "one pair list per nonterminal");
@@ -344,7 +353,15 @@ impl<'e, E: BoolEngine> FixpointSolver<'e, E> {
             any = true;
         }
         let mut stats = SolveStats::default();
+        if sp.is_recording() {
+            sp.attr_str("strategy", self.strategy.name());
+            sp.attr_str("mode", "resume");
+        }
         if !any {
+            if sp.is_recording() {
+                sp.attr_u64("sweeps", 0);
+                sp.attr_u64("products", 0);
+            }
             return stats; // nothing new: the closure is already correct
         }
         let sweeps = self.delta_sweeps(
@@ -365,6 +382,10 @@ impl<'e, E: BoolEngine> FixpointSolver<'e, E> {
             .sweep_nnz
             .extend(stats.sweep_nnz.iter().copied());
         index.stats.nt_nnz.clone_from(&stats.nt_nnz);
+        if sp.is_recording() {
+            sp.attr_u64("sweeps", sweeps as u64);
+            sp.attr_u64("products", stats.products_computed as u64);
+        }
         stats
     }
 
@@ -382,6 +403,7 @@ impl<'e, E: BoolEngine> FixpointSolver<'e, E> {
         let mut iterations = 0;
         loop {
             iterations += 1;
+            let mut sweep_sp = cfpq_obs::span("sweep");
             let mut changed = false;
             for rule in &grammar.binary_rules {
                 let product =
@@ -390,6 +412,11 @@ impl<'e, E: BoolEngine> FixpointSolver<'e, E> {
                 changed |= engine.union_in_place(&mut matrices[rule.lhs.index()], &product);
             }
             stats.sweep_nnz.push(total_nnz(&matrices));
+            if sweep_sp.is_recording() {
+                sweep_sp.attr_u64("sweep", iterations as u64);
+                sweep_sp.attr_u64("products", grammar.binary_rules.len() as u64);
+            }
+            drop(sweep_sp);
             if !changed {
                 break;
             }
@@ -418,18 +445,25 @@ impl<'e, E: BoolEngine> FixpointSolver<'e, E> {
         let mut iterations = 0;
         loop {
             iterations += 1;
+            let mut sweep_sp = cfpq_obs::span("sweep");
             let jobs: Vec<(&E::Matrix, &E::Matrix)> = grammar
                 .binary_rules
                 .iter()
                 .map(|r| (&matrices[r.left.index()], &matrices[r.right.index()]))
                 .collect();
+            let n_jobs = jobs.len();
             let products = engine.multiply_batch(&jobs);
-            stats.products_computed += jobs.len();
+            stats.products_computed += n_jobs;
             let mut changed = false;
             for (rule, product) in grammar.binary_rules.iter().zip(products) {
                 changed |= engine.union_in_place(&mut matrices[rule.lhs.index()], &product);
             }
             stats.sweep_nnz.push(total_nnz(&matrices));
+            if sweep_sp.is_recording() {
+                sweep_sp.attr_u64("sweep", iterations as u64);
+                sweep_sp.attr_u64("products", n_jobs as u64);
+            }
+            drop(sweep_sp);
             if !changed {
                 break;
             }
@@ -521,6 +555,7 @@ impl<'e, E: BoolEngine> FixpointSolver<'e, E> {
         let mut iterations = 0;
         loop {
             iterations += 1;
+            let mut sweep_sp = cfpq_obs::span("sweep");
             let first = std::mem::take(&mut seed_from_full);
 
             // Assemble this sweep's kernel jobs from the same snapshot.
@@ -546,9 +581,10 @@ impl<'e, E: BoolEngine> FixpointSolver<'e, E> {
                     }
                 }
             }
+            let n_jobs = jobs.len();
             let products = engine.multiply_masked_batch(&jobs);
-            stats.products_computed += jobs.len();
-            stats.products_skipped += per_sweep_potential - jobs.len();
+            stats.products_computed += n_jobs;
+            stats.products_skipped += per_sweep_potential - n_jobs;
 
             // Union each product into the fresh accumulator of every LHS
             // of its group (the product is shared, not recomputed).
@@ -600,6 +636,20 @@ impl<'e, E: BoolEngine> FixpointSolver<'e, E> {
                 changed = true;
             }
             stats.sweep_nnz.push(total_nnz(full));
+            if sweep_sp.is_recording() {
+                sweep_sp.attr_u64("sweep", iterations as u64);
+                sweep_sp.attr_u64("products", n_jobs as u64);
+                sweep_sp.attr_u64("masked", masked as u64);
+                // Per-nonterminal Δ-nnz this sweep produced, as
+                // `nt:nnz` pairs (only nonterminals that changed).
+                let per_nt: Vec<String> = delta
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(a, d)| d.as_ref().map(|d| format!("{a}:{}", d.nnz())))
+                    .collect();
+                sweep_sp.attr_text("delta_nnz", per_nt.join(","));
+            }
+            drop(sweep_sp);
             if !changed {
                 break;
             }

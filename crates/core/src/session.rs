@@ -555,12 +555,18 @@ pub fn solve_prepared<E: BoolEngine>(
     index: &GraphIndex<E>,
     query: &PreparedQuery,
 ) -> RelationalIndex<E::Matrix> {
+    let mut sp = cfpq_obs::span("query.cold");
     let wcnf = query.wcnf();
     let matrices = index.seed_matrices(wcnf, query.options);
-    FixpointSolver::new(&index.engine)
+    let solved = FixpointSolver::new(&index.engine)
         .strategy(query.strategy)
         .options(query.options)
-        .solve_from_matrices(matrices, index.n_nodes, wcnf)
+        .solve_from_matrices(matrices, index.n_nodes, wcnf);
+    if sp.is_recording() {
+        sp.attr_u64("n_nodes", index.n_nodes as u64);
+        sp.attr_u64("sweeps", solved.iterations as u64);
+    }
+    solved
 }
 
 /// Repairs a closed relational closure in place for freshly-inserted
@@ -576,6 +582,7 @@ pub fn repair_prepared<E: BoolEngine>(
     mut new_pairs: Vec<Vec<(u32, u32)>>,
     n: usize,
 ) -> SolveStats {
+    let mut sp = cfpq_obs::span("query.repair");
     let wcnf = query.wcnf();
     if solved.n_nodes < n {
         let old_n = solved.n_nodes;
@@ -589,10 +596,15 @@ pub fn repair_prepared<E: BoolEngine>(
             }
         }
     }
-    FixpointSolver::new(engine)
+    let stats = FixpointSolver::new(engine)
         .strategy(query.strategy)
         .options(query.options)
-        .resume(solved, wcnf, &new_pairs)
+        .resume(solved, wcnf, &new_pairs);
+    if sp.is_recording() {
+        sp.attr_u64("n_nodes", n as u64);
+        sp.attr_u64("products", stats.products_computed as u64);
+    }
+    stats
 }
 
 /// Cold-solves a prepared query under single-path (§5) semantics: the
@@ -707,6 +719,7 @@ impl<E: BoolEngine + LenEngine> CfpqSession<E> {
 
     /// Registers a fully-configured [`PreparedQuery`].
     pub fn prepare_query(&mut self, query: PreparedQuery) -> QueryId {
+        let _sp = cfpq_obs::span("session.prepare");
         self.queries.push(QueryState {
             query,
             solved: None,
@@ -800,6 +813,7 @@ impl<E: BoolEngine + LenEngine> CfpqSession<E> {
                 registered: self.queries.len(),
             });
         }
+        let mut sp = cfpq_obs::span("session.evaluate");
         let state = &mut self.queries[id.0];
         let wcnf = &state.query.wcnf;
         let n = self.index.n_nodes;
@@ -816,6 +830,7 @@ impl<E: BoolEngine + LenEngine> CfpqSession<E> {
                 state.solved = Some(solved);
                 state.watermark = self.batches.len();
                 state.answer = None;
+                sp.attr_str("outcome", "cold");
             }
             Some(solved) => {
                 if state.watermark < self.batches.len() {
@@ -836,6 +851,9 @@ impl<E: BoolEngine + LenEngine> CfpqSession<E> {
                     });
                     state.watermark = self.batches.len();
                     state.answer = None;
+                    sp.attr_str("outcome", "repair");
+                } else {
+                    sp.attr_str("outcome", "cached");
                 }
             }
         }

@@ -56,6 +56,17 @@ pub enum Repr {
     Tiled,
 }
 
+impl Repr {
+    /// Short lowercase name (matches the kernel-span `repr` attribute).
+    pub fn name(self) -> &'static str {
+        match self {
+            Repr::Dense => "dense",
+            Repr::Csr => "csr",
+            Repr::Tiled => "tiled",
+        }
+    }
+}
+
 /// A Boolean matrix that is dense, CSR, or tiled underneath — the
 /// matrix type of [`AdaptiveEngine`]. Equality is *semantic*: two
 /// adaptive matrices holding different representations compare equal iff
@@ -261,6 +272,8 @@ impl AdaptiveEngine {
         mask: Option<&AdaptiveMatrix>,
         device: Option<&Device>,
     ) -> AdaptiveMatrix {
+        let mut sp = cfpq_obs::span("kernel");
+        let masked = mask.is_some();
         let repr = kernel_repr(
             [Some(a), Some(b), mask]
                 .into_iter()
@@ -271,7 +284,8 @@ impl AdaptiveEngine {
         let b = self.align(b, repr);
         let mask = mask.map(|m| self.align(m, repr));
         let mask = mask.as_deref();
-        match repr {
+        let mut skipped_tiles = 0u64;
+        let out = match repr {
             Repr::Dense => {
                 let (a, b) = (a.as_dense(), b.as_dense());
                 AdaptiveMatrix::Dense(match (mask, device) {
@@ -297,9 +311,19 @@ impl AdaptiveEngine {
                     device,
                 );
                 self.tiled.note_skipped(skipped);
+                skipped_tiles = skipped;
                 AdaptiveMatrix::Tiled(c)
             }
+        };
+        if sp.is_recording() {
+            sp.attr_str("repr", repr.name());
+            sp.attr_str("op", if masked { "masked" } else { "mul" });
+            sp.attr_u64("nnz", out.nnz() as u64);
+            if repr == Repr::Tiled {
+                sp.attr_u64("tiles_skipped", skipped_tiles);
+            }
         }
+        out
     }
 
     fn len_engine(&self) -> ParSparseEngine {

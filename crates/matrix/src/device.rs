@@ -183,12 +183,20 @@ impl Device {
             done: Condvar::new(),
             panicked: AtomicBool::new(false),
         });
+        // The recorder hook: capture the caller's observability context
+        // (installed recorder + innermost open span) so spans opened
+        // inside tasks land in the caller's trace, parented under the
+        // span that launched the work — even when the task runs on a
+        // pool thread. Skipped entirely when tracing is off.
+        let obs_ctx = cfpq_obs::current_context().filter(|(r, _)| r.is_enabled());
         {
             let mut q = pool.shared.queue.lock().expect("device queue poisoned");
             for task in tasks {
                 let c = Arc::clone(&completion);
+                let ctx = obs_ctx.clone();
                 let wrapped: Box<dyn FnOnce() + Send + 'env> = Box::new(move || {
                     let guard = CompletionGuard(Arc::clone(&c));
+                    let _obs = ctx.map(|(rec, parent)| cfpq_obs::install_with_parent(rec, parent));
                     if std::panic::catch_unwind(AssertUnwindSafe(task)).is_err() {
                         c.panicked.store(true, Ordering::SeqCst);
                     }

@@ -137,6 +137,31 @@ impl KernelCounters {
 /// * **Monotone shared counters.** Skip counts only grow and are shared
 ///   across engine clones, so `kernel_counters()` sampled before and
 ///   after a run brackets exactly that run's work on a quiescent engine.
+///
+/// # The Recorder contract
+///
+/// Every product entry point (`multiply`, `multiply_masked`, and each
+/// job of the batch variants) must run under a `cfpq_obs` span named
+/// `"kernel"` tagged with the representation actually used (`repr`),
+/// the operation (`op`: `mul`/`masked`), and the output `nnz` —
+/// blocked backends additionally tag `tiles_skipped`. Three rules keep
+/// this free when tracing is off and honest when it is on:
+///
+/// * **Gate attribute work.** Attribute computation (nnz popcounts,
+///   string building) must sit behind `SpanGuard::is_recording`; an
+///   engine with no recorder installed pays one thread-local read per
+///   kernel and nothing else (enforced by the `reproduce --smoke`
+///   overhead guard).
+/// * **One span per kernel.** A method that delegates to another
+///   *instrumented* entry point must not add its own span, or every
+///   product double-counts; wrap exactly the site that runs the raw
+///   matrix kernel.
+/// * **Decorators add no kernel spans.** A decorator forwards to an
+///   inner engine that already records its kernels; like the counters
+///   above, span emission belongs to the engine doing the work. The
+///   [`crate::Device`] propagates the calling thread's recorder onto
+///   pool threads, so batch jobs land in the caller's trace without
+///   decorator help.
 pub trait BoolEngine: Send + Sync {
     /// The matrix type this engine operates on.
     type Matrix: BoolMat;
@@ -236,6 +261,25 @@ pub trait BoolEngine: Send + Sync {
     }
 }
 
+/// Runs one product kernel under an obs `"kernel"` span, tagging the
+/// representation, operation, and output nnz (computed only when a
+/// recorder is actually capturing — see the Recorder contract on
+/// [`BoolEngine`]).
+pub(crate) fn traced_kernel<M: BoolMat>(
+    repr: &'static str,
+    op: &'static str,
+    f: impl FnOnce() -> M,
+) -> M {
+    let mut sp = cfpq_obs::span("kernel");
+    let out = f();
+    if sp.is_recording() {
+        sp.attr_str("repr", repr);
+        sp.attr_str("op", op);
+        sp.attr_u64("nnz", out.nnz() as u64);
+    }
+    out
+}
+
 /// Serial dense backend.
 #[derive(Clone, Debug, Default)]
 pub struct DenseEngine;
@@ -253,7 +297,7 @@ impl BoolEngine for DenseEngine {
         DenseBitMatrix::from_pairs(n, pairs)
     }
     fn multiply(&self, a: &DenseBitMatrix, b: &DenseBitMatrix) -> DenseBitMatrix {
-        a.multiply(b)
+        traced_kernel("dense", "mul", || a.multiply(b))
     }
     fn union_in_place(&self, a: &mut DenseBitMatrix, b: &DenseBitMatrix) -> bool {
         a.union_in_place(b)
@@ -276,7 +320,7 @@ impl BoolEngine for DenseEngine {
         b: &DenseBitMatrix,
         mask: &DenseBitMatrix,
     ) -> DenseBitMatrix {
-        a.multiply_masked(b, mask)
+        traced_kernel("dense", "masked", || a.multiply_masked(b, mask))
     }
 }
 
@@ -307,7 +351,7 @@ impl BoolEngine for ParDenseEngine {
         DenseBitMatrix::from_pairs(n, pairs)
     }
     fn multiply(&self, a: &DenseBitMatrix, b: &DenseBitMatrix) -> DenseBitMatrix {
-        a.multiply_on(b, &self.device)
+        traced_kernel("dense", "mul", || a.multiply_on(b, &self.device))
     }
     fn union_in_place(&self, a: &mut DenseBitMatrix, b: &DenseBitMatrix) -> bool {
         a.union_in_place(b)
@@ -326,7 +370,9 @@ impl BoolEngine for ParDenseEngine {
     }
     fn multiply_batch(&self, jobs: &[(&DenseBitMatrix, &DenseBitMatrix)]) -> Vec<DenseBitMatrix> {
         // One serial kernel per job; no nested offload (see Device docs).
-        self.device.par_map(jobs.to_vec(), |(a, b)| a.multiply(b))
+        self.device.par_map(jobs.to_vec(), |(a, b)| {
+            traced_kernel("dense", "mul", || a.multiply(b))
+        })
     }
     fn multiply_masked(
         &self,
@@ -334,13 +380,15 @@ impl BoolEngine for ParDenseEngine {
         b: &DenseBitMatrix,
         mask: &DenseBitMatrix,
     ) -> DenseBitMatrix {
-        a.multiply_masked_on(b, mask, &self.device)
+        traced_kernel("dense", "masked", || {
+            a.multiply_masked_on(b, mask, &self.device)
+        })
     }
     fn multiply_masked_batch(&self, jobs: &[MaskedJob<'_, DenseBitMatrix>]) -> Vec<DenseBitMatrix> {
         // One serial kernel per job; no nested offload (see Device docs).
         self.device.par_map(jobs.to_vec(), |(a, b, m)| match m {
-            Some(m) => a.multiply_masked(b, m),
-            None => a.multiply(b),
+            Some(m) => traced_kernel("dense", "masked", || a.multiply_masked(b, m)),
+            None => traced_kernel("dense", "mul", || a.multiply(b)),
         })
     }
 }
@@ -362,7 +410,7 @@ impl BoolEngine for SparseEngine {
         CsrMatrix::from_pairs(n, pairs)
     }
     fn multiply(&self, a: &CsrMatrix, b: &CsrMatrix) -> CsrMatrix {
-        a.multiply(b)
+        traced_kernel("csr", "mul", || a.multiply(b))
     }
     fn union_in_place(&self, a: &mut CsrMatrix, b: &CsrMatrix) -> bool {
         a.union_in_place(b)
@@ -380,7 +428,7 @@ impl BoolEngine for SparseEngine {
         a.intersect(b)
     }
     fn multiply_masked(&self, a: &CsrMatrix, b: &CsrMatrix, mask: &CsrMatrix) -> CsrMatrix {
-        a.multiply_masked(b, mask)
+        traced_kernel("csr", "masked", || a.multiply_masked(b, mask))
     }
 }
 
@@ -411,7 +459,7 @@ impl BoolEngine for ParSparseEngine {
         CsrMatrix::from_pairs(n, pairs)
     }
     fn multiply(&self, a: &CsrMatrix, b: &CsrMatrix) -> CsrMatrix {
-        a.multiply_on(b, &self.device)
+        traced_kernel("csr", "mul", || a.multiply_on(b, &self.device))
     }
     fn union_in_place(&self, a: &mut CsrMatrix, b: &CsrMatrix) -> bool {
         a.union_in_place(b)
@@ -430,16 +478,20 @@ impl BoolEngine for ParSparseEngine {
     }
     fn multiply_batch(&self, jobs: &[(&CsrMatrix, &CsrMatrix)]) -> Vec<CsrMatrix> {
         // One serial kernel per job; no nested offload (see Device docs).
-        self.device.par_map(jobs.to_vec(), |(a, b)| a.multiply(b))
+        self.device.par_map(jobs.to_vec(), |(a, b)| {
+            traced_kernel("csr", "mul", || a.multiply(b))
+        })
     }
     fn multiply_masked(&self, a: &CsrMatrix, b: &CsrMatrix, mask: &CsrMatrix) -> CsrMatrix {
-        a.multiply_masked_on(b, mask, &self.device)
+        traced_kernel("csr", "masked", || {
+            a.multiply_masked_on(b, mask, &self.device)
+        })
     }
     fn multiply_masked_batch(&self, jobs: &[MaskedJob<'_, CsrMatrix>]) -> Vec<CsrMatrix> {
         // One serial kernel per job; no nested offload (see Device docs).
         self.device.par_map(jobs.to_vec(), |(a, b, m)| match m {
-            Some(m) => a.multiply_masked(b, m),
-            None => a.multiply(b),
+            Some(m) => traced_kernel("csr", "masked", || a.multiply_masked(b, m)),
+            None => traced_kernel("csr", "mul", || a.multiply(b)),
         })
     }
 }

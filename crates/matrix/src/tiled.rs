@@ -680,6 +680,21 @@ impl Default for TiledEngine {
     }
 }
 
+/// Kernel-span wrapper for tiled products: adds the per-product
+/// `tiles_skipped` count on top of the standard repr/op/nnz tags (see
+/// the Recorder contract on [`BoolEngine`]).
+fn tiled_kernel(op: &'static str, f: impl FnOnce() -> (TiledBitMatrix, u64)) -> TiledBitMatrix {
+    let mut sp = cfpq_obs::span("kernel");
+    let (c, skipped) = f();
+    if sp.is_recording() {
+        sp.attr_str("repr", "tiled");
+        sp.attr_str("op", op);
+        sp.attr_u64("nnz", c.nnz() as u64);
+        sp.attr_u64("tiles_skipped", skipped);
+    }
+    c
+}
+
 impl BoolEngine for TiledEngine {
     type Matrix = TiledBitMatrix;
 
@@ -693,9 +708,11 @@ impl BoolEngine for TiledEngine {
         TiledBitMatrix::from_pairs(n, pairs)
     }
     fn multiply(&self, a: &TiledBitMatrix, b: &TiledBitMatrix) -> TiledBitMatrix {
-        let (c, skipped) = a.multiply_masked_opt_on(b, None, Some(&self.device));
-        self.note_skipped(skipped);
-        c
+        tiled_kernel("mul", || {
+            let (c, skipped) = a.multiply_masked_opt_on(b, None, Some(&self.device));
+            self.note_skipped(skipped);
+            (c, skipped)
+        })
     }
     fn union_in_place(&self, a: &mut TiledBitMatrix, b: &TiledBitMatrix) -> bool {
         a.union_in_place(b)
@@ -715,9 +732,11 @@ impl BoolEngine for TiledEngine {
     fn multiply_batch(&self, jobs: &[(&TiledBitMatrix, &TiledBitMatrix)]) -> Vec<TiledBitMatrix> {
         // One serial tiled kernel per job; no nested offload.
         self.device.par_map(jobs.to_vec(), |(a, b)| {
-            let (c, skipped) = a.multiply_masked_opt_on(b, None, None);
-            self.note_skipped(skipped);
-            c
+            tiled_kernel("mul", || {
+                let (c, skipped) = a.multiply_masked_opt_on(b, None, None);
+                self.note_skipped(skipped);
+                (c, skipped)
+            })
         })
     }
     fn multiply_masked(
@@ -726,16 +745,20 @@ impl BoolEngine for TiledEngine {
         b: &TiledBitMatrix,
         mask: &TiledBitMatrix,
     ) -> TiledBitMatrix {
-        let (c, skipped) = a.multiply_masked_opt_on(b, Some(mask), Some(&self.device));
-        self.note_skipped(skipped);
-        c
+        tiled_kernel("masked", || {
+            let (c, skipped) = a.multiply_masked_opt_on(b, Some(mask), Some(&self.device));
+            self.note_skipped(skipped);
+            (c, skipped)
+        })
     }
     fn multiply_masked_batch(&self, jobs: &[MaskedJob<'_, TiledBitMatrix>]) -> Vec<TiledBitMatrix> {
         // One serial tiled kernel per job; no nested offload.
         self.device.par_map(jobs.to_vec(), |(a, b, m)| {
-            let (c, skipped) = a.multiply_masked_opt_on(b, m, None);
-            self.note_skipped(skipped);
-            c
+            tiled_kernel(if m.is_some() { "masked" } else { "mul" }, || {
+                let (c, skipped) = a.multiply_masked_opt_on(b, m, None);
+                self.note_skipped(skipped);
+                (c, skipped)
+            })
         })
     }
     fn kernel_counters(&self) -> KernelCounters {

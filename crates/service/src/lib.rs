@@ -117,6 +117,9 @@ use cfpq_core::single_path::SinglePathIndex;
 use cfpq_grammar::{Cfg, GrammarError};
 use cfpq_graph::{Edge, Graph, NodeId};
 use cfpq_matrix::{BoolEngine, BoolMat, LenEngine, Parallelism};
+use cfpq_obs::{
+    AttrValue, Counter, Gauge, Histogram, MetricsRegistry, NoopRecorder, Recorder, SpanId,
+};
 use std::cell::Cell;
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
@@ -482,10 +485,140 @@ struct EpochCounters {
     repair_products: AtomicU64,
     paths_served: AtomicU64,
     pages_truncated: AtomicU64,
-    worker_panics: AtomicU64,
-    worker_restarts: AtomicU64,
-    requests_shed: AtomicU64,
-    deadline_expired: AtomicU64,
+}
+
+/// Observability bundle shared by every service thread: the installed
+/// [`Recorder`] (a [`NoopRecorder`] unless the service was built with
+/// [`CfpqService::with_observability`]), the [`MetricsRegistry`] behind
+/// [`CfpqService::metrics`], and pre-resolved handles for the hot-path
+/// metrics so workers never touch the registry lock per request.
+///
+/// The failure counters (`requests_shed`, `deadline_expired`,
+/// `worker_panics`, `worker_restarts`) live *here*, not in
+/// [`EpochCounters`]: the registry is their single source of truth, and
+/// [`CfpqService::stats`] derives the per-epoch view by differencing the
+/// [`FailureSnapshot`] each epoch records at publish time.
+struct Obs {
+    recorder: Arc<dyn Recorder>,
+    /// `recorder.is_enabled()` at install time, cached — span plumbing
+    /// (ticket spans, recorder installs on worker threads) is skipped
+    /// entirely when false.
+    enabled: bool,
+    metrics: Arc<MetricsRegistry>,
+    ticket_wait_us: Histogram,
+    ticket_run_us: Histogram,
+    publish_us: Histogram,
+    queue_depth: Gauge,
+    queue_depth_max: Gauge,
+    requests_shed: Counter,
+    deadline_expired: Counter,
+    worker_panics: Counter,
+    worker_restarts: Counter,
+}
+
+impl Obs {
+    fn new(recorder: Arc<dyn Recorder>) -> Self {
+        let metrics = Arc::new(MetricsRegistry::new());
+        metrics.describe(
+            "cfpq_ticket_wait_us",
+            "Microseconds a request spent queued before a worker dispatched its batch",
+        );
+        metrics.describe(
+            "cfpq_ticket_run_us",
+            "Microseconds from batch dispatch to ticket resolve (shared across the batch)",
+        );
+        metrics.describe(
+            "cfpq_epoch_publish_us",
+            "Microseconds to build and publish an epoch (clone + closure repairs + swap)",
+        );
+        metrics.describe(
+            "cfpq_queue_depth",
+            "Requests sitting in the scheduler queues right now",
+        );
+        metrics.describe(
+            "cfpq_queue_depth_max",
+            "High-water mark of cfpq_queue_depth over the service lifetime",
+        );
+        metrics.describe(
+            "cfpq_requests_shed_total",
+            "Requests shed at enqueue because the queue was at max_queued",
+        );
+        metrics.describe(
+            "cfpq_deadline_expired_total",
+            "Requests dropped at dispatch because their deadline had expired",
+        );
+        metrics.describe(
+            "cfpq_worker_panics_total",
+            "Batches whose worker panicked mid-serve (tickets resolved WorkerPanicked)",
+        );
+        metrics.describe(
+            "cfpq_worker_restarts_total",
+            "Workers respawned by their supervisor loop after a panic",
+        );
+        Self {
+            enabled: recorder.is_enabled(),
+            ticket_wait_us: metrics.histogram("cfpq_ticket_wait_us"),
+            ticket_run_us: metrics.histogram("cfpq_ticket_run_us"),
+            publish_us: metrics.histogram("cfpq_epoch_publish_us"),
+            queue_depth: metrics.gauge("cfpq_queue_depth"),
+            queue_depth_max: metrics.gauge("cfpq_queue_depth_max"),
+            requests_shed: metrics.counter("cfpq_requests_shed_total"),
+            deadline_expired: metrics.counter("cfpq_deadline_expired_total"),
+            worker_panics: metrics.counter("cfpq_worker_panics_total"),
+            worker_restarts: metrics.counter("cfpq_worker_restarts_total"),
+            recorder,
+            metrics,
+        }
+    }
+
+    /// The registry-backed failure counters, read once — epoch publish
+    /// stores this so [`CfpqService::stats`] can difference per epoch.
+    fn failure_snapshot(&self) -> FailureSnapshot {
+        FailureSnapshot {
+            worker_panics: self.worker_panics.get(),
+            worker_restarts: self.worker_restarts.get(),
+            requests_shed: self.requests_shed.get(),
+            deadline_expired: self.deadline_expired.get(),
+        }
+    }
+
+    /// Closes a ticket span and charges the wait/run histograms. Called
+    /// by whichever thread resolves the request (worker, panic sweep, or
+    /// shutdown drain); `dispatched` is when a worker took the batch
+    /// (resolve time for requests that never got one).
+    fn finish_ticket(
+        &self,
+        span: SpanId,
+        enqueued_at: Instant,
+        dispatched: Instant,
+        outcome: &'static str,
+    ) {
+        let wait_us = dispatched.duration_since(enqueued_at).as_micros() as u64;
+        let run_us = dispatched.elapsed().as_micros() as u64;
+        self.ticket_wait_us.observe(wait_us);
+        self.ticket_run_us.observe(run_us);
+        if !span.is_none() {
+            self.recorder.end(
+                span,
+                vec![
+                    ("wait_us", AttrValue::U64(wait_us)),
+                    ("run_us", AttrValue::U64(run_us)),
+                    ("outcome", AttrValue::Str(outcome)),
+                ],
+            );
+        }
+    }
+}
+
+/// Values of the four registry failure counters at one instant (taken
+/// at epoch publish). [`CfpqService::stats`] attributes to epoch `i`
+/// whatever happened between its publish and the next one's.
+#[derive(Clone, Copy, Debug, Default)]
+struct FailureSnapshot {
+    worker_panics: u64,
+    worker_restarts: u64,
+    requests_shed: u64,
+    deadline_expired: u64,
 }
 
 /// A per-epoch cache of lazily-solved values: one `OnceLock` cell per
@@ -548,6 +681,9 @@ struct EpochRecord {
     epoch: u64,
     publish_ms: f64,
     counters: Arc<EpochCounters>,
+    /// Registry failure-counter values when this epoch was published —
+    /// the baseline [`CfpqService::stats`] differences against.
+    failures_at_publish: FailureSnapshot,
 }
 
 /// One queue per registered query: requests for the same grammar batch
@@ -570,6 +706,13 @@ struct Request {
     /// checked at dispatch time.
     deadline: Option<Instant>,
     ticket: Arc<TicketState>,
+    /// When the request entered the queue — the wait-vs-run split of the
+    /// ticket lifecycle is measured from here.
+    enqueued_at: Instant,
+    /// The open `"ticket"` span ([`SpanId::NONE`] when tracing is off):
+    /// started at enqueue, closed by whichever thread resolves the
+    /// request.
+    span: SpanId,
 }
 
 struct SchedState {
@@ -604,14 +747,7 @@ struct Inner<E: ServiceEngine> {
     writer: Mutex<()>,
     epochs: Mutex<Vec<EpochRecord>>,
     sched: SchedShared,
-}
-
-impl<E: ServiceEngine> Inner<E> {
-    /// The counters of the currently-published epoch — where
-    /// service-level events (sheds, panics, restarts) are charged.
-    fn current_counters(&self) -> Arc<EpochCounters> {
-        Arc::clone(&read_recover(&self.current).counters)
-    }
+    obs: Obs,
 }
 
 /// One endpoint pair's page of an [`CfpqService::enqueue_paths`]
@@ -643,6 +779,30 @@ pub struct TicketAnswer {
     /// answered pair (aligned with `pairs`), all enumerated against the
     /// same epoch. `None` for relational and single-path requests.
     pub paths: Option<Vec<PairPaths>>,
+    /// Per-request scheduling profile, populated only when the service
+    /// was built with [`CfpqService::with_observability`] — `None` on an
+    /// uninstrumented service, so answers stay deterministic there.
+    pub trace: Option<QueryTrace>,
+}
+
+/// The scheduling profile of one answered request (see
+/// [`TicketAnswer::trace`]): where its latency went, and the id of its
+/// `"ticket"` span in the installed [`Recorder`] for correlation with
+/// the exported trace.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QueryTrace {
+    /// The epoch the request was answered against.
+    pub epoch: u64,
+    /// Microseconds from enqueue to batch dispatch (queue wait).
+    pub wait_us: u64,
+    /// Microseconds from dispatch to resolve. The batch is served as a
+    /// unit, so this is shared by every request batched together.
+    pub run_us: u64,
+    /// Requests served in the same batch (including this one).
+    pub batch_size: u32,
+    /// The request's `"ticket"` span id ([`SpanId::NONE`] when the
+    /// installed recorder is disabled).
+    pub span: SpanId,
 }
 
 /// What a ticket resolves to: the answer, or a typed error.
@@ -901,6 +1061,7 @@ fn worker_loop<E: ServiceEngine>(inner: &Inner<E>) {
                 if let Some(key) = st.round_robin.pop_front() {
                     let queue = st.queues.remove(&key).expect("round-robin key has a queue");
                     st.queued -= queue.len();
+                    inner.obs.queue_depth.set(st.queued as u64);
                     if st.queued == 0 {
                         inner.sched.drained.notify_all();
                     }
@@ -918,33 +1079,42 @@ fn worker_loop<E: ServiceEngine>(inner: &Inner<E>) {
         };
         // Deadline-expired requests are dropped loudly *before* the
         // batch pays for any kernel work on their behalf.
-        let now = Instant::now();
+        let dispatched = Instant::now();
         let (live, expired): (VecDeque<Request>, VecDeque<Request>) = batch
             .into_iter()
-            .partition(|r| r.deadline.is_none_or(|d| now < d));
+            .partition(|r| r.deadline.is_none_or(|d| dispatched < d));
         if !expired.is_empty() {
-            let counters = inner.current_counters();
-            counters
-                .deadline_expired
-                .fetch_add(expired.len() as u64, Ordering::Relaxed);
+            inner.obs.deadline_expired.add(expired.len() as u64);
             for req in expired {
                 req.ticket.resolve(Err(ServiceError::Deadline));
+                inner
+                    .obs
+                    .finish_ticket(req.span, req.enqueued_at, dispatched, "deadline");
             }
         }
         if live.is_empty() {
             continue;
         }
-        let tickets: Vec<Arc<TicketState>> = live.iter().map(|r| Arc::clone(&r.ticket)).collect();
-        let outcome = catch_unwind(AssertUnwindSafe(|| serve_batch(inner, key, live)));
+        // Kept outside the catch_unwind so the panic sweep can fail the
+        // batch's unanswered tickets and close their spans.
+        let tickets: Vec<(Arc<TicketState>, SpanId, Instant)> = live
+            .iter()
+            .map(|r| (Arc::clone(&r.ticket), r.span, r.enqueued_at))
+            .collect();
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            serve_batch(inner, key, live, dispatched)
+        }));
         if let Err(payload) = outcome {
-            inner
-                .current_counters()
-                .worker_panics
-                .fetch_add(1, Ordering::Relaxed);
+            inner.obs.worker_panics.inc();
             // First-write-wins: requests the worker answered before the
-            // panic keep their answers; the rest fail typed.
-            for t in &tickets {
-                t.resolve(Err(ServiceError::WorkerPanicked));
+            // panic keep their answers (and already-closed spans); the
+            // rest fail typed.
+            for (t, span, enqueued_at) in &tickets {
+                if t.resolve(Err(ServiceError::WorkerPanicked)) {
+                    inner
+                        .obs
+                        .finish_ticket(*span, *enqueued_at, dispatched, "panic");
+                }
             }
             // Hand the panic to the supervisor so the worker is
             // accounted as died-and-respawned.
@@ -960,23 +1130,74 @@ fn worker_loop<E: ServiceEngine>(inner: &Inner<E>) {
 fn spawn_worker<E: ServiceEngine>(inner: Arc<Inner<E>>, i: usize) -> JoinHandle<()> {
     std::thread::Builder::new()
         .name(format!("cfpq-service-{i}"))
-        .spawn(move || loop {
-            match catch_unwind(AssertUnwindSafe(|| worker_loop(&inner))) {
-                // Clean exit: shutdown with drained queues.
-                Ok(()) => return,
-                Err(_) => {
-                    inner
-                        .current_counters()
-                        .worker_restarts
-                        .fetch_add(1, Ordering::Relaxed);
+        .spawn(move || {
+            // Workers carry the service's recorder so solve/sweep/kernel
+            // spans from batches they serve land in the same trace as
+            // the ticket spans. Skipped entirely when tracing is off.
+            let _obs = inner
+                .obs
+                .enabled
+                .then(|| cfpq_obs::install(Arc::clone(&inner.obs.recorder)));
+            loop {
+                match catch_unwind(AssertUnwindSafe(|| worker_loop(&inner))) {
+                    // Clean exit: shutdown with drained queues.
+                    Ok(()) => return,
+                    Err(_) => inner.obs.worker_restarts.inc(),
                 }
             }
         })
         .expect("spawn service worker")
 }
 
-fn serve_batch<E: ServiceEngine>(inner: &Inner<E>, key: QueueKey, batch: VecDeque<Request>) {
+/// Resolves a successfully served request: attaches its [`QueryTrace`]
+/// (on an instrumented service), closes the ticket span, and charges
+/// the wait/run histograms.
+fn resolve_served(
+    obs: &Obs,
+    req: &Request,
+    dispatched: Instant,
+    batch_size: u32,
+    epoch: u64,
+    pairs: Vec<(u32, u32)>,
+    paths: Option<Vec<PairPaths>>,
+) {
+    let trace = obs.enabled.then(|| QueryTrace {
+        epoch,
+        wait_us: dispatched.duration_since(req.enqueued_at).as_micros() as u64,
+        run_us: dispatched.elapsed().as_micros() as u64,
+        batch_size,
+        span: req.span,
+    });
+    req.ticket.resolve(Ok(TicketAnswer {
+        epoch,
+        pairs,
+        paths,
+        trace,
+    }));
+    obs.finish_ticket(req.span, req.enqueued_at, dispatched, "ok");
+}
+
+fn serve_batch<E: ServiceEngine>(
+    inner: &Inner<E>,
+    key: QueueKey,
+    batch: VecDeque<Request>,
+    dispatched: Instant,
+) {
+    let mut batch_sp = cfpq_obs::span("batch");
+    let batch_size = batch.len() as u32;
     let epoch = read_recover(&inner.current).clone();
+    if batch_sp.is_recording() {
+        batch_sp.attr_str(
+            "queue",
+            match key {
+                QueueKey::Rel(_) => "rel",
+                QueueKey::Sp(_) => "sp",
+                QueueKey::Paths(_) => "paths",
+            },
+        );
+        batch_sp.attr_u64("requests", batch_size as u64);
+        batch_sp.attr_u64("epoch", epoch.epoch);
+    }
     let counters = &epoch.counters;
     counters.batches.fetch_add(1, Ordering::Relaxed);
     counters
@@ -987,11 +1208,16 @@ fn serve_batch<E: ServiceEngine>(inner: &Inner<E>, key: QueueKey, batch: VecDequ
             let solved = solve_rel(inner, &epoch, q);
             let full = solved.answer.start_pairs();
             for req in batch {
-                req.ticket.resolve(Ok(TicketAnswer {
-                    epoch: epoch.epoch,
-                    pairs: filter_pairs(full, &req.pairs),
-                    paths: None,
-                }));
+                let pairs = filter_pairs(full, &req.pairs);
+                resolve_served(
+                    &inner.obs,
+                    &req,
+                    dispatched,
+                    batch_size,
+                    epoch.epoch,
+                    pairs,
+                    None,
+                );
             }
         }
         QueueKey::Sp(q) => {
@@ -999,11 +1225,16 @@ fn serve_batch<E: ServiceEngine>(inner: &Inner<E>, key: QueueKey, batch: VecDequ
             let start = read_recover(&inner.sp_queries)[q].wcnf().start;
             let full = solved.pairs(start);
             for req in batch {
-                req.ticket.resolve(Ok(TicketAnswer {
-                    epoch: epoch.epoch,
-                    pairs: filter_pairs(&full, &req.pairs),
-                    paths: None,
-                }));
+                let pairs = filter_pairs(&full, &req.pairs);
+                resolve_served(
+                    &inner.obs,
+                    &req,
+                    dispatched,
+                    batch_size,
+                    epoch.epoch,
+                    pairs,
+                    None,
+                );
             }
         }
         QueueKey::Paths(q) => {
@@ -1054,11 +1285,15 @@ fn serve_batch<E: ServiceEngine>(inner: &Inner<E>, key: QueueKey, batch: VecDequ
                         exhausted: result.exhausted,
                     });
                 }
-                req.ticket.resolve(Ok(TicketAnswer {
-                    epoch: epoch.epoch,
-                    pairs: targets,
-                    paths: Some(answers),
-                }));
+                resolve_served(
+                    &inner.obs,
+                    &req,
+                    dispatched,
+                    batch_size,
+                    epoch.epoch,
+                    targets,
+                    Some(answers),
+                );
             }
         }
     }
@@ -1073,17 +1308,56 @@ impl<E: ServiceEngine> CfpqService<E> {
 
     /// [`CfpqService::new`] with an explicit worker-pool config.
     pub fn with_config(engine: E, graph: &Graph, config: ServiceConfig) -> Self {
+        Self::with_observability(engine, graph, config, Arc::new(NoopRecorder))
+    }
+
+    /// [`CfpqService::with_config`] with a span [`Recorder`] installed:
+    /// worker threads and epoch publishes carry it, so every layer's
+    /// spans — `"ticket"`, `"batch"`, `"epoch.publish"`, and the
+    /// solver's `"solve"`/`"sweep"`/`"kernel"` spans underneath — land
+    /// in one trace, and [`TicketAnswer::trace`] is populated. Pass an
+    /// [`cfpq_obs::SpanCollector`] and export it with
+    /// [`cfpq_obs::SpanCollector::chrome_trace_json`]. Metrics
+    /// ([`CfpqService::metrics`]) are collected regardless of the
+    /// recorder.
+    pub fn with_observability(
+        engine: E,
+        graph: &Graph,
+        config: ServiceConfig,
+        recorder: Arc<dyn Recorder>,
+    ) -> Self {
         let started = Instant::now();
         let index = GraphIndex::build(engine, graph);
-        Self::over_with_build_ms(index, config, started.elapsed().as_secs_f64() * 1e3)
+        Self::over_full(
+            index,
+            config,
+            started.elapsed().as_secs_f64() * 1e3,
+            recorder,
+        )
     }
 
     /// Starts a service over an already-built index.
     pub fn over(index: GraphIndex<E>, config: ServiceConfig) -> Self {
-        Self::over_with_build_ms(index, config, 0.0)
+        Self::over_full(index, config, 0.0, Arc::new(NoopRecorder))
     }
 
-    fn over_with_build_ms(index: GraphIndex<E>, config: ServiceConfig, build_ms: f64) -> Self {
+    /// [`CfpqService::over`] with a span [`Recorder`] installed (see
+    /// [`CfpqService::with_observability`]).
+    pub fn over_with_observability(
+        index: GraphIndex<E>,
+        config: ServiceConfig,
+        recorder: Arc<dyn Recorder>,
+    ) -> Self {
+        Self::over_full(index, config, 0.0, recorder)
+    }
+
+    fn over_full(
+        index: GraphIndex<E>,
+        config: ServiceConfig,
+        build_ms: f64,
+        recorder: Arc<dyn Recorder>,
+    ) -> Self {
+        let obs = Obs::new(recorder);
         let counters = Arc::new(EpochCounters::default());
         let epoch = Arc::new(Epoch {
             epoch: 0,
@@ -1092,6 +1366,7 @@ impl<E: ServiceEngine> CfpqService<E> {
             sp: CacheMap::new(),
             counters: Arc::clone(&counters),
         });
+        let failures_at_publish = obs.failure_snapshot();
         let inner = Arc::new(Inner {
             config,
             queries: RwLock::new(Vec::new()),
@@ -1102,7 +1377,9 @@ impl<E: ServiceEngine> CfpqService<E> {
                 epoch: 0,
                 publish_ms: build_ms,
                 counters,
+                failures_at_publish,
             }]),
+            obs,
             sched: SchedShared {
                 state: Mutex::new(SchedState {
                     queues: BTreeMap::new(),
@@ -1123,6 +1400,15 @@ impl<E: ServiceEngine> CfpqService<E> {
     /// Scheduler worker threads.
     pub fn n_workers(&self) -> usize {
         self.workers.len()
+    }
+
+    /// The service's metrics registry — always collecting (counters and
+    /// histograms are atomics; no recorder required). Export with
+    /// [`MetricsRegistry::prometheus_text`] or
+    /// [`MetricsRegistry::json`]. See the crate README for the metric
+    /// names.
+    pub fn metrics(&self) -> Arc<MetricsRegistry> {
+        Arc::clone(&self.inner.obs.metrics)
     }
 
     /// Normalizes `grammar` and registers it for relational evaluation.
@@ -1265,6 +1551,7 @@ impl<E: ServiceEngine> CfpqService<E> {
         page: Option<PageRequest>,
     ) -> Result<Ticket, ServiceError> {
         let config = &self.inner.config;
+        let obs = &self.inner.obs;
         let state = Arc::new(TicketState::default());
         {
             let mut st = lock_recover(&self.inner.sched.state);
@@ -1274,10 +1561,7 @@ impl<E: ServiceEngine> CfpqService<E> {
             if st.queued >= config.max_queued {
                 let queued = st.queued;
                 drop(st);
-                self.inner
-                    .current_counters()
-                    .requests_shed
-                    .fetch_add(1, Ordering::Relaxed);
+                obs.requests_shed.inc();
                 // The hint scales with how deep the backlog is per
                 // worker: a fuller pool needs a longer pause.
                 let per_worker = queued / config.workers.max(1);
@@ -1288,7 +1572,18 @@ impl<E: ServiceEngine> CfpqService<E> {
                 });
             }
             st.queued += 1;
-            let deadline = config.default_deadline.map(|d| Instant::now() + d);
+            obs.queue_depth.set(st.queued as u64);
+            obs.queue_depth_max.set_max(st.queued as u64);
+            let now = Instant::now();
+            let deadline = config.default_deadline.map(|d| now + d);
+            // The ticket span opens here (a root — it outlives any span
+            // the enqueueing thread may have open) and is closed by the
+            // thread that resolves the request.
+            let span = if obs.enabled {
+                obs.recorder.start("ticket", SpanId::NONE)
+            } else {
+                SpanId::NONE
+            };
             let queue = st.queues.entry(key).or_default();
             let was_empty = queue.is_empty();
             queue.push_back(Request {
@@ -1296,6 +1591,8 @@ impl<E: ServiceEngine> CfpqService<E> {
                 page,
                 deadline,
                 ticket: Arc::clone(&state),
+                enqueued_at: now,
+                span,
             });
             if was_empty {
                 st.round_robin.push_back(key);
@@ -1343,6 +1640,16 @@ impl<E: ServiceEngine> CfpqService<E> {
         if batch.inserted == 0 {
             return 0;
         }
+        // The publishing thread carries the service's recorder for the
+        // duration of the build, so the repair work below (its
+        // `"query.repair"` / `"sweep"` / `"kernel"` spans) nests under
+        // one `"epoch.publish"` span per published epoch.
+        let _obs_install = self
+            .inner
+            .obs
+            .enabled
+            .then(|| cfpq_obs::install(Arc::clone(&self.inner.obs.recorder)));
+        let mut publish_sp = cfpq_obs::span("epoch.publish");
         let n = index.n_nodes();
         let counters = Arc::new(EpochCounters::default());
         let rel = CacheMap::new();
@@ -1402,11 +1709,18 @@ impl<E: ServiceEngine> CfpqService<E> {
             counters: Arc::clone(&counters),
         });
         let publish_ms = started.elapsed().as_secs_f64() * 1e3;
+        self.inner.obs.publish_us.observe((publish_ms * 1e3) as u64);
+        if publish_sp.is_recording() {
+            publish_sp.attr_u64("epoch", cur.epoch + 1);
+            publish_sp.attr_u64("inserted", batches[0].inserted as u64);
+            publish_sp.attr_u64("repairs", counters.repairs.load(Ordering::Relaxed));
+        }
         *write_recover(&self.inner.current) = next;
         lock_recover(&self.inner.epochs).push(EpochRecord {
             epoch: cur.epoch + 1,
             publish_ms,
             counters,
+            failures_at_publish: self.inner.obs.failure_snapshot(),
         });
         batches[0].inserted
     }
@@ -1455,33 +1769,51 @@ impl<E: ServiceEngine> CfpqService<E> {
         st.queued = 0;
         drop(st);
         self.inner.sched.available.notify_all();
+        let now = Instant::now();
         for req in &undrained {
             req.ticket.resolve(Err(ServiceError::ShuttingDown));
+            self.inner
+                .obs
+                .finish_ticket(req.span, req.enqueued_at, now, "shutdown");
         }
         undrained.len()
     }
 
     /// Per-epoch service statistics, in epoch order. Counters of the
     /// current epoch are still live (they advance as requests arrive).
+    ///
+    /// The failure fields (`worker_panics`, `worker_restarts`,
+    /// `requests_shed`, `deadline_expired`) are *derived* views of the
+    /// registry counters behind [`CfpqService::metrics`] — the single
+    /// source of truth — attributed to an epoch by differencing the
+    /// snapshot taken at its publish against the next one's (the live
+    /// counter values, for the current epoch).
     pub fn stats(&self) -> Vec<ServiceStats> {
-        lock_recover(&self.inner.epochs)
+        let records = lock_recover(&self.inner.epochs);
+        let live = self.inner.obs.failure_snapshot();
+        records
             .iter()
-            .map(|r| ServiceStats {
-                epoch: r.epoch,
-                publish_ms: r.publish_ms,
-                queries_served: r.counters.queries_served.load(Ordering::Relaxed),
-                batches: r.counters.batches.load(Ordering::Relaxed),
-                cache_hits: r.counters.cache_hits.load(Ordering::Relaxed),
-                cold_solves: r.counters.cold_solves.load(Ordering::Relaxed),
-                cold_products: r.counters.cold_products.load(Ordering::Relaxed),
-                repairs: r.counters.repairs.load(Ordering::Relaxed),
-                repair_products: r.counters.repair_products.load(Ordering::Relaxed),
-                paths_served: r.counters.paths_served.load(Ordering::Relaxed),
-                pages_truncated: r.counters.pages_truncated.load(Ordering::Relaxed),
-                worker_panics: r.counters.worker_panics.load(Ordering::Relaxed),
-                worker_restarts: r.counters.worker_restarts.load(Ordering::Relaxed),
-                requests_shed: r.counters.requests_shed.load(Ordering::Relaxed),
-                deadline_expired: r.counters.deadline_expired.load(Ordering::Relaxed),
+            .enumerate()
+            .map(|(i, r)| {
+                let base = r.failures_at_publish;
+                let next = records.get(i + 1).map_or(live, |n| n.failures_at_publish);
+                ServiceStats {
+                    epoch: r.epoch,
+                    publish_ms: r.publish_ms,
+                    queries_served: r.counters.queries_served.load(Ordering::Relaxed),
+                    batches: r.counters.batches.load(Ordering::Relaxed),
+                    cache_hits: r.counters.cache_hits.load(Ordering::Relaxed),
+                    cold_solves: r.counters.cold_solves.load(Ordering::Relaxed),
+                    cold_products: r.counters.cold_products.load(Ordering::Relaxed),
+                    repairs: r.counters.repairs.load(Ordering::Relaxed),
+                    repair_products: r.counters.repair_products.load(Ordering::Relaxed),
+                    paths_served: r.counters.paths_served.load(Ordering::Relaxed),
+                    pages_truncated: r.counters.pages_truncated.load(Ordering::Relaxed),
+                    worker_panics: next.worker_panics - base.worker_panics,
+                    worker_restarts: next.worker_restarts - base.worker_restarts,
+                    requests_shed: next.requests_shed - base.requests_shed,
+                    deadline_expired: next.deadline_expired - base.deadline_expired,
+                }
             })
             .collect()
     }

@@ -3,7 +3,8 @@
 //!
 //! ```text
 //! cargo run --release --example query_cli -- \
-//!     data/university.triples data/same_generation.grammar [backend] [strategy] [--threads N]
+//!     data/university.triples data/same_generation.grammar [backend] [strategy] \
+//!     [--threads N] [--trace PATH]
 //! ```
 //!
 //! Loads an RDF-style triple file, a grammar in the DSL, evaluates the
@@ -14,14 +15,17 @@
 //! `--threads N` caps the process's thread budget (the
 //! [`Parallelism`] knob): the parallel backends size their kernel
 //! device from it instead of grabbing every available core.
+//! `--trace PATH` runs the solve under a [`SpanCollector`], prints the
+//! five slowest spans, and writes a chrome://tracing JSON to `PATH`.
 
 use cfpq::prelude::*;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    // `--threads N` may appear anywhere; strip it before the positional
-    // arguments are read.
+    // `--threads N` / `--trace PATH` may appear anywhere; strip them
+    // before the positional arguments are read.
     let mut budget = Parallelism::auto();
     if let Some(i) = args.iter().position(|a| a == "--threads") {
         let Some(n) = args.get(i + 1).and_then(|v| v.parse::<usize>().ok()) else {
@@ -29,6 +33,15 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         };
         budget = Parallelism::new(n);
+        args.drain(i..i + 2);
+    }
+    let mut trace_path: Option<String> = None;
+    if let Some(i) = args.iter().position(|a| a == "--trace") {
+        let Some(p) = args.get(i + 1) else {
+            eprintln!("--trace needs a path");
+            return ExitCode::from(2);
+        };
+        trace_path = Some(p.clone());
         args.drain(i..i + 2);
     }
     let (triples_path, grammar_path) = match args.as_slice() {
@@ -105,6 +118,14 @@ fn main() -> ExitCode {
         stats.n_nodes, stats.n_edges, stats.n_labels, stats.n_sccs, stats.largest_scc
     );
 
+    // With --trace, the whole solve runs under a collector: the solver's
+    // "solve"/"sweep" spans and every engine's "kernel" spans land in
+    // one exportable trace.
+    let collector = trace_path.as_ref().map(|_| Arc::new(SpanCollector::new()));
+    let _install = collector
+        .as_ref()
+        .map(|c| cfpq::obs::install(Arc::clone(c) as Arc<dyn Recorder>));
+
     let started = std::time::Instant::now();
     let answer = match cfpq::core::solve_with(&graph, &grammar, backend, strategy) {
         Ok(a) => a,
@@ -113,6 +134,32 @@ fn main() -> ExitCode {
             return ExitCode::from(1);
         }
     };
+    if let (Some(path), Some(collector)) = (&trace_path, &collector) {
+        eprintln!("top 5 slowest spans:");
+        for span in collector.top_slowest(5) {
+            let attrs: Vec<String> = span.attrs.iter().map(|(k, v)| format!("{k}={v}")).collect();
+            eprintln!(
+                "  {:>8}us  {:<8} {}",
+                span.dur_us,
+                span.name,
+                attrs.join(" ")
+            );
+        }
+        let json = collector.chrome_trace_json();
+        match cfpq::obs::validate_chrome_trace(&json) {
+            Ok(events) => {
+                if let Err(e) = std::fs::write(path, json) {
+                    eprintln!("cannot write {path}: {e}");
+                    return ExitCode::from(1);
+                }
+                eprintln!("wrote {events} trace events to {path}");
+            }
+            Err(e) => {
+                eprintln!("trace export failed validation: {e}");
+                return ExitCode::from(1);
+            }
+        }
+    }
     // SetMatrix has no strategy knob; don't attribute one to it.
     let strategy_note = if backend == Backend::SetMatrix {
         String::new()

@@ -1,0 +1,86 @@
+//! End-to-end tracing walkthrough: run a query workload through the
+//! service with a [`SpanCollector`] installed, print the five slowest
+//! spans, and export the whole trace for chrome://tracing.
+//!
+//! ```text
+//! cargo run --release --example trace [-- trace.json]
+//! ```
+//!
+//! Open the written file in Chrome (`chrome://tracing` → Load) or
+//! <https://ui.perfetto.dev> to see the hierarchy: the `"epoch.publish"`
+//! span covering every `"query.repair"`, worker `"batch"` spans covering
+//! `"solve"` → `"sweep"` → `"kernel"` spans, and root `"ticket"` spans
+//! carrying each request's wait-vs-run breakdown.
+
+use cfpq::prelude::*;
+use std::sync::Arc;
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "trace.json".to_owned());
+
+    // The paper's same-generation query on a bundled ontology graph.
+    let grammar = cfpq::grammar::queries::query1();
+    let graph = cfpq::graph::ontology::dataset("skos")
+        .expect("bundled dataset")
+        .to_graph();
+
+    // Build the service with a collector: every layer's spans — service,
+    // session, solver, kernels — land in this one recorder.
+    let collector = Arc::new(SpanCollector::new());
+    let service = CfpqService::with_observability(
+        SparseEngine,
+        &graph,
+        ServiceConfig::new(2),
+        collector.clone(),
+    );
+    let q = service.prepare(&grammar).expect("query normalizes");
+
+    // A little workload: a cold wave, an epoch publish, a repaired wave.
+    let fresh_node = graph.stats().n_nodes as u32;
+    for wave in 0..2 {
+        if wave == 1 {
+            // An edge to an unseen node is new by construction, so this
+            // publishes exactly one repaired epoch.
+            service.add_edges(&[(0, "subClassOf", fresh_node)]);
+        }
+        let tickets: Vec<Ticket> = (0..4)
+            .map(|_| service.enqueue(q, vec![]).expect("registered"))
+            .collect();
+        for t in tickets {
+            let answer = t.wait().expect("no faults here");
+            if let Some(trace) = answer.trace {
+                eprintln!(
+                    "ticket span {:?}: waited {}us, ran {}us in a batch of {}",
+                    trace.span, trace.wait_us, trace.run_us, trace.batch_size
+                );
+            }
+        }
+    }
+    let metrics = service.metrics();
+    drop(service); // joins the workers; every span is closed now
+
+    // The profile: where did the time go?
+    println!("top 5 slowest spans:");
+    for span in collector.top_slowest(5) {
+        let attrs: Vec<String> = span.attrs.iter().map(|(k, v)| format!("{k}={v}")).collect();
+        println!(
+            "  {:>8}us  {:<14} {}",
+            span.dur_us,
+            span.name,
+            attrs.join(" ")
+        );
+    }
+    println!(
+        "\nticket wait p99: {}us, queue depth max: {}",
+        metrics.histogram("cfpq_ticket_wait_us").quantile(0.99),
+        metrics.gauge("cfpq_queue_depth_max").get()
+    );
+
+    // Export for chrome://tracing.
+    let json = collector.chrome_trace_json();
+    let events = cfpq::obs::validate_chrome_trace(&json).expect("export is well-formed");
+    std::fs::write(&out_path, json).expect("write trace file");
+    println!("wrote {events} trace events to {out_path}");
+}

@@ -42,6 +42,7 @@ pub use cfpq_core as core;
 pub use cfpq_grammar as grammar;
 pub use cfpq_graph as graph;
 pub use cfpq_matrix as matrix;
+pub use cfpq_obs as obs;
 pub use cfpq_service as service;
 
 /// Commonly used items in one import.
@@ -67,11 +68,12 @@ pub mod prelude {
         AdaptiveEngine, BoolEngine, DenseEngine, Device, KernelCounters, LenEngine, ParDenseEngine,
         ParSparseEngine, Parallelism, SparseEngine, TiledEngine,
     };
+    pub use cfpq_obs::{MetricsRegistry, NoopRecorder, Recorder, SpanCollector};
     // The service's query handles keep their own names (`cfpq::service::
     // QueryId` vs the session's `QueryId` above), so only the
     // unambiguous types are in the prelude.
     pub use cfpq_service::{
-        Backoff, CfpqService, ServiceConfig, ServiceError, ServiceStats, Snapshot, Ticket,
-        TicketResult,
+        Backoff, CfpqService, QueryTrace, ServiceConfig, ServiceError, ServiceStats, Snapshot,
+        Ticket, TicketResult,
     };
 }
